@@ -1,0 +1,228 @@
+//! A minimal in-process MapReduce runtime (Dean & Ghemawat [7]).
+//!
+//! The Fig 12 comparison needs the two fastest published indexers — Ivory
+//! MapReduce [9] and Single-Pass MapReduce [8] — which are MapReduce
+//! programs. This runtime supplies the framework semantics they rely on:
+//! map workers over input splits, hash partitioning of emitted pairs,
+//! per-partition sort by key (values grouped, keys arriving at each
+//! reducer in order), and reduce workers per partition. Map and reduce
+//! phases run on real threads; stage times are measured so the Fig 12
+//! harness can derive per-core throughput.
+
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Worker counts for a job.
+#[derive(Clone, Copy, Debug)]
+pub struct MapReduceConfig {
+    /// Parallel map workers.
+    pub map_workers: usize,
+    /// Reduce partitions (each handled by one worker).
+    pub reduce_workers: usize,
+}
+
+impl Default for MapReduceConfig {
+    fn default() -> Self {
+        MapReduceConfig { map_workers: 2, reduce_workers: 2 }
+    }
+}
+
+/// Measured stage times and traffic of one job.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MapReduceStats {
+    /// Wall seconds of the map phase.
+    pub map_seconds: f64,
+    /// Wall seconds of the shuffle (partition + sort) phase.
+    pub shuffle_seconds: f64,
+    /// Wall seconds of the reduce phase.
+    pub reduce_seconds: f64,
+    /// Key/value pairs emitted by mappers.
+    pub pairs_emitted: u64,
+}
+
+impl MapReduceStats {
+    /// Total job seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.map_seconds + self.shuffle_seconds + self.reduce_seconds
+    }
+}
+
+fn partition_of<K: Hash>(key: &K, n: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % n
+}
+
+/// Run a MapReduce job.
+///
+/// * `inputs` — one element per input split, consumed in order by map
+///   workers (split `i` goes to worker `i % map_workers`).
+/// * `mapper` — called once per split with an `emit(key, value)` closure.
+/// * `reducer` — called once per distinct key with all its values, in
+///   ascending key order within each partition (the framework guarantee
+///   Ivory's algorithm depends on).
+///
+/// Returns the reduce outputs grouped by partition (keys sorted within
+/// each) and the measured stage statistics.
+pub fn run_job<I, K, V, R, M, F>(
+    cfg: MapReduceConfig,
+    inputs: &[I],
+    mapper: M,
+    reducer: F,
+) -> (Vec<Vec<(K, R)>>, MapReduceStats)
+where
+    I: Sync,
+    K: Ord + Hash + Clone + Send,
+    V: Send,
+    R: Send,
+    M: Fn(usize, &I, &mut dyn FnMut(K, V)) + Sync,
+    F: Fn(&K, Vec<V>) -> R + Sync,
+{
+    assert!(cfg.map_workers >= 1 && cfg.reduce_workers >= 1);
+    let mut stats = MapReduceStats::default();
+
+    // ---- map phase ----
+    let t0 = Instant::now();
+    let emitted: Vec<Vec<(K, V)>> = std::thread::scope(|s| {
+        let mapper = &mapper;
+        let handles: Vec<_> = (0..cfg.map_workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut out: Vec<(K, V)> = Vec::new();
+                    let mut split = w;
+                    while split < inputs.len() {
+                        mapper(split, &inputs[split], &mut |k, v| out.push((k, v)));
+                        split += cfg.map_workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("map worker")).collect()
+    });
+    stats.map_seconds = t0.elapsed().as_secs_f64();
+    stats.pairs_emitted = emitted.iter().map(|v| v.len() as u64).sum();
+
+    // ---- shuffle: partition by key hash, then sort each partition ----
+    let t0 = Instant::now();
+    let mut partitions: Vec<Vec<(K, V)>> = (0..cfg.reduce_workers).map(|_| Vec::new()).collect();
+    for worker_out in emitted {
+        for (k, v) in worker_out {
+            let p = partition_of(&k, cfg.reduce_workers);
+            partitions[p].push((k, v));
+        }
+    }
+    for p in &mut partitions {
+        p.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    stats.shuffle_seconds = t0.elapsed().as_secs_f64();
+
+    // ---- reduce phase ----
+    let t0 = Instant::now();
+    let outputs: Vec<Vec<(K, R)>> = std::thread::scope(|s| {
+        let reducer = &reducer;
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .map(|part| {
+                s.spawn(move || {
+                    let mut out: Vec<(K, R)> = Vec::new();
+                    let mut it = part.into_iter().peekable();
+                    while let Some((k, v)) = it.next() {
+                        let mut vals = vec![v];
+                        while it.peek().is_some_and(|(nk, _)| *nk == k) {
+                            vals.push(it.next().unwrap().1);
+                        }
+                        let r = reducer(&k, vals);
+                        out.push((k, r));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("reduce worker")).collect()
+    });
+    stats.reduce_seconds = t0.elapsed().as_secs_f64();
+    (outputs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count() {
+        let docs = ["a b a", "b b c", "a"];
+        let (out, stats) = run_job(
+            MapReduceConfig { map_workers: 2, reduce_workers: 2 },
+            &docs,
+            |_i, doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_string(), 1u32);
+                }
+            },
+            |_k, vals| vals.iter().sum::<u32>(),
+        );
+        let mut flat: Vec<(String, u32)> = out.into_iter().flatten().collect();
+        flat.sort();
+        assert_eq!(
+            flat,
+            vec![("a".into(), 3), ("b".into(), 3), ("c".into(), 1)]
+        );
+        assert_eq!(stats.pairs_emitted, 7);
+        assert!(stats.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn keys_sorted_within_partition() {
+        let docs = ["zeta alpha mu", "beta zeta"];
+        let (out, _) = run_job(
+            MapReduceConfig { map_workers: 1, reduce_workers: 3 },
+            &docs,
+            |_i, doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_string(), ());
+                }
+            },
+            |_k, vals| vals.len(),
+        );
+        for part in &out {
+            let keys: Vec<&String> = part.iter().map(|(k, _)| k).collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(keys, sorted);
+        }
+    }
+
+    #[test]
+    fn same_key_lands_in_one_partition() {
+        let docs = vec!["x"; 20];
+        let (out, _) = run_job(
+            MapReduceConfig { map_workers: 4, reduce_workers: 4 },
+            &docs,
+            |i, _doc: &&str, emit| emit("x".to_string(), i),
+            |_k, vals| vals.len(),
+        );
+        let hits: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hits.len(), 1, "key must not be split across partitions");
+        let total: usize = out.iter().flatten().map(|(_, n)| n).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let docs: Vec<&str> = vec![];
+        let (out, stats) = run_job(
+            MapReduceConfig::default(),
+            &docs,
+            |_i, _d: &&str, _e: &mut dyn FnMut(String, u32)| {},
+            |_k, v: Vec<u32>| v.len(),
+        );
+        assert!(out.iter().all(|p| p.is_empty()));
+        assert_eq!(stats.pairs_emitted, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Single-pass in-memory indexing, SPIMI (Heinz & Zobel [4]).
+//!
+//! The strongest *serial* baseline in the paper's background section:
+//! accumulate postings in an in-memory hash dictionary until a memory
+//! budget is hit, then sort the run's terms, write run + dictionary to
+//! (simulated) disk, and finally k-way-merge all runs into the final
+//! postings file.
+
+use crate::ivory::{doc_terms, BaselineIndex};
+use ii_corpus::{DocId, RawDocument};
+use ii_postings::{Posting, PostingsList};
+use std::collections::HashMap;
+
+/// One flushed run: terms sorted, each with its partial postings.
+#[derive(Debug)]
+pub struct SpimiRun {
+    /// Sorted `(term, partial postings)` pairs.
+    pub entries: Vec<(String, Vec<Posting>)>,
+}
+
+/// Statistics from a SPIMI build.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpimiStats {
+    /// Runs flushed.
+    pub runs: usize,
+    /// Total postings written across runs.
+    pub postings: u64,
+    /// Tokens processed.
+    pub tokens: u64,
+}
+
+/// Build an index over `docs` with at most `max_terms_in_memory` distinct
+/// terms buffered per run.
+pub fn spimi_index(
+    docs: &[RawDocument],
+    html: bool,
+    max_terms_in_memory: usize,
+) -> (BaselineIndex, SpimiStats) {
+    assert!(max_terms_in_memory >= 1);
+    let mut stats = SpimiStats::default();
+    let mut runs: Vec<SpimiRun> = Vec::new();
+    let mut dict: HashMap<String, Vec<Posting>> = HashMap::new();
+
+    let mut flush = |dict: &mut HashMap<String, Vec<Posting>>, stats: &mut SpimiStats| {
+        if dict.is_empty() {
+            return;
+        }
+        let mut entries: Vec<(String, Vec<Posting>)> = dict.drain().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        stats.postings += entries.iter().map(|(_, p)| p.len() as u64).sum::<u64>();
+        stats.runs += 1;
+        runs.push(SpimiRun { entries });
+    };
+
+    for (doc_idx, d) in docs.iter().enumerate() {
+        let doc_id = DocId(doc_idx as u32);
+        for term in doc_terms(d, html) {
+            stats.tokens += 1;
+            match dict.get_mut(&term) {
+                Some(posts) => match posts.last_mut() {
+                    Some(last) if last.doc == doc_id => last.tf += 1,
+                    _ => posts.push(Posting { doc: doc_id, tf: 1 }),
+                },
+                None => {
+                    if dict.len() >= max_terms_in_memory {
+                        flush(&mut dict, &mut stats);
+                    }
+                    dict.insert(term, vec![Posting { doc: doc_id, tf: 1 }]);
+                }
+            }
+        }
+    }
+    flush(&mut dict, &mut stats);
+
+    // Final merge of the sorted runs. Runs are in doc order, but a flush
+    // can land mid-document, splitting one (term, doc)'s occurrences
+    // across two runs — merge must re-aggregate tf for equal doc IDs.
+    let mut merged: HashMap<String, Vec<Posting>> = HashMap::new();
+    for run in runs {
+        for (term, posts) in run.entries {
+            let acc = merged.entry(term).or_default();
+            for p in posts {
+                match acc.last_mut() {
+                    Some(last) if last.doc == p.doc => last.tf += p.tf,
+                    _ => acc.push(p),
+                }
+            }
+        }
+    }
+    let mut index = BaselineIndex::default();
+    for (term, posts) in merged {
+        index.postings.insert(term, posts.into_iter().collect::<PostingsList>());
+    }
+    (index, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivory::ivory_index;
+    use crate::mapreduce::MapReduceConfig;
+
+    fn doc(body: &str) -> RawDocument {
+        RawDocument { url: String::new(), body: body.into() }
+    }
+
+    #[test]
+    fn spimi_correct_with_tiny_memory() {
+        let docs = vec![
+            doc("alpha beta alpha gamma"),
+            doc("beta delta"),
+            doc("alpha epsilon beta zeta"),
+        ];
+        // Force many flushes with a 2-term budget.
+        let (idx, stats) = spimi_index(&docs, false, 2);
+        assert!(stats.runs > 1, "tiny budget must force multiple runs");
+        let (reference, _) =
+            ivory_index(std::slice::from_ref(&docs), false, MapReduceConfig::default());
+        assert_eq!(idx.len(), reference.len());
+        for (term, list) in &reference.postings {
+            assert_eq!(idx.get(term), Some(list), "term {term}");
+        }
+    }
+
+    #[test]
+    fn single_run_when_memory_ample() {
+        let docs = vec![doc("a few distinct words here")];
+        let (_, stats) = spimi_index(&docs, false, 1000);
+        assert_eq!(stats.runs, 1);
+    }
+
+    #[test]
+    fn flush_mid_document_reaggregates_tf() {
+        // "x y x" with a 1-term budget flushes x, then y, then re-inserts
+        // x for the *same* document; merge must sum the tfs back together.
+        let docs = vec![doc("x y x")];
+        let (idx, stats) = spimi_index(&docs, false, 1);
+        assert!(stats.runs >= 2);
+        let x: Vec<(u32, u32)> =
+            idx.get("x").unwrap().postings().iter().map(|p| (p.doc.0, p.tf)).collect();
+        assert_eq!(x, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn tf_aggregated_within_doc_across_runs() {
+        // A term recurring in a later doc after a flush must not lose tf.
+        let docs = vec![doc("x x y"), doc("x")];
+        let (idx, _) = spimi_index(&docs, false, 1);
+        let x: Vec<(u32, u32)> =
+            idx.get("x").unwrap().postings().iter().map(|p| (p.doc.0, p.tf)).collect();
+        assert_eq!(x, vec![(0, 2), (1, 1)]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Single-Pass MapReduce indexing (McCreadie et al. [8]).
+//!
+//! Map workers build *partial postings lists* per input split and emit
+//! `<term, partial list>` once per term per split — far fewer emits than
+//! one per posting, and duplicate term strings cross the shuffle less
+//! often. Reducers merge each term's partial lists (sorted by the split's
+//! document range) into the final list.
+
+use crate::ivory::{doc_terms, BaselineIndex};
+use crate::mapreduce::{run_job, MapReduceConfig, MapReduceStats};
+use ii_corpus::{DocId, RawDocument};
+use ii_postings::{Posting, PostingsList};
+use std::collections::HashMap;
+
+/// Index `splits` with the single-pass (partial postings list) algorithm.
+pub fn spmr_index(
+    splits: &[Vec<RawDocument>],
+    html: bool,
+    cfg: MapReduceConfig,
+) -> (BaselineIndex, MapReduceStats) {
+    let mut bases = Vec::with_capacity(splits.len());
+    let mut next = 0u32;
+    for s in splits {
+        bases.push(next);
+        next += s.len() as u32;
+    }
+    let (outputs, stats) = run_job(
+        cfg,
+        splits,
+        |split_idx, docs: &Vec<RawDocument>, emit| {
+            // Build this split's partial lists in memory (single pass).
+            let mut partial: HashMap<String, Vec<Posting>> = HashMap::new();
+            for (local, d) in docs.iter().enumerate() {
+                let doc_id = bases[split_idx] + local as u32;
+                let mut tf: HashMap<String, u32> = HashMap::new();
+                for t in doc_terms(d, html) {
+                    *tf.entry(t).or_insert(0) += 1;
+                }
+                for (term, f) in tf {
+                    partial
+                        .entry(term)
+                        .or_default()
+                        .push(Posting { doc: DocId(doc_id), tf: f });
+                }
+            }
+            // One emit per term per split: (term, (split order key, list)).
+            for (term, mut posts) in partial {
+                posts.sort_by_key(|p| p.doc);
+                emit(term, (split_idx, posts));
+            }
+        },
+        |_term, mut vals: Vec<(usize, Vec<Posting>)>| {
+            // Merge partial lists in split order (split doc ranges are
+            // disjoint and increasing).
+            vals.sort_by_key(|(split, _)| *split);
+            let mut list = PostingsList::new();
+            for (_, posts) in vals {
+                for p in posts {
+                    list.push(p);
+                }
+            }
+            list
+        },
+    );
+    let mut index = BaselineIndex::default();
+    for part in outputs {
+        for (term, list) in part {
+            index.postings.insert(term, list);
+        }
+    }
+    (index, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivory::ivory_index;
+
+    fn doc(body: &str) -> RawDocument {
+        RawDocument { url: String::new(), body: body.into() }
+    }
+
+    #[test]
+    fn spmr_matches_ivory() {
+        let splits = vec![
+            vec![doc("alpha beta alpha"), doc("gamma")],
+            vec![doc("beta beta delta alpha")],
+            vec![doc("gamma alpha")],
+        ];
+        let (a, _) = spmr_index(&splits, false, MapReduceConfig::default());
+        let (b, _) = ivory_index(&splits, false, MapReduceConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (term, list) in &a.postings {
+            assert_eq!(Some(list), b.get(term), "term {term}");
+        }
+    }
+
+    #[test]
+    fn fewer_emits_than_ivory() {
+        // The algorithm's selling point: one emit per (term, split) rather
+        // than per (term, doc).
+        let splits = vec![vec![
+            doc("zebra quilt zebra"),
+            doc("zebra quilt"),
+            doc("zebra"),
+        ]];
+        let (_, sp) = spmr_index(&splits, false, MapReduceConfig::default());
+        let (_, iv) = ivory_index(&splits, false, MapReduceConfig::default());
+        assert!(sp.pairs_emitted < iv.pairs_emitted, "{} vs {}", sp.pairs_emitted, iv.pairs_emitted);
+        assert_eq!(sp.pairs_emitted, 2); // zebra + quilt, once each
+    }
+}

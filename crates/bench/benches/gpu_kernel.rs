@@ -1,0 +1,52 @@
+//! Criterion microbench: the GPU indexing kernel on the simulator — host
+//! execution speed of the simulated kernel, and the simulated device
+//! efficiency (cycles per token) that the platform model consumes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ii_core::corpus::{CollectionGenerator, CollectionSpec};
+use ii_core::indexer::{GpuIndexer, GpuIndexerConfig};
+use ii_core::text::{parse_documents, ParsedBatch};
+
+fn batch() -> ParsedBatch {
+    let mut spec = CollectionSpec::wikipedia_like(0.2);
+    spec.docs_per_file = 150;
+    let gen = CollectionGenerator::new(spec.clone());
+    parse_documents(&gen.generate_file(0), spec.html, 0)
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let b = batch();
+    let groups: Vec<&ii_core::text::TrieGroup> = b.groups.iter().collect();
+    let tokens = b.stats.terms_kept;
+    let mut g = c.benchmark_group("gpu_kernel");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(tokens));
+    g.bench_function("index_batch_sim", |bch| {
+        bch.iter(|| {
+            let mut gpu = GpuIndexer::new(0, GpuIndexerConfig::small());
+            let rep = gpu.index_batch(black_box(&groups), 0);
+            rep.device_seconds
+        })
+    });
+    g.finish();
+
+    // One-shot device-efficiency report.
+    let mut gpu = GpuIndexer::new(0, GpuIndexerConfig::small());
+    let rep = gpu.index_batch(&groups, 0);
+    let m = gpu.kernel_metrics;
+    eprintln!(
+        "device: {:.4}s simulated for {} tokens ({:.0} tokens/device-sec)",
+        rep.device_seconds,
+        tokens,
+        tokens as f64 / rep.device_seconds
+    );
+    eprintln!(
+        "traffic: {} global transactions, {:.2} transactions per 64B segment (1.0 = coalesced), {} bank-conflict cycles",
+        m.global_transactions,
+        m.transactions_per_segment(),
+        m.bank_conflict_cycles
+    );
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion microbench: the parser's per-token work — tokenization,
+//! Porter stemming, stop-word filtering, and the full 5-step parse
+//! including the Step 5 regrouping whose overhead the paper bounds at ~5%
+//! of parser time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ii_core::corpus::{CollectionGenerator, CollectionSpec};
+use ii_core::text::{parse_documents, parse_documents_flat, stem, tokenize};
+
+fn sample_text() -> String {
+    let gen = CollectionGenerator::new(CollectionSpec::wikipedia_like(0.2));
+    gen.generate_file(0).into_iter().map(|d| d.body).collect::<Vec<_>>().join("\n")
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let text = sample_text();
+    let mut g = c.benchmark_group("tokenize");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("wikipedia_like", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            let mut it = tokenize::tokens(black_box(&text));
+            while it.next_token().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_stemmer(c: &mut Criterion) {
+    let text = sample_text();
+    let words: Vec<String> = {
+        let mut out = Vec::new();
+        let mut it = tokenize::tokens(&text);
+        while let Some(t) = it.next_token() {
+            out.push(t.to_string());
+        }
+        out.truncate(50_000);
+        out
+    };
+    let mut g = c.benchmark_group("porter_stemmer");
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("50k_tokens", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in &words {
+                total += stem(black_box(w)).len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_parse(c: &mut Criterion) {
+    let gen = CollectionGenerator::new(CollectionSpec::wikipedia_like(0.2));
+    let docs = gen.generate_file(0);
+    let bytes: usize = docs.iter().map(|d| d.stored_len()).sum();
+    let mut g = c.benchmark_group("parse");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("grouped_steps2to5", |b| {
+        b.iter(|| parse_documents(black_box(&docs), false, 0).stats.terms_kept)
+    });
+    g.bench_function("flat_no_regroup", |b| {
+        b.iter(|| parse_documents_flat(black_box(&docs), false).1.terms_kept)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tokenize, bench_stemmer, bench_full_parse);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation — §IV.B thread-block count: the paper found 480 blocks per GPU
+//! optimal for its dynamic round-robin scheduling of trie collections.
+//!
+//! We launch the real GPU indexer kernel over a Zipf-skewed batch with
+//! varying block counts and report *simulated device seconds*: too few
+//! blocks leave SMs idle behind the skewed long pole; beyond saturation
+//! extra blocks stop helping.
+
+use ii_core::corpus::{CollectionGenerator, CollectionSpec};
+use ii_core::indexer::{GpuIndexer, GpuIndexerConfig};
+use ii_core::text::parse_documents;
+
+fn main() {
+    let mut spec = CollectionSpec::clueweb_like(0.3);
+    spec.docs_per_file = 250;
+    let gen = CollectionGenerator::new(spec.clone());
+    let docs = gen.generate_file(0);
+    let batch = parse_documents(&docs, spec.html, 0);
+    let groups: Vec<&ii_core::text::TrieGroup> = batch.groups.iter().collect();
+    println!(
+        "ABLATION: GPU thread-block count ({} trie collections, {} tokens)\n",
+        groups.len(),
+        batch.stats.terms_kept
+    );
+    println!("{:<10}{:>22}{:>16}", "blocks", "device seconds (sim)", "SM utilization");
+    ii_bench::rule(50);
+    let mut results = Vec::new();
+    for blocks in [1usize, 8, 30, 60, 120, 240, 480, 960] {
+        let cfg = GpuIndexerConfig { num_blocks: blocks, ..GpuIndexerConfig::small() };
+        let mut gpu = GpuIndexer::new(0, cfg);
+        let rep = gpu.index_batch(&groups, 0);
+        println!("{:<10}{:>22.4}{:>15.1}%", blocks, rep.device_seconds, rep.utilization * 100.0);
+        results.push((blocks, rep.device_seconds));
+    }
+    ii_bench::rule(50);
+    let t1 = results[0].1;
+    let t480 = results.iter().find(|(b, _)| *b == 480).unwrap().1;
+    let t960 = results.iter().find(|(b, _)| *b == 960).unwrap().1;
+    println!("\nshape: 480 blocks {:.1}x faster than 1 block; 960 within {:.1}% of 480",
+        t1 / t480,
+        ((t960 - t480) / t480 * 100.0).abs()
+    );
+    println!("(paper: best performance at 480 thread blocks per C1060)");
+    assert!(t480 < t1, "parallel blocks must beat a single block");
+    assert!((t960 - t480).abs() / t480 < 0.10, "beyond saturation: flat");
+}

@@ -1,0 +1,112 @@
+//! Ablation — positional postings cost.
+//!
+//! §IV.D notes that Ivory MapReduce "generates positional postings lists,
+//! which will add some extra cost". This harness quantifies that cost in
+//! our own system: plain `<doc, tf>` indexing vs the positional extension
+//! over identical parsed batches, plus the index-size inflation, and
+//! demonstrates the capability the extra cost buys (phrase search).
+
+use ii_core::corpus::{CollectionGenerator, CollectionSpec};
+use ii_core::indexer::{CpuIndexer, PositionalIndexer};
+use ii_core::postings::Codec;
+use ii_core::text::parse_documents;
+use std::time::Instant;
+
+fn main() {
+    let mut spec = CollectionSpec::wikipedia_like(0.4);
+    spec.docs_per_file = 300;
+    let gen = CollectionGenerator::new(spec.clone());
+    let batches: Vec<_> =
+        (0..spec.num_files.min(4)).map(|f| parse_documents(&gen.generate_file(f), spec.html, f)).collect();
+    let tokens: u64 = batches.iter().map(|b| b.stats.terms_kept).sum();
+    println!("ABLATION: positional postings ({} tokens)\n", tokens);
+
+    // Plain indexing.
+    let t0 = Instant::now();
+    let mut plain = CpuIndexer::new(0);
+    let mut offset = 0u32;
+    for b in &batches {
+        for g in &b.groups {
+            plain.index_group(g, offset);
+        }
+        offset += b.num_docs;
+    }
+    let plain_s = t0.elapsed().as_secs_f64();
+    let plain_run = plain.flush_run(0, Codec::VarByte);
+    let plain_bytes = plain_run.to_bytes().len();
+    let plain_payload = plain_run.payload.len();
+
+    // Positional indexing.
+    let t0 = Instant::now();
+    let mut posix = PositionalIndexer::new();
+    let mut offset = 0u32;
+    for b in &batches {
+        posix.index_batch(b, offset);
+        offset += b.num_docs;
+    }
+    let pos_s = t0.elapsed().as_secs_f64();
+    let pos = posix.finish();
+    let mut pos_bytes = Vec::new();
+    pos.write_to(&mut pos_bytes).unwrap();
+    // Payload-only comparison excludes the differing file-format headers
+    // (the run file spends 28 B/term on its mapping table).
+    let pos_payload: usize = out_payload(&pos);
+
+    println!("{:<26}{:>14}{:>16}", "", "plain <doc,tf>", "positional");
+    ii_bench::rule(56);
+    println!("{:<26}{:>14.3}{:>16.3}", "indexing seconds", plain_s, pos_s);
+    println!(
+        "{:<26}{:>14}{:>16}",
+        "serialized bytes",
+        plain_bytes,
+        pos_bytes.len()
+    );
+    println!(
+        "{:<26}{:>14}{:>16}",
+        "postings payload bytes",
+        plain_payload,
+        pos_payload
+    );
+    println!(
+        "{:<26}{:>14}{:>16}",
+        "distinct terms",
+        plain.dict.term_count(),
+        pos.len()
+    );
+    ii_bench::rule(56);
+    println!(
+        "\ntime overhead: {:+.0}%   payload size overhead: {:+.0}%",
+        (pos_s / plain_s - 1.0) * 100.0,
+        (pos_payload as f64 / plain_payload as f64 - 1.0) * 100.0
+    );
+
+    // What the overhead buys: phrase queries.
+    let probe = pos
+        .phrase_search("information retrieval")
+        .len()
+        .max(pos.phrase_search("web search").len());
+    println!("phrase-search capability check: best probe phrase hits {probe} documents");
+    assert_eq!(plain.dict.term_count() as usize, pos.len());
+    assert!(pos_payload > plain_payload, "positions must cost payload bytes");
+}
+
+/// Total encoded positional payload bytes (headers excluded).
+fn out_payload(pos: &ii_core::indexer::PositionalIndex) -> usize {
+    let mut buf = Vec::new();
+    pos.write_to(&mut buf).unwrap();
+    // Subtract the per-entry fixed header: 4 (trie) + 1 (len) + suffix + 8.
+    // Easiest exact route: re-encode each list via the public API.
+    // PositionalIndex doesn't expose iteration, so approximate from the
+    // serialized stream: parse it the same way read_from does.
+    let mut total = 0usize;
+    let mut i = 8usize;
+    while i < buf.len() {
+        let suffix_len = buf[i + 4] as usize;
+        i += 5 + suffix_len;
+        let plen =
+            u32::from_le_bytes(buf[i + 4..i + 8].try_into().unwrap()) as usize;
+        i += 8 + plen;
+        total += plen;
+    }
+    total
+}

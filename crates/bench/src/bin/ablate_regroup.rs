@@ -1,0 +1,46 @@
+//! Ablation — §III.C regrouping claim: consuming the parsed stream grouped
+//! by trie collection (vs raw document order) speeds up *serial* indexing
+//! ~15x on the paper's platform via B-tree cache residency.
+//!
+//! Measured with the real serial indexer both ways on identical input.
+//! The magnitude depends on this host's cache hierarchy; the paper's 8 MB
+//! L3 Xeon with a 10x larger collection saw 15x — what must reproduce is
+//! a large, consistent speedup in the grouped order.
+
+use ii_baselines::{index_with_regrouping, index_without_regrouping};
+use ii_core::corpus::{CollectionGenerator, CollectionSpec};
+
+fn main() {
+    let mut spec = CollectionSpec::clueweb_like(ii_bench::MEASURED_SCALE);
+    spec.docs_per_file = 300;
+    let gen = CollectionGenerator::new(spec.clone());
+    println!("ABLATION: parser Step 5 regrouping (serial indexer, measured)\n");
+    println!(
+        "{:<8}{:>12}{:>18}{:>18}{:>12}",
+        "file", "tokens", "ungrouped (ms)", "grouped (ms)", "speedup"
+    );
+    ii_bench::rule(70);
+    let mut tot_a = 0.0;
+    let mut tot_b = 0.0;
+    for f in 0..spec.num_files.min(6) {
+        let docs = gen.generate_file(f);
+        let a = index_without_regrouping(&docs, spec.html);
+        let b = index_with_regrouping(&docs, spec.html);
+        assert_eq!(a.tokens, b.tokens);
+        tot_a += a.indexing_seconds;
+        tot_b += b.indexing_seconds;
+        println!(
+            "{:<8}{:>12}{:>18.2}{:>18.2}{:>11.2}x",
+            f,
+            a.tokens,
+            a.indexing_seconds * 1e3,
+            b.indexing_seconds * 1e3,
+            a.indexing_seconds / b.indexing_seconds
+        );
+    }
+    ii_bench::rule(70);
+    let speedup = tot_a / tot_b;
+    println!("overall speedup from regrouping: {speedup:.2}x (paper: ~15x on 8MB-L3 Xeon");
+    println!("with a 1000x larger collection and far deeper B-trees)");
+    assert!(speedup > 1.0, "grouped order must not be slower");
+}

@@ -1,0 +1,50 @@
+//! Corpus validation: measure the synthetic collections' Heaps-law
+//! vocabulary growth and Zipf skew, and compare against (a) the generator
+//! specs and (b) the exponents `ii-platsim` assumes for its B-tree-depth
+//! model — closing the loop between the data substitute and the
+//! performance model.
+
+use ii_core::corpus::{fit_heaps, fit_zipf, vocabulary_growth, CollectionGenerator, CollectionSpec};
+use ii_core::platsim::CollectionModel;
+use std::collections::HashMap;
+
+fn main() {
+    println!("CORPUS ANALYSIS: Heaps and Zipf properties of the synthetic stand-ins\n");
+    println!(
+        "{:<22}{:>12}{:>14}{:>14}{:>14}{:>14}",
+        "collection", "Zipf s spec", "Zipf s fit", "Heaps beta", "platsim beta", "vocab K"
+    );
+    ii_bench::rule(92);
+    let jobs = [
+        ("clueweb-like", CollectionSpec::clueweb_like(0.4), CollectionModel::clueweb09().heaps_beta),
+        ("wikipedia-like", CollectionSpec::wikipedia_like(0.4), CollectionModel::wikipedia().heaps_beta),
+        ("congress-like", CollectionSpec::congress_like(0.4), CollectionModel::congress().heaps_beta),
+    ];
+    for (name, mut spec, platsim_beta) in jobs {
+        spec.html = false; // analyze the token stream directly
+        spec.num_files = spec.num_files.max(4);
+        let gen = CollectionGenerator::new(spec.clone());
+        let growth = vocabulary_growth(&gen, 4);
+        let (k, beta) = fit_heaps(&growth);
+        let mut freq: HashMap<String, u64> = HashMap::new();
+        for f in 0..2 {
+            for d in gen.generate_file(f) {
+                for tok in d.body.split_whitespace() {
+                    *freq.entry(tok.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut counts: Vec<u64> = freq.into_values().collect();
+        let s_fit = fit_zipf(&mut counts, 300);
+        println!(
+            "{:<22}{:>12.2}{:>14.2}{:>14.2}{:>14.2}{:>14.1}",
+            name, spec.zipf_s, s_fit, beta, platsim_beta, k
+        );
+        assert!((spec.zipf_s - 0.4..spec.zipf_s + 0.4).contains(&s_fit), "zipf fit off: {s_fit}");
+        assert!((0.25..1.0).contains(&beta), "heaps fit off: {beta}");
+    }
+    ii_bench::rule(92);
+    println!("\nboth laws hold on the generated data: the Zipf head the load balancer");
+    println!("exploits and the sublinear vocabulary growth behind Fig 11's depth curve");
+    println!("are real properties of the substitute corpora, not modeling assumptions.");
+}

@@ -1,0 +1,74 @@
+//! Fig 10 — optimal number of parallel parsers and indexers, plus the
+//! §IV.A intake-bandwidth analysis.
+//!
+//! Reproduced on `ii-platsim` (this host has one core; DESIGN.md §2). The
+//! platform model's constants come from the paper's sub-measurements; the
+//! three scenario curves, the near-linear region for 1..5 parsers, and the
+//! divergence beyond 5 parsers are emergent from the pipeline recurrence.
+
+use ii_core::platsim::{intake_bandwidth, simulate, CollectionModel, PlatformModel, Scenario};
+
+fn main() {
+    let p = PlatformModel::c1060_xeon();
+    let c = CollectionModel::clueweb09();
+    println!("FIG 10. THROUGHPUT (MB/s) vs NUMBER OF PARALLEL PARSERS");
+    println!("(platsim simulated seconds; paper platform: 8 cores + 2 C1060)\n");
+    println!(
+        "{:<10}{:>26}{:>26}{:>18}",
+        "parsers", "(1) M + (8-M) CPU idx", "(2) M + (8-M) CPU + 2 GPU", "(3) parsers only"
+    );
+    ii_bench::rule(80);
+    for m in 1..=7usize {
+        let cpu_idx = 8 - m;
+        let s1 = simulate(&p, &c, &Scenario::new(m, cpu_idx, 0));
+        let s2 = simulate(&p, &c, &Scenario::new(m, cpu_idx, 2));
+        let s3 = simulate(&p, &c, &Scenario::new(m, 0, 0));
+        println!(
+            "{:<10}{:>26.1}{:>26.1}{:>18.1}",
+            m, s1.throughput_mb_s, s2.throughput_mb_s, s3.throughput_mb_s
+        );
+    }
+    ii_bench::rule(80);
+
+    // The paper's qualitative findings.
+    let s3_1 = simulate(&p, &c, &Scenario::new(1, 0, 0)).throughput_mb_s;
+    let s3_5 = simulate(&p, &c, &Scenario::new(5, 0, 0)).throughput_mb_s;
+    println!("\nfindings:");
+    println!(
+        "  parser-only scaling 1->5: {:.2}x (paper: almost linear)",
+        s3_5 / s3_1
+    );
+    let best_gpu = (1..=7)
+        .map(|m| (m, simulate(&p, &c, &Scenario::new(m, 8 - m, 2)).throughput_mb_s))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    let best_cpu = (1..=7)
+        .map(|m| (m, simulate(&p, &c, &Scenario::new(m, 8 - m, 0)).throughput_mb_s))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    println!(
+        "  best with GPUs:    {} parsers + {} CPU indexers -> {:.1} MB/s (paper: 6 parsers)",
+        best_gpu.0,
+        8 - best_gpu.0,
+        best_gpu.1
+    );
+    println!(
+        "  best without GPUs: {} parsers + {} CPU indexers -> {:.1} MB/s (paper: 5:3 split)",
+        best_cpu.0,
+        8 - best_cpu.0,
+        best_cpu.1
+    );
+
+    println!("\n§IV.A INTAKE BANDWIDTH (read + decompress of compressed files)");
+    println!("{:<10}{:>22}{:>26}", "parsers", "folded decompress", "separate decompress");
+    ii_bench::rule(60);
+    for m in [1usize, 2, 4, 6] {
+        let (folded, separate) = intake_bandwidth(&p, &c, m);
+        println!("{:<10}{:>20.0} MB/s{:>24.0} MB/s", m, folded, separate);
+    }
+    ii_bench::rule(60);
+    let (folded, separate) = intake_bandwidth(&p, &c, 6);
+    println!(
+        "paper at p=6: folded 263 MB/s, separate 469 MB/s; model: {folded:.0} / {separate:.0}"
+    );
+}

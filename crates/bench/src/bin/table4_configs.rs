@@ -1,0 +1,119 @@
+//! Table IV — running times of the four indexer configurations on
+//! ClueWeb09 (6 parsers throughout).
+//!
+//! Simulated on `ii-platsim` (DESIGN.md §2). Shape checks: 2 CPU indexers
+//! ≈ 1.77x of one, adding 2 GPUs buys ~35-40% more, and the combined
+//! CPU+GPU throughput exceeds the sum of its parts (the paper's
+//! "superlinear" observation from affinity-aware splitting).
+
+use ii_core::platsim::{simulate, CollectionModel, PlatformModel, Scenario};
+
+struct PaperCol {
+    name: &'static str,
+    scenario: Scenario,
+    pre: f64,
+    indexing: f64,
+    post: f64,
+    total_indexer: f64,
+    indexing_mb_s: f64,
+    total_mb_s: f64,
+}
+
+fn main() {
+    let p = PlatformModel::c1060_xeon();
+    let c = CollectionModel::clueweb09();
+    let cols = [
+        PaperCol {
+            name: "6P + 2 GPU",
+            scenario: Scenario::new(6, 0, 2),
+            pre: 107.01,
+            indexing: 19313.6,
+            post: 417.21,
+            total_indexer: 19858.69,
+            indexing_mb_s: 75.41,
+            total_mb_s: 73.34,
+        },
+        PaperCol {
+            name: "6P + 1 CPU",
+            scenario: Scenario::new(6, 1, 0),
+            pre: 93.44,
+            indexing: 11243.61,
+            post: 416.66,
+            total_indexer: 11758.81,
+            indexing_mb_s: 129.53,
+            total_mb_s: 123.86,
+        },
+        PaperCol {
+            name: "6P + 2 CPU",
+            scenario: Scenario::new(6, 2, 0),
+            pre: 111.74,
+            indexing: 6357.67,
+            post: 521.52,
+            total_indexer: 7019.87,
+            indexing_mb_s: 229.08,
+            total_mb_s: 207.47,
+        },
+        PaperCol {
+            name: "6P + 2 CPU + 2 GPU",
+            scenario: Scenario::new(6, 2, 2),
+            pre: 104.15,
+            indexing: 4616.78,
+            post: 464.04,
+            total_indexer: 5408.25,
+            indexing_mb_s: 315.46,
+            total_mb_s: 269.29,
+        },
+    ];
+
+    println!("TABLE IV. INDEXER CONFIGURATIONS ON CLUEWEB09 (simulated seconds)");
+    println!(
+        "\n{:<22}{:>14}{:>14}{:>14}{:>16}{:>14}{:>14}",
+        "config", "pre (s)", "indexing (s)", "post (s)", "total idx (s)", "idx MB/s", "total MB/s"
+    );
+    ii_bench::rule(110);
+    let total_mb = c.total_uncompressed_mb();
+    let mut sim_idx_rate = Vec::new();
+    for col in &cols {
+        let r = simulate(&p, &c, &col.scenario);
+        let total_indexer = r.indexing_busy_seconds
+            + r.indexer_wait_seconds
+            + r.pre_processing_seconds
+            + r.post_processing_seconds;
+        let idx_mb_s = total_mb / r.indexing_busy_seconds;
+        sim_idx_rate.push(idx_mb_s);
+        println!(
+            "{:<22}{:>14.1}{:>14.1}{:>14.1}{:>16.1}{:>14.1}{:>14.1}",
+            col.name,
+            r.pre_processing_seconds,
+            r.indexing_busy_seconds,
+            r.post_processing_seconds,
+            total_indexer,
+            idx_mb_s,
+            total_mb / total_indexer,
+        );
+        println!(
+            "{:<22}{:>14.1}{:>14.1}{:>14.1}{:>16.1}{:>14.1}{:>14.1}   <- paper",
+            "",
+            col.pre,
+            col.indexing,
+            col.post,
+            col.total_indexer,
+            col.indexing_mb_s,
+            col.total_mb_s,
+        );
+    }
+    ii_bench::rule(110);
+
+    println!("\nshape checks:");
+    let speedup2 = sim_idx_rate[2] / sim_idx_rate[1];
+    println!("  2 CPU vs 1 CPU indexing speedup: {speedup2:.2}x (paper: 1.77x)");
+    let gpu_gain = sim_idx_rate[3] / sim_idx_rate[2] - 1.0;
+    println!("  extra gain from 2 GPUs on top of 2 CPUs: {:.1}% (paper: 37.7%)", gpu_gain * 100.0);
+    let superlinear = sim_idx_rate[3] - (sim_idx_rate[2] + sim_idx_rate[0]);
+    println!(
+        "  combined minus (CPU-only + GPU-only): {superlinear:+.1} MB/s (paper: positive, superlinear)"
+    );
+    assert!(speedup2 > 1.5 && speedup2 < 2.0);
+    assert!(gpu_gain > 0.2);
+    assert!(superlinear > -5.0);
+}

@@ -1,0 +1,44 @@
+//! Table VII — platform configuration comparison (descriptive), extended
+//! with this reproduction's simulated platform.
+
+use ii_core::gpusim::GpuConfig;
+
+fn main() {
+    println!("TABLE VII. PLATFORM CONFIGURATION COMPARISON\n");
+    let rows: [(&str, [&str; 4]); 5] = [
+        (
+            "Processors/node",
+            [
+                "2x Xeon 2.8GHz quad-core + 2x Tesla C1060",
+                "2x Intel single-core 2.8GHz",
+                "1x Xeon 2.4GHz quad-core (1 core for DFS)",
+                "host CPU + N simulated C1060 (ii-gpusim)",
+            ],
+        ),
+        ("Memory/node", ["24 GB", "4 GB", "4 GB", "host RAM"]),
+        ("Nodes", ["1", "99", "8", "1"]),
+        ("Total CPU cores", ["8", "198", "24", "this host's cores"]),
+        (
+            "File system",
+            ["remote FS via 1Gb Ethernet", "HDFS", "HDFS", "local disk + LZSS containers"],
+        ),
+    ];
+    println!(
+        "{:<18}{:<44}{:<30}{:<44}{:<44}",
+        "", "This Paper", "Ivory MapReduce", "SP MapReduce", "This Reproduction"
+    );
+    ii_bench::rule(178);
+    for (label, cols) in rows {
+        println!("{:<18}{:<44}{:<30}{:<44}{:<44}", label, cols[0], cols[1], cols[2], cols[3]);
+    }
+    ii_bench::rule(178);
+
+    let g = GpuConfig::default();
+    println!("\nsimulated GPU parameters (ii-gpusim defaults, Tesla C1060):");
+    println!("  SMs: {}   clock: {:.3} GHz   warp: {}   shared mem: {} KB / {} banks",
+        g.num_sms, g.clock_hz / 1e9, g.warp_size, g.shared_bytes / 1024, g.banks);
+    println!("  global latency: {} cycles   coalescing segment: {} B   PCIe: {:.1} GB/s",
+        g.mem_latency, g.segment_bytes, g.pcie_bytes_per_sec / 1e9);
+    assert_eq!(g.num_sms, 30);
+    assert_eq!(g.warp_size, 32);
+}

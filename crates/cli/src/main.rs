@@ -1,0 +1,270 @@
+//! `ii` — command-line front end for the heterogeneous indexing system.
+//!
+//! ```text
+//! ii generate <dir> [--preset clueweb|wikipedia|congress|tiny] [--scale F] [--seed N]
+//! ii build    <collection-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]
+//! ii query    <index-dir> <terms...>
+//! ii postings <index-dir> <term> [--range LO HI]
+//! ii stats    <collection-dir | index-dir>
+//! ii simulate [--parsers N] [--cpu N] [--gpus N] [--collection clueweb|wikipedia|congress]
+//! ```
+
+use ii_core::corpus::{CollectionSpec, DocId, StoredCollection};
+use ii_core::platsim::{simulate, CollectionModel, PlatformModel, Scenario};
+use ii_core::{Index, IndexBuilder};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout is closed early (`ii postings ... | head`).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info.payload().downcast_ref::<String>().map(String::as_str).unwrap_or("");
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("postings") => cmd_postings(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("help") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try 'ii help')")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "ii — fast inverted-file construction on heterogeneous platforms\n\n\
+         commands:\n  \
+         generate <dir> [--preset P] [--scale F] [--seed N]   synthesize a collection\n  \
+         build <coll-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]\n  \
+         query <index-dir> <terms...>                         conjunctive search\n  \
+         postings <index-dir> <term> [--range LO HI]          dump a postings list\n  \
+         stats <dir>                                          collection or index stats\n  \
+         simulate [--parsers N] [--cpu N] [--gpus N] [--collection C]  platsim projection"
+    );
+}
+
+/// Pull `--flag value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn flag_usize(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match flag(args, name) {
+        Some(v) => v.parse().map_err(|_| format!("{name} expects an integer, got '{v}'")),
+        None => Ok(default),
+    }
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let dir = pos.first().ok_or("generate: missing <dir>")?;
+    let scale: f64 = flag(args, "--scale").map_or(Ok(0.5), |v| {
+        v.parse().map_err(|_| format!("--scale expects a number, got '{v}'"))
+    })?;
+    let seed = flag_usize(args, "--seed", 42)? as u64;
+    let preset = flag(args, "--preset").unwrap_or_else(|| "wikipedia".into());
+    let mut spec = match preset.as_str() {
+        "clueweb" => CollectionSpec::clueweb_like(scale),
+        "wikipedia" => CollectionSpec::wikipedia_like(scale),
+        "congress" => CollectionSpec::congress_like(scale),
+        "tiny" => CollectionSpec::tiny(seed),
+        other => return Err(format!("unknown preset '{other}'")),
+    };
+    spec.seed = seed;
+    let stored = StoredCollection::generate(spec, Path::new(dir))
+        .map_err(|e| format!("generate failed: {e}"))?;
+    let s = &stored.manifest.stats;
+    println!(
+        "generated '{preset}' collection in {dir}: {} files, {} docs, {} tokens, {:.1} MB ({:.1} MB compressed)",
+        stored.num_files(),
+        s.documents,
+        s.tokens,
+        s.uncompressed_bytes as f64 / 1e6,
+        s.compressed_bytes as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [coll_dir, index_dir] = pos.as_slice() else {
+        return Err("build: need <collection-dir> <index-dir>".into());
+    };
+    let parsers = flag_usize(args, "--parsers", 2)?;
+    let cpu = flag_usize(args, "--cpu", 1)?;
+    let gpus = flag_usize(args, "--gpus", 1)?;
+    let popular = flag_usize(args, "--popular", 40)?;
+    let index = IndexBuilder::small()
+        .parsers(parsers)
+        .cpu_indexers(cpu)
+        .gpus(gpus)
+        .popular_count(popular)
+        .build_from_dir(Path::new(coll_dir))
+        .map_err(|e| format!("build failed: {e}"))?;
+    index.save(Path::new(index_dir)).map_err(|e| format!("save failed: {e}"))?;
+    let r = &index.report;
+    println!(
+        "indexed {} docs -> {} terms in {:.2}s ({:.2} MB/s on this host)",
+        r.docs,
+        index.num_terms(),
+        r.total_seconds,
+        r.throughput_mb_s()
+    );
+    println!(
+        "stage seconds: sampling {:.2}, parser busy {:.2}, indexing {:.2}, post {:.2}, dict {:.3}+{:.3}",
+        r.sampling_seconds,
+        r.parser_busy_seconds,
+        r.indexing_seconds,
+        r.post_processing_seconds,
+        r.dict_combine_seconds,
+        r.dict_write_seconds
+    );
+    println!("index written to {index_dir}");
+    Ok(())
+}
+
+fn open_index(dir: &str) -> Result<Index, String> {
+    Index::open(&PathBuf::from(dir)).map_err(|e| format!("cannot open index {dir}: {e}"))
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let (dir, terms) = pos.split_first().ok_or("query: need <index-dir> <terms...>")?;
+    if terms.is_empty() {
+        return Err("query: need at least one term".into());
+    }
+    let index = open_index(dir)?;
+    let q = terms.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(" ");
+    let hits = index.search(&q);
+    println!("{} hits for '{q}'", hits.len());
+    for (doc, score) in hits.iter().take(20) {
+        println!("  doc {doc:>8}  score {score}");
+    }
+    Ok(())
+}
+
+fn cmd_postings(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [dir, term] = pos.as_slice() else {
+        return Err("postings: need <index-dir> <term>".into());
+    };
+    let index = open_index(dir)?;
+    let range = flag(args, "--range");
+    if let Some(r) = range {
+        let (lo, hi) = r
+            .split_once(',')
+            .or_else(|| r.split_once(':'))
+            .ok_or("--range expects LO,HI")?;
+        let lo: u32 = lo.parse().map_err(|_| "bad LO")?;
+        let hi: u32 = hi.parse().map_err(|_| "bad HI")?;
+        let posts = index.postings_in_range(term, DocId(lo), DocId(hi));
+        println!("{} postings for '{term}' in docs [{lo}, {hi}]", posts.len());
+        for p in posts.iter().take(50) {
+            println!("  doc {:>8}  tf {}", p.doc, p.tf);
+        }
+    } else {
+        match index.postings(term) {
+            Some(list) => {
+                println!("{} postings for '{term}' (total tf {})", list.len(), list.total_tf());
+                for p in list.postings().iter().take(50) {
+                    println!("  doc {:>8}  tf {}", p.doc, p.tf);
+                }
+            }
+            None => println!("'{term}' not in the dictionary"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let dir = pos.first().ok_or("stats: missing <dir>")?;
+    let path = Path::new(dir.as_str());
+    if path.join("manifest.json").exists() {
+        let c = StoredCollection::open(path).map_err(|e| e.to_string())?;
+        let s = &c.manifest.stats;
+        println!("collection '{}':", c.manifest.spec.name);
+        println!("  files:        {}", c.num_files());
+        println!("  documents:    {}", s.documents);
+        println!("  tokens:       {}", s.tokens);
+        println!("  terms:        {}", s.distinct_terms);
+        println!("  uncompressed: {:.2} MB", s.uncompressed_bytes as f64 / 1e6);
+        println!("  compressed:   {:.2} MB", s.compressed_bytes as f64 / 1e6);
+    } else if path.join("dictionary.bin").exists() {
+        let index = open_index(dir)?;
+        let runs: usize = index.run_sets.values().map(|s| s.runs().len()).sum();
+        println!("index at {dir}:");
+        println!("  terms:    {}", index.num_terms());
+        println!("  indexers: {}", index.run_sets.len());
+        println!("  runs:     {runs}");
+        let heaviest = index
+            .dictionary
+            .entries()
+            .iter()
+            .max_by_key(|e| index.run_sets[&e.indexer].fetch(e.postings).len());
+        if let Some(e) = heaviest {
+            let l = index.run_sets[&e.indexer].fetch(e.postings);
+            println!("  busiest term: '{}' in {} docs", e.full_term(), l.len());
+        }
+    } else {
+        return Err(format!("{dir} is neither a collection nor an index"));
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let parsers = flag_usize(args, "--parsers", 6)?;
+    let cpu = flag_usize(args, "--cpu", 2)?;
+    let gpus = flag_usize(args, "--gpus", 2)?;
+    let coll = flag(args, "--collection").unwrap_or_else(|| "clueweb".into());
+    let c = match coll.as_str() {
+        "clueweb" => CollectionModel::clueweb09(),
+        "wikipedia" => CollectionModel::wikipedia(),
+        "congress" => CollectionModel::congress(),
+        other => return Err(format!("unknown collection '{other}'")),
+    };
+    let p = PlatformModel::c1060_xeon();
+    let r = simulate(&p, &c, &Scenario::new(parsers, cpu, gpus));
+    println!("platsim projection on the paper's platform (8-core Xeon + Tesla C1060s):");
+    println!("  scenario:   {parsers} parsers, {cpu} CPU indexers, {gpus} GPUs on '{coll}'");
+    println!("  total:      {:.0} s", r.total_seconds);
+    println!("  parser stage ends at {:.0} s; indexing busy {:.0} s (waits {:.0} s)",
+        r.parser_stage_seconds, r.indexing_busy_seconds, r.indexer_wait_seconds);
+    println!("  throughput: {:.1} MB/s of uncompressed input", r.throughput_mb_s);
+    Ok(())
+}

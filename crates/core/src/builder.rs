@@ -1,0 +1,173 @@
+//! Fluent builder over the pipeline configuration.
+
+use crate::index::Index;
+use ii_corpus::StoredCollection;
+use ii_indexer::GpuIndexerConfig;
+use ii_pipeline::{build_index, PipelineConfig};
+use ii_postings::Codec;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Configures and runs the pipelined heterogeneous indexing system.
+///
+/// ```no_run
+/// use ii_core::IndexBuilder;
+/// # fn main() -> std::io::Result<()> {
+/// let index = IndexBuilder::new()
+///     .parsers(6)
+///     .cpu_indexers(2)
+///     .gpus(2)
+///     .build_from_dir(std::path::Path::new("/data/collection"))?;
+/// println!("{} terms", index.num_terms());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct IndexBuilder {
+    config: PipelineConfig,
+}
+
+impl Default for IndexBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndexBuilder {
+    /// Paper-default configuration: 6 parsers, 2 CPU indexers, 2 GPUs.
+    pub fn new() -> Self {
+        IndexBuilder { config: PipelineConfig::default() }
+    }
+
+    /// A small configuration for tests and examples.
+    pub fn small() -> Self {
+        IndexBuilder { config: PipelineConfig::small(2, 1, 1) }
+    }
+
+    /// Number of parallel parser threads.
+    pub fn parsers(mut self, n: usize) -> Self {
+        self.config.num_parsers = n;
+        self
+    }
+
+    /// Number of CPU indexer threads.
+    pub fn cpu_indexers(mut self, n: usize) -> Self {
+        self.config.num_cpu_indexers = n;
+        self
+    }
+
+    /// Number of (simulated) GPU indexers.
+    pub fn gpus(mut self, n: usize) -> Self {
+        self.config.num_gpus = n;
+        self
+    }
+
+    /// GPU sizing (device memory, blocks, capacities).
+    pub fn gpu_config(mut self, cfg: GpuIndexerConfig) -> Self {
+        self.config.gpu_config = cfg;
+        self
+    }
+
+    /// Postings compression codec (default: variable-byte, as the paper).
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.config.codec = codec;
+        self
+    }
+
+    /// Size of the popular (CPU-bound) trie-collection group.
+    pub fn popular_count(mut self, n: usize) -> Self {
+        self.config.popular_count = n;
+        self
+    }
+
+    /// Batches per output run.
+    pub fn batches_per_run(mut self, n: usize) -> Self {
+        self.config.batches_per_run = n.max(1);
+        self
+    }
+
+    /// The underlying pipeline configuration.
+    pub fn pipeline_config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Build an index over an already-opened stored collection.
+    pub fn build(&self, collection: &Arc<StoredCollection>) -> Index {
+        Index::from_output(build_index(collection, &self.config))
+    }
+
+    /// Open the collection directory and build.
+    pub fn build_from_dir(&self, dir: &Path) -> io::Result<Index> {
+        let coll = Arc::new(StoredCollection::open(dir)?);
+        Ok(self.build(&coll))
+    }
+
+    /// Build the plain index plus a positional index for phrase search
+    /// (the Ivory-style "extra information" extension; see
+    /// `ii_indexer::positional`). The positional pass is a separate serial
+    /// sweep over the collection, so its extra cost is directly visible in
+    /// wall time (measured by the `ablate_positional` bench).
+    pub fn build_with_positions(
+        &self,
+        collection: &Arc<StoredCollection>,
+    ) -> io::Result<(Index, ii_indexer::PositionalIndex)> {
+        let index = self.build(collection);
+        let html = collection.manifest.spec.html;
+        let mut pos = ii_indexer::PositionalIndexer::new();
+        let mut offset = 0u32;
+        for f in 0..collection.num_files() {
+            let docs = collection.read_file_docs(f)?;
+            let batch = ii_text::parse_documents(&docs, html, f);
+            pos.index_batch(&batch, offset);
+            offset += batch.num_docs;
+        }
+        Ok((index, pos.finish()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ii_corpus::CollectionSpec;
+
+    #[test]
+    fn builder_fluent_api() {
+        let b = IndexBuilder::new().parsers(3).cpu_indexers(1).gpus(0).popular_count(5);
+        assert_eq!(b.pipeline_config().num_parsers, 3);
+        assert_eq!(b.pipeline_config().num_cpu_indexers, 1);
+        assert_eq!(b.pipeline_config().num_gpus, 0);
+        assert_eq!(b.pipeline_config().popular_count, 5);
+    }
+
+    #[test]
+    fn build_with_positions_enables_phrase_search() {
+        let dir = std::env::temp_dir()
+            .join(format!("ii-builder-pos-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ii_corpus::StoredCollection::generate(CollectionSpec::tiny(72), &dir).unwrap();
+        let coll = Arc::new(StoredCollection::open(&dir).unwrap());
+        let (index, positional) = IndexBuilder::small().build_with_positions(&coll).unwrap();
+        assert_eq!(index.num_terms(), positional.len());
+        // Every phrase hit must also be a conjunctive hit of the plain index.
+        let e = index.dictionary.entries().first().unwrap().full_term();
+        let hits = positional.phrase_search(&e);
+        for (doc, _) in &hits {
+            let plain = index.postings_stemmed(&e).unwrap();
+            assert!(plain.postings().iter().any(|p| p.doc == *doc));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn build_from_dir_end_to_end() {
+        let dir = std::env::temp_dir()
+            .join(format!("ii-builder-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ii_corpus::StoredCollection::generate(CollectionSpec::tiny(71), &dir).unwrap();
+        let idx = IndexBuilder::small().build_from_dir(&dir).unwrap();
+        assert!(idx.num_terms() > 0);
+        assert!(idx.num_docs() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,283 @@
+//! The user-facing index: build output plus query and persistence.
+
+use ii_corpus::DocId;
+use ii_dict::GlobalDictionary;
+use ii_pipeline::{DocMap, IndexOutput, PipelineReport};
+use ii_postings::{Posting, PostingsList, RunFile, RunSet};
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A built inverted index over a document collection.
+pub struct Index {
+    /// Combined dictionary (term → postings location).
+    pub dictionary: GlobalDictionary,
+    /// Run files per indexer id.
+    pub run_sets: HashMap<u32, RunSet>,
+    /// Auxiliary docID → source-file map (§III.F).
+    pub doc_map: DocMap,
+    /// Build timing/workload report (empty when loaded from disk).
+    pub report: PipelineReport,
+}
+
+impl Index {
+    /// Wrap a pipeline output.
+    pub fn from_output(out: IndexOutput) -> Index {
+        Index {
+            dictionary: out.dictionary,
+            run_sets: out.run_sets,
+            doc_map: out.doc_map,
+            report: out.report,
+        }
+    }
+
+    /// Source container file of a global document ID (§III.F auxiliary
+    /// map), if known.
+    pub fn source_file(&self, doc: DocId) -> Option<u32> {
+        self.doc_map.file_of(doc)
+    }
+
+    /// Distinct terms in the index.
+    pub fn num_terms(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// Documents indexed (0 when loaded from disk without a report).
+    pub fn num_docs(&self) -> u32 {
+        self.report.docs
+    }
+
+    /// Postings of a *surface* term. The term is normalized exactly as the
+    /// parser would: lowercased, stemmed, classified by trie index.
+    pub fn postings(&self, term: &str) -> Option<PostingsList> {
+        let normalized = normalize_term(term)?;
+        let e = self.dictionary.lookup(&normalized)?;
+        Some(self.run_sets.get(&e.indexer)?.fetch(e.postings))
+    }
+
+    /// Postings of an *already-stemmed* term (no re-normalization; Porter
+    /// stemming is not idempotent, so looking up stemmer output must skip
+    /// the query-normalization path).
+    pub fn postings_stemmed(&self, stemmed: &str) -> Option<PostingsList> {
+        let e = self.dictionary.lookup(stemmed)?;
+        Some(self.run_sets.get(&e.indexer)?.fetch(e.postings))
+    }
+
+    /// Postings restricted to `[lo, hi]` global document IDs — exercises
+    /// the paper's range-narrowed partial-list retrieval (§III.F).
+    pub fn postings_in_range(&self, term: &str, lo: DocId, hi: DocId) -> Vec<Posting> {
+        let Some(normalized) = normalize_term(term) else { return Vec::new() };
+        let Some(e) = self.dictionary.lookup(&normalized) else { return Vec::new() };
+        let Some(set) = self.run_sets.get(&e.indexer) else { return Vec::new() };
+        set.fetch_range(e.postings, lo, hi).0
+    }
+
+    /// Conjunctive (AND) search: documents containing *all* query terms,
+    /// ranked by summed term frequency. Stop words in the query are
+    /// ignored (as they were never indexed).
+    pub fn search(&self, query: &str) -> Vec<(DocId, u64)> {
+        let mut lists: Vec<PostingsList> = Vec::new();
+        let mut it = ii_text::tokenize::tokens(query);
+        while let Some(tok) = it.next_token() {
+            let stemmed = ii_text::stem(tok);
+            if ii_text::is_stop_word(&stemmed) {
+                continue;
+            }
+            match self.postings(&stemmed) {
+                Some(l) => lists.push(l),
+                None => return Vec::new(), // a required term is absent
+            }
+        }
+        if lists.is_empty() {
+            return Vec::new();
+        }
+        // Intersect smallest-first.
+        lists.sort_by_key(|l| l.len());
+        let mut acc: HashMap<u32, u64> =
+            lists[0].postings().iter().map(|p| (p.doc.0, p.tf as u64)).collect();
+        for l in &lists[1..] {
+            let present: HashMap<u32, u32> =
+                l.postings().iter().map(|p| (p.doc.0, p.tf)).collect();
+            acc.retain(|d, _| present.contains_key(d));
+            for (d, score) in acc.iter_mut() {
+                *score += present[d] as u64;
+            }
+        }
+        let mut out: Vec<(DocId, u64)> = acc.into_iter().map(|(d, s)| (DocId(d), s)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Persist the index: `dictionary.bin` plus one `.iirf` file per run
+    /// per indexer — exactly the paper's on-disk artifacts (§III.F).
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut f = fs::File::create(dir.join("dictionary.bin"))?;
+        self.dictionary.write_to(&mut f)?;
+        let mut dm = fs::File::create(dir.join("docmap.bin"))?;
+        self.doc_map.write_to(&mut dm)?;
+        for (indexer, set) in &self.run_sets {
+            for run in set.runs() {
+                let name = format!("run_{indexer:03}_{:05}.iirf", run.run_id);
+                fs::write(dir.join(name), run.to_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load an index saved by [`Self::save`].
+    pub fn open(dir: &Path) -> io::Result<Index> {
+        let mut f = fs::File::open(dir.join("dictionary.bin"))?;
+        let dictionary = GlobalDictionary::read_from(&mut f)?;
+        let doc_map = match fs::File::open(dir.join("docmap.bin")) {
+            Ok(mut dm) => DocMap::read_from(&mut dm)?,
+            Err(_) => DocMap::new(), // older index layouts
+        };
+        let mut files: Vec<(u32, u32, std::path::PathBuf)> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(rest) = name.strip_prefix("run_").and_then(|n| n.strip_suffix(".iirf"))
+            {
+                let mut parts = rest.split('_');
+                let indexer: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad run name"))?;
+                let run: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad run name"))?;
+                files.push((indexer, run, entry.path()));
+            }
+        }
+        files.sort();
+        let mut run_sets: HashMap<u32, RunSet> = HashMap::new();
+        for (indexer, _, path) in files {
+            let run = RunFile::from_bytes(&fs::read(path)?)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            run_sets.entry(indexer).or_default().push(run);
+        }
+        Ok(Index { dictionary, run_sets, doc_map, report: PipelineReport::default() })
+    }
+}
+
+/// Normalize a query term the way the parser normalizes document terms.
+fn normalize_term(term: &str) -> Option<String> {
+    let mut it = ii_text::tokenize::tokens(term);
+    let tok = it.next_token()?.to_string();
+    let stemmed = ii_text::stem(&tok).into_owned();
+    if ii_text::is_stop_word(&stemmed) {
+        None
+    } else {
+        Some(stemmed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ii_corpus::{CollectionSpec, RawDocument, StoredCollection};
+    use ii_pipeline::{build_index, PipelineConfig};
+    use std::sync::Arc;
+
+    fn small_index(tag: &str, docs: Vec<RawDocument>) -> Index {
+        // Build via the pipeline over a handcrafted collection: write the
+        // docs as one container file.
+        let dir = std::env::temp_dir().join(format!("ii-core-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Reuse the corpus container/compress machinery directly.
+        let raw = ii_corpus::container::write_container(&docs);
+        let packed = ii_corpus::compress::compress(&raw);
+        std::fs::write(dir.join("file_00000.iic"), &packed).unwrap();
+        let manifest = ii_corpus::Manifest {
+            spec: CollectionSpec {
+                name: tag.into(),
+                num_files: 1,
+                docs_per_file: docs.len(),
+                mean_doc_tokens: 8,
+                vocab_size: 100,
+                zipf_s: 1.0,
+                html: false,
+                seed: 0,
+                shift: None,
+            },
+            stats: ii_corpus::CollectionStats {
+                documents: docs.len() as u64,
+                uncompressed_bytes: raw.len() as u64,
+                compressed_bytes: packed.len() as u64,
+                ..Default::default()
+            },
+            file_compressed_bytes: vec![packed.len() as u64],
+            file_uncompressed_bytes: vec![raw.len() as u64],
+        };
+        std::fs::write(dir.join("manifest.json"), serde_json::to_vec(&manifest).unwrap())
+            .unwrap();
+        let coll = Arc::new(StoredCollection::open(&dir).unwrap());
+        let out = build_index(&coll, &PipelineConfig::small(1, 1, 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+        Index::from_output(out)
+    }
+
+    fn doc(body: &str) -> RawDocument {
+        RawDocument { url: String::new(), body: body.into() }
+    }
+
+    #[test]
+    fn query_normalization_matches_indexing() {
+        let idx = small_index(
+            "norm",
+            vec![doc("Zebras running EVERYWHERE"), doc("a zebra ran")],
+        );
+        // "Zebras"/"zebra" both hit the stemmed term.
+        let l = idx.postings("zebras").unwrap();
+        assert_eq!(l.len(), 2);
+        let l2 = idx.postings("ZEBRA").unwrap();
+        assert_eq!(l, l2);
+        assert!(idx.postings("the").is_none(), "stop words have no postings");
+    }
+
+    #[test]
+    fn search_intersects_and_ranks() {
+        let idx = small_index(
+            "search",
+            vec![
+                doc("apple banana apple"),   // doc 0
+                doc("apple cherry"),         // doc 1
+                doc("banana apple banana apple"), // doc 2
+            ],
+        );
+        let hits = idx.search("apple banana");
+        let docs: Vec<u32> = hits.iter().map(|(d, _)| d.0).collect();
+        assert_eq!(docs, vec![2, 0], "doc 2 ranks above doc 0");
+        assert!(idx.search("apple missingterm").is_empty());
+        assert!(idx.search("the of and").is_empty(), "all-stopword query");
+    }
+
+    #[test]
+    fn range_narrowed_postings() {
+        let idx = small_index(
+            "range",
+            vec![doc("kiwi"), doc("kiwi"), doc("kiwi"), doc("kiwi")],
+        );
+        let mid = idx.postings_in_range("kiwi", DocId(1), DocId(2));
+        let docs: Vec<u32> = mid.iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![1, 2]);
+    }
+
+    #[test]
+    fn save_and_open_roundtrip() {
+        let idx = small_index("persist", vec![doc("walrus penguin"), doc("walrus")]);
+        let dir =
+            std::env::temp_dir().join(format!("ii-core-persist-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        idx.save(&dir).unwrap();
+        let loaded = Index::open(&dir).unwrap();
+        assert_eq!(loaded.num_terms(), idx.num_terms());
+        assert_eq!(loaded.postings("walrus"), idx.postings("walrus"));
+        assert_eq!(loaded.postings("penguin"), idx.postings("penguin"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

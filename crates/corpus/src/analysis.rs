@@ -1,0 +1,181 @@
+//! Corpus statistics: Heaps-law vocabulary growth and Zipf-fit estimation.
+//!
+//! The platform model (`ii-platsim`) drives its B-tree-depth curve from a
+//! Heaps-law exponent, and the load balancer's popular/unpopular split
+//! rests on Zipf skew. These tools measure both properties of a generated
+//! collection so the models can be validated against the corpora actually
+//! used — and would measure real corpora the same way.
+
+use crate::synth::CollectionGenerator;
+use std::collections::HashSet;
+
+/// A vocabulary-growth sample: after `tokens` tokens, `distinct` distinct
+/// terms had been seen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GrowthPoint {
+    /// Tokens consumed so far.
+    pub tokens: u64,
+    /// Distinct terms seen so far.
+    pub distinct: u64,
+}
+
+/// Measure vocabulary growth over the first `num_files` files of a
+/// collection, sampling once per file. Tokens are whitespace-split surface
+/// tokens (cheap and deterministic; the trend, not the absolute count,
+/// feeds the models).
+pub fn vocabulary_growth(gen: &CollectionGenerator, num_files: usize) -> Vec<GrowthPoint> {
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut tokens = 0u64;
+    let mut out = Vec::with_capacity(num_files);
+    for f in 0..num_files.min(gen.spec().num_files) {
+        for d in gen.generate_file(f) {
+            for tok in d.body.split_whitespace() {
+                tokens += 1;
+                if !seen.contains(tok) {
+                    seen.insert(tok.to_string());
+                }
+            }
+        }
+        out.push(GrowthPoint { tokens, distinct: seen.len() as u64 });
+    }
+    out
+}
+
+/// Least-squares fit of Heaps' law `V = K · n^β` over growth points
+/// (log-log linear regression). Returns `(K, β)`.
+pub fn fit_heaps(points: &[GrowthPoint]) -> (f64, f64) {
+    let data: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.tokens > 0 && p.distinct > 0)
+        .map(|p| ((p.tokens as f64).ln(), (p.distinct as f64).ln()))
+        .collect();
+    let (k_ln, beta) = linear_fit(&data);
+    (k_ln.exp(), beta)
+}
+
+/// Estimate the Zipf exponent `s` from term frequency counts (descending
+/// or not): fits `ln f_r = c − s·ln r` over the top `top_n` ranks.
+pub fn fit_zipf(counts: &mut [u64], top_n: usize) -> f64 {
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let data: Vec<(f64, f64)> = counts
+        .iter()
+        .take(top_n)
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(r, &c)| ((r as f64 + 1.0).ln(), (c as f64).ln()))
+        .collect();
+    let (_, slope) = linear_fit(&data);
+    -slope
+}
+
+/// Ordinary least squares over `(x, y)`: returns `(intercept, slope)`.
+fn linear_fit(data: &[(f64, f64)]) -> (f64, f64) {
+    let n = data.len() as f64;
+    if data.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let sx: f64 = data.iter().map(|(x, _)| x).sum();
+    let sy: f64 = data.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = data.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = data.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return (sy / n, 0.0);
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    (intercept, slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::CollectionSpec;
+    use std::collections::HashMap;
+
+    #[test]
+    fn growth_is_monotone_and_concave() {
+        let mut spec = CollectionSpec::wikipedia_like(0.3);
+        spec.docs_per_file = 100;
+        spec.num_files = 4;
+        let gen = CollectionGenerator::new(spec);
+        let g = vocabulary_growth(&gen, 4);
+        assert_eq!(g.len(), 4);
+        for w in g.windows(2) {
+            assert!(w[1].tokens > w[0].tokens);
+            assert!(w[1].distinct >= w[0].distinct);
+        }
+        // Concavity: later files add fewer new terms than the first.
+        let first_new = g[0].distinct;
+        let last_new = g[3].distinct - g[2].distinct;
+        assert!(last_new < first_new, "{last_new} vs {first_new}");
+    }
+
+    #[test]
+    fn heaps_fit_recovers_power_law() {
+        // Synthetic exact power law: V = 3 n^0.6.
+        let pts: Vec<GrowthPoint> = (1..=20)
+            .map(|i| {
+                let n = (i * 10_000) as f64;
+                GrowthPoint { tokens: n as u64, distinct: (3.0 * n.powf(0.6)) as u64 }
+            })
+            .collect();
+        let (k, beta) = fit_heaps(&pts);
+        assert!((beta - 0.6).abs() < 0.02, "beta {beta}");
+        assert!((k - 3.0).abs() < 0.5, "k {k}");
+    }
+
+    #[test]
+    fn generated_collection_obeys_heaps() {
+        let mut spec = CollectionSpec::clueweb_like(0.3);
+        spec.docs_per_file = 120;
+        spec.html = false; // measure the text stream directly
+        let gen = CollectionGenerator::new(spec);
+        let g = vocabulary_growth(&gen, 3);
+        let (_, beta) = fit_heaps(&g);
+        assert!(
+            (0.3..0.95).contains(&beta),
+            "generated vocabulary growth beta {beta} not Heaps-like"
+        );
+    }
+
+    #[test]
+    fn zipf_fit_recovers_exponent() {
+        // Exact Zipf with s = 1.0 over 2000 ranks.
+        let mut counts: Vec<u64> =
+            (1..=2000u64).map(|r| (1e7 / (r as f64)).round() as u64).collect();
+        let s = fit_zipf(&mut counts, 500);
+        assert!((s - 1.0).abs() < 0.05, "fitted s {s}");
+    }
+
+    #[test]
+    fn generated_collection_is_zipfian() {
+        let mut spec = CollectionSpec::wikipedia_like(0.3);
+        spec.docs_per_file = 150;
+        let gen = CollectionGenerator::new(spec.clone());
+        let mut freq: HashMap<String, u64> = HashMap::new();
+        for f in 0..2 {
+            for d in gen.generate_file(f) {
+                for tok in d.body.split_whitespace() {
+                    *freq.entry(tok.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut counts: Vec<u64> = freq.into_values().collect();
+        let s = fit_zipf(&mut counts, 200);
+        assert!(
+            (spec.zipf_s - 0.35..spec.zipf_s + 0.35).contains(&s),
+            "fitted s {s} vs spec {}",
+            spec.zipf_s
+        );
+    }
+
+    #[test]
+    fn degenerate_fits_do_not_panic() {
+        assert_eq!(fit_heaps(&[]), (1.0, 0.0));
+        let one = [GrowthPoint { tokens: 10, distinct: 5 }];
+        let (_, b) = fit_heaps(&one);
+        assert_eq!(b, 0.0);
+        assert_eq!(fit_zipf(&mut [], 10), 0.0);
+    }
+}

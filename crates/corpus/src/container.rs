@@ -1,0 +1,135 @@
+//! Container file format for document collections.
+//!
+//! ClueWeb09 packs ~1 GB of web pages into each WARC file; the paper's read
+//! scheduler hands whole files to parsers. We use an analogous self-contained
+//! format: a magic header, a document count, then length-prefixed
+//! (url, body) records. Containers are stored LZSS-compressed on disk.
+
+use crate::doc::RawDocument;
+
+/// Four-byte magic at the start of every (uncompressed) container.
+pub const MAGIC: &[u8; 4] = b"IIC1";
+
+/// Errors from [`parse_container`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum ContainerError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Buffer ended before the advertised records were read.
+    Truncated,
+    /// A record's text was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::BadMagic => write!(f, "bad container magic"),
+            ContainerError::Truncated => write!(f, "container truncated"),
+            ContainerError::BadUtf8 => write!(f, "container record not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// Serialize documents into an uncompressed container buffer.
+pub fn write_container(docs: &[RawDocument]) -> Vec<u8> {
+    let payload: usize = docs.iter().map(|d| 8 + d.url.len() + d.body.len()).sum();
+    let mut out = Vec::with_capacity(8 + payload);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(docs.len() as u32).to_le_bytes());
+    for d in docs {
+        out.extend_from_slice(&(d.url.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(d.body.len() as u32).to_le_bytes());
+        out.extend_from_slice(d.url.as_bytes());
+        out.extend_from_slice(d.body.as_bytes());
+    }
+    out
+}
+
+/// Parse an uncompressed container buffer back into documents.
+pub fn parse_container(buf: &[u8]) -> Result<Vec<RawDocument>, ContainerError> {
+    if buf.len() < 8 || &buf[..4] != MAGIC {
+        return Err(ContainerError::BadMagic);
+    }
+    let n = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    let mut docs = Vec::with_capacity(n);
+    let mut i = 8usize;
+    for _ in 0..n {
+        if i + 8 > buf.len() {
+            return Err(ContainerError::Truncated);
+        }
+        let ulen = u32::from_le_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]) as usize;
+        let blen =
+            u32::from_le_bytes([buf[i + 4], buf[i + 5], buf[i + 6], buf[i + 7]]) as usize;
+        i += 8;
+        if i + ulen + blen > buf.len() {
+            return Err(ContainerError::Truncated);
+        }
+        let url = std::str::from_utf8(&buf[i..i + ulen])
+            .map_err(|_| ContainerError::BadUtf8)?
+            .to_string();
+        i += ulen;
+        let body = std::str::from_utf8(&buf[i..i + blen])
+            .map_err(|_| ContainerError::BadUtf8)?
+            .to_string();
+        i += blen;
+        docs.push(RawDocument { url, body });
+    }
+    Ok(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn doc(url: &str, body: &str) -> RawDocument {
+        RawDocument { url: url.into(), body: body.into() }
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(parse_container(&write_container(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn roundtrip_docs() {
+        let docs = vec![doc("http://a", "body one"), doc("http://b", ""), doc("", "x")];
+        assert_eq!(parse_container(&write_container(&docs)).unwrap(), docs);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(parse_container(b"NOPE\0\0\0\0"), Err(ContainerError::BadMagic));
+        assert_eq!(parse_container(b"II"), Err(ContainerError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let buf = write_container(&[doc("http://a", "hello world")]);
+        for cut in 8..buf.len() {
+            assert_eq!(parse_container(&buf[..cut]), Err(ContainerError::Truncated));
+        }
+    }
+
+    #[test]
+    fn utf8_enforced() {
+        let mut buf = write_container(&[doc("u", "abcd")]);
+        let body_start = buf.len() - 4;
+        buf[body_start] = 0xFF;
+        assert_eq!(parse_container(&buf), Err(ContainerError::BadUtf8));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(docs in proptest::collection::vec(
+            ("[a-z:/._]{0,40}", "(?s).{0,200}").prop_map(|(u, b)| RawDocument { url: u, body: b }),
+            0..20,
+        )) {
+            let buf = write_container(&docs);
+            prop_assert_eq!(parse_container(&buf).unwrap(), docs);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Synthetic document-collection generation.
+//!
+//! The paper evaluates on ClueWeb09 (HTML web pages), Wikipedia 01-07 (pure
+//! text) and the Library of Congress crawl (HTML). We cannot redistribute
+//! those, so each preset here reproduces the *shape* that matters to the
+//! algorithm: tokens per document, vocabulary size relative to token count,
+//! Zipf skew, HTML vs plain text, and (for Fig 11) a distribution shift part
+//! way through the file sequence, mirroring the Wikipedia-origin files at
+//! the tail of ClueWeb09's first English segment.
+
+use crate::doc::RawDocument;
+use crate::vocab::Vocabulary;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A change in document characteristics after a given fraction of the file
+/// sequence (used to reproduce the Fig 11 throughput drop at file ~1200 of
+/// 1492, i.e. ~80%).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct DistributionShift {
+    /// Files with index >= `at_file_fraction * num_files` use the shifted
+    /// distribution.
+    pub at_file_fraction: f64,
+    /// Token ranks are rotated by this amount modulo the vocabulary size,
+    /// so the shifted region suddenly introduces previously-rare terms.
+    pub vocab_rotate: usize,
+    /// Multiplier on mean document length in the shifted region.
+    pub doc_len_scale: f64,
+}
+
+/// Full description of a synthetic collection. Serializable so a generated
+/// collection's manifest records exactly how to regenerate it.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct CollectionSpec {
+    /// Human-readable collection name.
+    pub name: String,
+    /// Number of container files.
+    pub num_files: usize,
+    /// Documents per container file.
+    pub docs_per_file: usize,
+    /// Mean tokens per document (actual counts vary uniformly ±50%).
+    pub mean_doc_tokens: usize,
+    /// Vocabulary size (distinct surface tokens available).
+    pub vocab_size: usize,
+    /// Zipf exponent for term frequencies.
+    pub zipf_s: f64,
+    /// Wrap documents in HTML boilerplate (web-crawl collections).
+    pub html: bool,
+    /// Master seed; generation is fully deterministic given the spec.
+    pub seed: u64,
+    /// Optional late-corpus distribution shift.
+    pub shift: Option<DistributionShift>,
+}
+
+impl CollectionSpec {
+    /// ClueWeb09-first-English-segment-like: HTML pages, big vocabulary,
+    /// heavy skew, Wikipedia-flavoured shift over the last ~20% of files.
+    /// `scale` multiplies the file count (scale 1.0 ≈ a few MB — a
+    /// laptop-friendly stand-in for the paper's 1.4 TB).
+    pub fn clueweb_like(scale: f64) -> Self {
+        CollectionSpec {
+            name: "clueweb09-like".into(),
+            num_files: scaled(12, scale),
+            docs_per_file: 400,
+            mean_doc_tokens: 650,
+            vocab_size: 150_000,
+            zipf_s: 1.0,
+            html: true,
+            seed: 0x0C1u64,
+            shift: Some(DistributionShift {
+                at_file_fraction: 0.8,
+                vocab_rotate: 97_001,
+                doc_len_scale: 0.6,
+            }),
+        }
+    }
+
+    /// Wikipedia 01-07-like: pure text (tags removed upstream), smaller
+    /// vocabulary, many short-ish documents.
+    pub fn wikipedia_like(scale: f64) -> Self {
+        CollectionSpec {
+            name: "wikipedia01-07-like".into(),
+            num_files: scaled(6, scale),
+            docs_per_file: 600,
+            mean_doc_tokens: 560,
+            vocab_size: 60_000,
+            zipf_s: 0.95,
+            html: false,
+            seed: 0x311Au64,
+            shift: None,
+        }
+    }
+
+    /// Library-of-Congress-crawl-like: HTML, modest vocabulary, weekly
+    /// snapshots mean lots of near-duplicate boilerplate (higher skew).
+    pub fn congress_like(scale: f64) -> Self {
+        CollectionSpec {
+            name: "congress-like".into(),
+            num_files: scaled(9, scale),
+            docs_per_file: 500,
+            mean_doc_tokens: 580,
+            vocab_size: 50_000,
+            zipf_s: 1.05,
+            html: true,
+            seed: 0x10Cu64,
+            shift: None,
+        }
+    }
+
+    /// A tiny spec for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        CollectionSpec {
+            name: "tiny".into(),
+            num_files: 2,
+            docs_per_file: 8,
+            mean_doc_tokens: 40,
+            vocab_size: 500,
+            zipf_s: 1.0,
+            html: false,
+            seed,
+            shift: None,
+        }
+    }
+
+    /// Total documents in the collection.
+    pub fn total_docs(&self) -> usize {
+        self.num_files * self.docs_per_file
+    }
+}
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(2)
+}
+
+/// Aggregate statistics gathered while generating a collection — the fields
+/// of the paper's Table III.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct CollectionStats {
+    /// Document count.
+    pub documents: u64,
+    /// Total token occurrences (pre-stopword-removal surface tokens).
+    pub tokens: u64,
+    /// Distinct surface terms that actually occurred.
+    pub distinct_terms: u64,
+    /// Bytes of uncompressed container data.
+    pub uncompressed_bytes: u64,
+    /// Bytes after LZSS compression (0 until stored to disk).
+    pub compressed_bytes: u64,
+}
+
+/// Deterministic generator for one [`CollectionSpec`].
+pub struct CollectionGenerator {
+    spec: CollectionSpec,
+    vocab: Vocabulary,
+    zipf: Zipf,
+}
+
+impl CollectionGenerator {
+    /// Build the vocabulary and frequency model for a spec.
+    pub fn new(spec: CollectionSpec) -> Self {
+        let vocab = Vocabulary::generate(spec.vocab_size, spec.seed);
+        let zipf = Zipf::new(spec.vocab_size, spec.zipf_s);
+        CollectionGenerator { spec, vocab, zipf }
+    }
+
+    /// The spec this generator realizes.
+    pub fn spec(&self) -> &CollectionSpec {
+        &self.spec
+    }
+
+    /// The ranked vocabulary in use.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Whether `file_idx` falls in the shifted region.
+    pub fn file_is_shifted(&self, file_idx: usize) -> bool {
+        match self.spec.shift {
+            Some(s) => (file_idx as f64) >= s.at_file_fraction * self.spec.num_files as f64,
+            None => false,
+        }
+    }
+
+    /// Generate the documents of one container file. Each file depends only
+    /// on (seed, file_idx), so files can be generated in any order.
+    pub fn generate_file(&self, file_idx: usize) -> Vec<RawDocument> {
+        assert!(file_idx < self.spec.num_files, "file index out of range");
+        let mut rng =
+            StdRng::seed_from_u64(self.spec.seed ^ (file_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let shifted = self.file_is_shifted(file_idx);
+        let (rotate, len_scale) = match (shifted, self.spec.shift) {
+            (true, Some(s)) => (s.vocab_rotate % self.spec.vocab_size.max(1), s.doc_len_scale),
+            _ => (0, 1.0),
+        };
+        let mean = ((self.spec.mean_doc_tokens as f64 * len_scale) as usize).max(4);
+        let mut docs = Vec::with_capacity(self.spec.docs_per_file);
+        for d in 0..self.spec.docs_per_file {
+            let ntok = rng.gen_range(mean / 2..=mean + mean / 2);
+            let mut text = String::with_capacity(ntok * 8);
+            for t in 0..ntok {
+                let rank = (self.zipf.sample(&mut rng) + rotate) % self.spec.vocab_size;
+                if t > 0 {
+                    // Occasional punctuation / newlines: the tokenizer must cope.
+                    match rng.gen_range(0..24) {
+                        0 => text.push_str(". "),
+                        1 => text.push_str(",\n"),
+                        _ => text.push(' '),
+                    }
+                }
+                text.push_str(self.vocab.term(rank));
+            }
+            let url = format!("http://synth.example/{}/f{file_idx:05}/d{d:05}", self.spec.name);
+            let body = if self.spec.html { wrap_html(&url, &text, &mut rng) } else { text };
+            docs.push(RawDocument { url, body });
+        }
+        docs
+    }
+}
+
+/// Wrap plain text in web-page boilerplate so HTML-mode collections exercise
+/// the tag-stripping path of the parser.
+fn wrap_html(url: &str, text: &str, rng: &mut StdRng) -> String {
+    let mut out = String::with_capacity(text.len() + 256);
+    out.push_str("<html><head><title>");
+    // Title: first few words of the body.
+    out.push_str(text.split(' ').take(5).collect::<Vec<_>>().join(" ").as_str());
+    out.push_str("</title><meta charset=\"utf-8\"></head>\n<body>\n");
+    // Break body into paragraphs with occasional links.
+    for (i, chunk) in text.as_bytes().chunks(400).enumerate() {
+        let chunk = String::from_utf8_lossy(chunk);
+        if i % 3 == 2 && rng.gen_bool(0.7) {
+            out.push_str(&format!("<p><a href=\"{url}?p={i}\">{chunk}</a></p>\n"));
+        } else {
+            out.push_str(&format!("<p>{chunk}</p>\n"));
+        }
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g1 = CollectionGenerator::new(CollectionSpec::tiny(7));
+        let g2 = CollectionGenerator::new(CollectionSpec::tiny(7));
+        assert_eq!(g1.generate_file(0), g2.generate_file(0));
+        assert_eq!(g1.generate_file(1), g2.generate_file(1));
+    }
+
+    #[test]
+    fn different_files_differ() {
+        let g = CollectionGenerator::new(CollectionSpec::tiny(7));
+        assert_ne!(g.generate_file(0), g.generate_file(1));
+    }
+
+    #[test]
+    fn doc_counts_match_spec() {
+        let spec = CollectionSpec::tiny(3);
+        let g = CollectionGenerator::new(spec.clone());
+        for f in 0..spec.num_files {
+            assert_eq!(g.generate_file(f).len(), spec.docs_per_file);
+        }
+    }
+
+    #[test]
+    fn html_mode_emits_tags_text_mode_does_not() {
+        let mut spec = CollectionSpec::tiny(1);
+        spec.html = true;
+        let g = CollectionGenerator::new(spec);
+        let docs = g.generate_file(0);
+        assert!(docs[0].body.contains("<html>"));
+
+        let g = CollectionGenerator::new(CollectionSpec::tiny(1));
+        let docs = g.generate_file(0);
+        assert!(!docs[0].body.contains('<'));
+    }
+
+    #[test]
+    fn shift_region_detected() {
+        let mut spec = CollectionSpec::tiny(2);
+        spec.num_files = 10;
+        spec.shift = Some(DistributionShift {
+            at_file_fraction: 0.8,
+            vocab_rotate: 100,
+            doc_len_scale: 1.0,
+        });
+        let g = CollectionGenerator::new(spec);
+        assert!(!g.file_is_shifted(0));
+        assert!(!g.file_is_shifted(7));
+        assert!(g.file_is_shifted(8));
+        assert!(g.file_is_shifted(9));
+    }
+
+    #[test]
+    fn shifted_files_use_different_terms() {
+        let mut spec = CollectionSpec::tiny(5);
+        spec.num_files = 4;
+        spec.vocab_size = 2000;
+        spec.shift = Some(DistributionShift {
+            at_file_fraction: 0.5,
+            vocab_rotate: 1000,
+            doc_len_scale: 1.0,
+        });
+        let g = CollectionGenerator::new(spec);
+        let head: String = g.generate_file(0).iter().map(|d| d.body.clone()).collect();
+        let tail: String = g.generate_file(3).iter().map(|d| d.body.clone()).collect();
+        // The most frequent word in the unshifted region ("the") should be
+        // far rarer after the rotation.
+        let count = |s: &str, w: &str| s.split_whitespace().filter(|t| *t == w).count();
+        assert!(count(&head, "the") > 5 * count(&tail, "the").max(1) / 2);
+    }
+
+    #[test]
+    fn presets_have_sane_shapes() {
+        for spec in [
+            CollectionSpec::clueweb_like(1.0),
+            CollectionSpec::wikipedia_like(1.0),
+            CollectionSpec::congress_like(1.0),
+        ] {
+            assert!(spec.num_files >= 2);
+            assert!(spec.vocab_size > 1000);
+            assert!(spec.mean_doc_tokens > 100);
+        }
+        assert!(CollectionSpec::clueweb_like(1.0).html);
+        assert!(!CollectionSpec::wikipedia_like(1.0).html);
+        // Scale grows the file count.
+        assert!(
+            CollectionSpec::clueweb_like(2.0).num_files
+                > CollectionSpec::clueweb_like(1.0).num_files
+        );
+    }
+}

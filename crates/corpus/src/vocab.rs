@@ -1,0 +1,343 @@
+//! Synthetic vocabulary generation.
+//!
+//! Ranked term lists whose shape matches what the paper's datasets exhibit:
+//! a head of very common English words (including stop words, so the
+//! stop-word-removal path does real work), a long tail of plausible
+//! alphabetic words with mean length close to the 6.6 characters the paper
+//! reports for stemmed ClueWeb09 tokens, plus numeric tokens and tokens with
+//! special characters so every trie category of Table I is populated.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// The most common English words, used as the head of every synthetic
+/// vocabulary (rank order roughly by corpus frequency). The first entries
+/// are classic stop words.
+pub const COMMON_WORDS: &[&str] = &[
+    "the", "of", "and", "to", "a", "in", "for", "is", "on", "that", "by", "this", "with", "i",
+    "you", "it", "not", "or", "be", "are", "from", "at", "as", "your", "all", "have", "new",
+    "more", "an", "was", "we", "will", "home", "can", "us", "about", "if", "page", "my", "has",
+    "search", "free", "but", "our", "one", "other", "do", "no", "information", "time", "they",
+    "site", "he", "up", "may", "what", "which", "their", "news", "out", "use", "any", "there",
+    "see", "only", "so", "his", "when", "contact", "here", "business", "who", "web", "also",
+    "now", "help", "get", "view", "online", "first", "been", "would", "how", "were", "me",
+    "services", "some", "these", "click", "its", "like", "service", "than", "find", "price",
+    "date", "back", "top", "people", "had", "list", "name", "just", "over", "state", "year",
+    "day", "into", "email", "two", "health", "world", "next", "used", "go", "work", "last",
+    "most", "products", "music", "buy", "data", "make", "them", "should", "product", "system",
+    "post", "her", "city", "add", "policy", "number", "such", "please", "available", "copyright",
+    "support", "message", "after", "best", "software", "then", "good", "video", "well", "where",
+    "info", "rights", "public", "books", "high", "school", "through", "each", "links", "she",
+    "review", "years", "order", "very", "privacy", "book", "items", "company", "read", "group",
+    "sex", "need", "many", "user", "said", "de", "does", "set", "under", "general", "research",
+    "university", "january", "mail", "full", "map", "reviews", "program", "life", "know",
+    "games", "way", "days", "management", "part", "could", "great", "united", "hotel", "real",
+    "item", "international", "center", "ebay", "must", "store", "travel", "comments", "made",
+    "development", "report", "off", "member", "details", "line", "terms", "before", "hotels",
+    "did", "send", "right", "type", "because", "local", "those", "using", "results", "office",
+    "education", "national", "car", "design", "take", "posted", "internet", "address",
+    "community", "within", "states", "area", "want", "phone", "shipping", "reserved", "subject",
+    "between", "forum", "family", "long", "based", "code", "show", "even", "black", "check",
+    "special", "prices", "website", "index", "being", "women", "much", "sign", "file", "link",
+    "open", "today", "technology", "south", "case", "project", "same", "pages", "version",
+    "section", "own", "found", "sports", "house", "related", "security", "both", "county",
+    "american", "photo", "game", "members", "power", "while", "care", "network", "down",
+    "computer", "systems", "three", "total", "place", "end", "following", "download", "him",
+    "without", "per", "access", "think", "north", "resources", "current", "posts", "big",
+    "media", "law", "control", "water", "history", "pictures", "size", "art", "personal",
+    "since", "including", "guide", "shop", "directory", "board", "location", "change", "white",
+    "text", "small", "rating", "rate", "government", "children", "during", "return", "students",
+    "shopping", "account", "times", "sites", "level", "digital", "profile", "previous", "form",
+    "events", "love", "old", "john", "main", "call", "hours", "image", "department", "title",
+    "description", "non", "insurance", "another", "why", "shall", "property", "class", "cd",
+    "still", "money", "quality", "every", "listing", "content", "country", "private", "little",
+    "visit", "save", "tools", "low", "reply", "customer", "december", "compare", "movies",
+    "include", "college", "value", "article", "york", "man", "card", "jobs", "provide", "food",
+    "source", "author", "different", "press", "learn", "sale", "around", "print", "course",
+    "job", "canada", "process", "teen", "room", "stock", "training", "too", "credit", "point",
+    "join", "science", "men", "categories", "advanced", "west", "sales", "look", "english",
+    "left", "team", "estate", "box", "conditions", "select", "windows", "photos", "gay",
+    "thread", "week", "category", "note", "live", "large", "gallery", "table", "register",
+    "however", "june", "october", "november", "market", "library", "really", "action", "start",
+    "series", "model", "features", "air", "industry", "plan", "human", "provided", "yes",
+    "required", "second", "hot", "accessories", "cost", "movie", "forums", "march", "la",
+    "september", "better", "say", "questions", "july", "yahoo", "going", "medical", "test",
+    "friend", "come", "dec", "server", "pc", "study", "application", "cart", "staff",
+    "articles", "san", "feedback", "again", "play", "looking", "issues", "april", "never",
+    "users", "complete", "street", "topic", "comment", "financial", "things", "working",
+    "against", "standard", "tax", "person", "below", "mobile", "less", "got", "blog", "party",
+    "payment", "equipment", "login", "student", "let", "programs", "offers", "legal", "above",
+    "recent", "park", "stores", "side", "act", "problem", "red", "give", "memory",
+    "performance", "social", "august", "quote", "language", "story", "sell", "options",
+    "experience", "rates", "create", "key", "body", "young", "america", "important", "field",
+    "few", "east", "paper", "single", "age", "activities", "club", "example", "girls",
+    "additional", "password", "latest", "something", "road", "gift", "question", "changes",
+    "night", "hard", "texas", "oct", "pay", "four", "poker", "status", "browse", "issue",
+    "range", "building", "seller", "court", "february", "always", "result", "audio", "light",
+    "write", "war", "nov", "offer", "blue", "groups", "al", "easy", "given", "files", "event",
+    "release", "analysis", "request", "fax", "china", "making", "picture", "needs", "possible",
+    "might", "professional", "yet", "month", "major", "star", "areas", "future", "space",
+    "committee", "hand", "sun", "cards", "problems", "london", "washington", "meeting",
+    "become", "interest", "id", "child", "keep", "enter", "california", "porn", "share",
+    "similar", "garden", "schools", "million", "added", "reference", "companies", "listed",
+    "baby", "learning", "energy", "run", "delivery", "net", "popular", "term", "film", "stories",
+    "put", "computers", "journal", "reports", "co", "try", "welcome", "central", "images",
+    "president", "notice", "god", "original", "head", "radio", "until", "cell", "color", "self",
+    "council", "away", "includes", "track", "australia", "discussion", "archive", "once",
+    "others", "entertainment", "agreement", "format", "least", "society", "months", "log",
+    "safety", "friends", "sure", "faq", "trade", "edition", "cars", "messages", "marketing",
+    "tell", "further", "updated", "association", "able", "having", "provides", "david", "fun",
+    "already", "green", "studies", "close", "common", "drive", "specific", "several", "gold",
+    "feb", "living", "sep", "collection", "called", "short", "arts", "lot", "ask", "display",
+    "limited", "powered", "solutions", "means", "director", "daily", "beach", "past", "natural",
+    "whether", "due", "et", "electronics", "five", "upon", "period", "planning", "database",
+    "says", "official", "weather", "mar", "land", "average", "done", "technical", "window",
+    "france", "pro", "region", "island", "record", "direct", "microsoft", "conference",
+    "environment", "records", "st", "district", "calendar", "costs", "style", "url", "front",
+    "statement", "update", "parts", "aug", "ever", "downloads", "early", "miles", "sound",
+    "resource", "present", "applications", "either", "ago", "document", "word", "works",
+    "material", "bill", "apr", "written", "talk", "federal", "hosting", "rules", "final",
+    "adult", "tickets", "thing", "centre", "requirements", "via", "cheap", "kids", "finance",
+    "true", "minutes", "else", "mark", "third", "rock", "gifts", "europe", "reading", "topics",
+    "bad", "individual", "tips", "plus", "auto", "cover", "usually", "edit", "together",
+    "videos", "percent", "fast", "function", "fact", "unit", "getting", "global", "tech",
+    "meet", "far", "economic", "en", "player", "projects", "lyrics", "often", "subscribe",
+    "submit", "germany", "amount", "watch", "included", "feel", "though", "bank", "risk",
+    "thanks", "everything", "deals", "various", "words", "linux", "jul", "production",
+    "commercial", "james", "weight", "town", "heart", "advertising", "received", "choose",
+    "treatment", "newsletter", "archives", "points", "knowledge", "magazine", "error", "camera",
+    "jun", "girl", "currently", "construction", "toys", "registered", "clear", "golf",
+    "receive", "domain", "methods", "chapter", "makes", "protection", "policies", "loan",
+    "wide", "beauty", "manager", "india", "position", "taken", "sort", "listings", "models",
+    "michael", "known", "half", "cases", "step", "engineering", "florida", "simple", "quick",
+    "none", "wireless", "license", "paul", "friday", "lake", "whole", "annual", "published",
+    "later", "basic", "sony", "shows", "corporate", "google", "church", "method", "purchase",
+    "customers", "active", "response", "practice", "hardware", "figure", "materials", "fire",
+    "holiday", "chat", "enough", "designed", "along", "among", "death", "writing", "speed",
+];
+
+/// Character classes for synthesized tail terms.
+const VOWELS: &[u8] = b"aeiou";
+const CONSONANTS: &[u8] = b"tnsrhldcmfpgwybvkxjqz"; // ordered by English frequency
+/// A few non-ASCII letters to populate the "special" trie categories.
+const SPECIAL_SUFFIXES: &[&str] = &["\u{e9}", "\u{e8}", "\u{fc}", "\u{f1}", "\u{10d}"];
+
+/// A ranked vocabulary: index 0 is the most frequent term.
+#[derive(Clone, Debug)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+}
+
+/// Mix proportions used when synthesizing the vocabulary tail.
+#[derive(Clone, Copy, Debug)]
+pub struct VocabMix {
+    /// Fraction of tail terms that are digit strings ("954", "0195", ...).
+    pub numeric: f64,
+    /// Fraction of tail terms containing a special (non a-z) character.
+    pub special: f64,
+}
+
+impl Default for VocabMix {
+    fn default() -> Self {
+        VocabMix { numeric: 0.06, special: 0.02 }
+    }
+}
+
+impl Vocabulary {
+    /// Generate `n` distinct terms deterministically from `seed`.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        Self::generate_with_mix(n, seed, VocabMix::default())
+    }
+
+    /// Generate with explicit numeric/special proportions.
+    pub fn generate_with_mix(n: usize, seed: u64, mix: VocabMix) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x76f0_c57a_11e2_90d3);
+        let mut seen: HashSet<String> = HashSet::with_capacity(n * 2);
+        let mut terms = Vec::with_capacity(n);
+        for &w in COMMON_WORDS.iter().take(n) {
+            if seen.insert(w.to_string()) {
+                terms.push(w.to_string());
+            }
+        }
+        while terms.len() < n {
+            let u: f64 = rng.gen();
+            let t = if u < mix.numeric {
+                synth_number(&mut rng)
+            } else if u < mix.numeric + mix.special {
+                synth_special(&mut rng)
+            } else {
+                synth_word(&mut rng)
+            };
+            if seen.insert(t.clone()) {
+                terms.push(t);
+            }
+        }
+        Vocabulary { terms }
+    }
+
+    /// Term string for a rank.
+    pub fn term(&self, rank: usize) -> &str {
+        &self.terms[rank]
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Mean term length in bytes (the paper quotes 6.6 for stemmed
+    /// ClueWeb09 tokens).
+    pub fn average_len(&self) -> f64 {
+        if self.terms.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.terms.iter().map(|t| t.len()).sum();
+        total as f64 / self.terms.len() as f64
+    }
+
+    /// All terms in rank order.
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+}
+
+/// Synthesize a pronounceable lowercase word, length roughly 3..14,
+/// mean close to 7 (pre-stemming; stemming trims it toward 6.6).
+fn synth_word(rng: &mut StdRng) -> String {
+    // Number of consonant-vowel pairs; weighted toward 2-4 syllables.
+    let syllables = match rng.gen_range(0..100) {
+        0..=9 => 1,
+        10..=44 => 2,
+        45..=79 => 3,
+        80..=94 => 4,
+        _ => 5,
+    };
+    let mut w = String::new();
+    for _ in 0..syllables {
+        // Frequency-weighted consonant choice: earlier entries more likely.
+        let ci = weighted_index(rng, CONSONANTS.len());
+        w.push(CONSONANTS[ci] as char);
+        let vi = rng.gen_range(0..VOWELS.len());
+        w.push(VOWELS[vi] as char);
+        // Occasionally a closing consonant.
+        if rng.gen_bool(0.3) {
+            let ci = weighted_index(rng, CONSONANTS.len());
+            w.push(CONSONANTS[ci] as char);
+        }
+    }
+    // Occasionally add a common English suffix so the Porter stemmer has
+    // something to chew on.
+    if rng.gen_bool(0.25) {
+        const SUFFIXES: &[&str] =
+            &["ing", "ed", "s", "es", "er", "ation", "ness", "ly", "ment", "ize", "ful"];
+        w.push_str(SUFFIXES[rng.gen_range(0..SUFFIXES.len())]);
+    }
+    w
+}
+
+/// Pick an index in `0..n` with linearly decaying weight (index 0 heaviest).
+fn weighted_index(rng: &mut StdRng, n: usize) -> usize {
+    // Triangular distribution: min of two uniforms biases toward 0.
+    let a = rng.gen_range(0..n);
+    let b = rng.gen_range(0..n);
+    a.min(b)
+}
+
+fn synth_number(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1..=8);
+    let mut s = String::with_capacity(len);
+    for _ in 0..len {
+        // Leading zeros allowed (trie categories 1..=10 key off the digit).
+        let d: u8 = rng.gen_range(0..10);
+        s.push((b'0' + d) as char);
+    }
+    s
+}
+
+fn synth_special(rng: &mut StdRng) -> String {
+    let mut base = synth_word(rng);
+    match rng.gen_range(0..3) {
+        0 => {
+            // Non-ASCII letter appended ("zoé"-like).
+            base.push_str(SPECIAL_SUFFIXES[rng.gen_range(0..SPECIAL_SUFFIXES.len())]);
+        }
+        1 => {
+            // Mixed alphanumeric ("3d"-like).
+            base = format!("{}{}", rng.gen_range(0..10), &base[..base.len().min(2)]);
+        }
+        _ => {
+            // Hyphenated / signed ("-80"-like).
+            base = format!("-{}", rng.gen_range(1..1000));
+        }
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_distinct() {
+        let v = Vocabulary::generate(5000, 11);
+        assert_eq!(v.len(), 5000);
+        let set: HashSet<&str> = v.terms().iter().map(|s| s.as_str()).collect();
+        assert_eq!(set.len(), 5000, "terms must be distinct");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Vocabulary::generate(2000, 99);
+        let b = Vocabulary::generate(2000, 99);
+        assert_eq!(a.terms(), b.terms());
+        let c = Vocabulary::generate(2000, 100);
+        assert_ne!(a.terms(), c.terms());
+    }
+
+    #[test]
+    fn head_is_common_english() {
+        let v = Vocabulary::generate(1000, 5);
+        assert_eq!(v.term(0), "the");
+        assert_eq!(v.term(1), "of");
+        assert_eq!(v.term(2), "and");
+    }
+
+    #[test]
+    fn average_length_plausible() {
+        let v = Vocabulary::generate(50_000, 3);
+        let avg = v.average_len();
+        assert!(
+            (4.0..=9.5).contains(&avg),
+            "average term length {avg} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn contains_numeric_and_special_terms() {
+        let v = Vocabulary::generate(50_000, 17);
+        let numeric = v
+            .terms()
+            .iter()
+            .filter(|t| t.bytes().all(|b| b.is_ascii_digit()))
+            .count();
+        let special = v
+            .terms()
+            .iter()
+            .filter(|t| !t.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()))
+            .count();
+        assert!(numeric > 500, "expected numeric tail terms, got {numeric}");
+        assert!(special > 100, "expected special tail terms, got {special}");
+    }
+
+    #[test]
+    fn small_vocab_works() {
+        let v = Vocabulary::generate(3, 0);
+        assert_eq!(v.len(), 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Zipfian rank-frequency distribution.
+//!
+//! The paper's load-balancing argument (§III.E) rests on Zipf's law [12]:
+//! a few head terms dominate token counts while the tail is long and flat.
+//! We implement an exact bounded Zipf sampler via an inverse-CDF table so
+//! synthetic corpora reproduce that skew deterministically.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`.
+///
+/// Rank `k` (0-based) has probability proportional to `1 / (k + 1)^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k]` = P(rank <= k). Last entry is 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution. `n` must be at least 1; `s` must be finite
+    /// and non-negative (s = 0 degenerates to uniform, handy in tests).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf requires at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        // Guard against floating-point shortfall at the very end.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The smallest set of head ranks covering at least `fraction` of the
+    /// probability mass. This mirrors the paper's "popular" classification:
+    /// trie collections holding the Zipf head absorb most tokens.
+    pub fn head_covering(&self, fraction: f64) -> usize {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.cdf.partition_point(|&c| c < fraction) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(1000, 1.0);
+        let total: f64 = (0..1000).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+    }
+
+    #[test]
+    fn rank_zero_most_probable() {
+        let z = Zipf::new(100, 1.2);
+        for k in 1..100 {
+            assert!(z.pmf(0) >= z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_pmf() {
+        let z = Zipf::new(500, 0.9);
+        for k in 1..500 {
+            assert!(z.pmf(k - 1) >= z.pmf(k) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_match_pmf_roughly() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let expected = z.pmf(k) * n as f64;
+            let got = count as f64;
+            // 5-sigma-ish tolerance for a binomial count.
+            let tol = 5.0 * expected.sqrt() + 5.0;
+            assert!(
+                (got - expected).abs() < tol,
+                "rank {k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn head_covering_is_small_for_skewed() {
+        let z = Zipf::new(100_000, 1.1);
+        let head = z.head_covering(0.5);
+        assert!(head < 1000, "Zipf head should be small, got {head}");
+        let all = z.head_covering(1.0);
+        assert!(all <= 100_000);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_seed() {
+        let z = Zipf::new(1000, 1.0);
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

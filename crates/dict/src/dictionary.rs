@@ -1,0 +1,352 @@
+//! Partial and global dictionaries.
+//!
+//! Every indexer owns a disjoint set of trie collections for the program's
+//! lifetime (paper §III.E), so it keeps an "independent and exclusive part
+//! of the global dictionary": a [`PartialDictionary`]. When the last batch
+//! has been indexed, the partials are *combined* into a [`GlobalDictionary`]
+//! and written to disk — the "Dictionary Combine" and "Dictionary Write"
+//! rows of Table VI.
+
+use crate::btree::{BTree, BTreeStore, InsertOutcome};
+use crate::trie::{trie_index, TrieIndex};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+/// The dictionary shard owned by a single indexer.
+#[derive(Clone, Debug, Default)]
+pub struct PartialDictionary {
+    /// Identifier of the owning indexer (used in postings locations).
+    pub indexer_id: u32,
+    /// Shared arenas for all this indexer's B-trees.
+    pub store: BTreeStore,
+    trees: HashMap<u32, BTree>,
+}
+
+impl PartialDictionary {
+    /// Create an empty shard for `indexer_id`.
+    pub fn new(indexer_id: u32) -> Self {
+        PartialDictionary { indexer_id, ..Default::default() }
+    }
+
+    /// Rebuild a shard from a reconstructed store and its per-collection
+    /// tree roots (the GPU download path).
+    pub fn from_parts(indexer_id: u32, store: BTreeStore, roots: HashMap<u32, BTree>) -> Self {
+        PartialDictionary { indexer_id, store, trees: roots }
+    }
+
+    /// Insert a prefix-stripped term into the B-tree of `trie_idx`
+    /// (created lazily).
+    pub fn insert_term(&mut self, trie_idx: u32, suffix: &[u8]) -> InsertOutcome {
+        let store = &mut self.store;
+        let tree = self.trees.entry(trie_idx).or_insert_with(|| store.new_tree());
+        store.insert(tree, suffix)
+    }
+
+    /// Look up a prefix-stripped term.
+    pub fn lookup(&mut self, trie_idx: u32, suffix: &[u8]) -> Option<u32> {
+        let tree = *self.trees.get(&trie_idx)?;
+        self.store.get(&tree, suffix)
+    }
+
+    /// The B-tree handle for a trie collection, if any terms were inserted.
+    pub fn tree(&self, trie_idx: u32) -> Option<BTree> {
+        self.trees.get(&trie_idx).copied()
+    }
+
+    /// Trie collections present in this shard.
+    pub fn trie_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.trees.keys().copied()
+    }
+
+    /// Number of distinct terms in the shard.
+    pub fn term_count(&self) -> u32 {
+        self.store.term_count()
+    }
+}
+
+/// One record of the combined dictionary: where to find the postings list
+/// of a term. `indexer` + `postings` locate the list among the per-indexer
+/// outputs (the mapping-table indirection of §III.F).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DictEntry {
+    /// Trie collection of the term.
+    pub trie_index: u32,
+    /// Stored suffix (term minus the trie-captured prefix).
+    pub suffix: Vec<u8>,
+    /// Owning indexer.
+    pub indexer: u32,
+    /// Postings handle within that indexer's output.
+    pub postings: u32,
+}
+
+impl DictEntry {
+    /// Reconstruct the full term (prefix + suffix).
+    pub fn full_term(&self) -> String {
+        let mut s = TrieIndex(self.trie_index).prefix();
+        s.push_str(&String::from_utf8_lossy(&self.suffix));
+        s
+    }
+}
+
+/// The combined, immutable dictionary for the whole collection.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GlobalDictionary {
+    /// Entries sorted by `(trie_index, suffix)`.
+    entries: Vec<DictEntry>,
+}
+
+const DICT_MAGIC: &[u8; 4] = b"IIDC";
+
+impl GlobalDictionary {
+    /// Combine per-indexer shards. Each shard's trie collections are
+    /// disjoint by construction; entries are gathered tree by tree (terms
+    /// come out of each B-tree already sorted) and then ordered globally.
+    pub fn combine(parts: &[PartialDictionary]) -> GlobalDictionary {
+        let mut entries = Vec::new();
+        for p in parts {
+            let mut idxs: Vec<u32> = p.trie_indices().collect();
+            idxs.sort_unstable();
+            for ti in idxs {
+                let tree = p.tree(ti).expect("listed index has a tree");
+                for (suffix, postings) in p.store.iter_terms(&tree) {
+                    entries.push(DictEntry {
+                        trie_index: ti,
+                        suffix,
+                        indexer: p.indexer_id,
+                        postings,
+                    });
+                }
+            }
+        }
+        entries.sort_by(|a, b| {
+            (a.trie_index, a.suffix.as_slice()).cmp(&(b.trie_index, b.suffix.as_slice()))
+        });
+        GlobalDictionary { entries }
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in `(trie_index, suffix)` order.
+    pub fn entries(&self) -> &[DictEntry] {
+        &self.entries
+    }
+
+    /// Look up a surface term (it is classified and prefix-stripped here).
+    pub fn lookup(&self, term: &str) -> Option<&DictEntry> {
+        let (idx, suffix) = crate::trie::classify(term);
+        self.entries
+            .binary_search_by(|e| {
+                (e.trie_index, e.suffix.as_slice()).cmp(&(idx.0, suffix.as_bytes()))
+            })
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Convenience: classify + lookup for an already-stemmed term string.
+    pub fn contains(&self, term: &str) -> bool {
+        self.lookup(term).is_some()
+    }
+
+    /// Serialize to `w`; returns bytes written (the "Dictionary Write"
+    /// cost). Suffixes are front-coded against the previous entry, the
+    /// compression Heinz & Zobel [4] apply to lexicographically ordered
+    /// dictionaries.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<u64> {
+        let mut bytes = 0u64;
+        w.write_all(DICT_MAGIC)?;
+        w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        bytes += 8;
+        let mut prev: &[u8] = b"";
+        let mut prev_trie = u32::MAX;
+        for e in &self.entries {
+            let shared = if e.trie_index == prev_trie {
+                prev.iter().zip(&e.suffix).take_while(|(a, b)| a == b).count().min(255)
+            } else {
+                0
+            };
+            let rest = &e.suffix[shared..];
+            w.write_all(&e.trie_index.to_le_bytes())?;
+            w.write_all(&[shared as u8, rest.len() as u8])?;
+            w.write_all(rest)?;
+            w.write_all(&e.indexer.to_le_bytes())?;
+            w.write_all(&e.postings.to_le_bytes())?;
+            bytes += 4 + 2 + rest.len() as u64 + 8;
+            prev = &e.suffix;
+            prev_trie = e.trie_index;
+        }
+        Ok(bytes)
+    }
+
+    /// Deserialize a dictionary written by [`Self::write_to`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<GlobalDictionary> {
+        let mut head = [0u8; 8];
+        r.read_exact(&mut head)?;
+        if &head[..4] != DICT_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad dictionary magic"));
+        }
+        let n = u32::from_le_bytes([head[4], head[5], head[6], head[7]]) as usize;
+        let mut entries = Vec::with_capacity(n);
+        let mut prev: Vec<u8> = Vec::new();
+        for _ in 0..n {
+            let mut fixed = [0u8; 6];
+            r.read_exact(&mut fixed)?;
+            let trie = u32::from_le_bytes([fixed[0], fixed[1], fixed[2], fixed[3]]);
+            let shared = fixed[4] as usize;
+            let rest_len = fixed[5] as usize;
+            let mut rest = vec![0u8; rest_len];
+            r.read_exact(&mut rest)?;
+            if shared > prev.len() {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "bad front-coding"));
+            }
+            let mut suffix = prev[..shared].to_vec();
+            suffix.extend_from_slice(&rest);
+            let mut tail = [0u8; 8];
+            r.read_exact(&mut tail)?;
+            let indexer = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+            let postings = u32::from_le_bytes([tail[4], tail[5], tail[6], tail[7]]);
+            prev = suffix.clone();
+            entries.push(DictEntry { trie_index: trie, suffix, indexer, postings });
+        }
+        Ok(GlobalDictionary { entries })
+    }
+}
+
+/// Insert a *surface* term (classified internally) — convenience used by
+/// serial baselines.
+pub fn insert_surface(dict: &mut PartialDictionary, term: &str) -> InsertOutcome {
+    let (idx, suffix) = crate::trie::classify(term);
+    dict.insert_term(idx.0, suffix.as_bytes())
+}
+
+/// Look up a surface term in a shard.
+pub fn lookup_surface(dict: &mut PartialDictionary, term: &str) -> Option<u32> {
+    let idx = trie_index(term);
+    let suffix = &term[idx.prefix_len()..];
+    dict.lookup(idx.0, suffix.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_insert_and_lookup() {
+        let mut d = PartialDictionary::new(0);
+        let a = insert_surface(&mut d, "application");
+        assert!(a.is_new);
+        let b = insert_surface(&mut d, "application");
+        assert!(!b.is_new);
+        assert_eq!(lookup_surface(&mut d, "application"), Some(a.postings));
+        assert_eq!(lookup_surface(&mut d, "apple"), None);
+        assert_eq!(d.term_count(), 1);
+    }
+
+    #[test]
+    fn terms_in_different_collections_are_separate() {
+        let mut d = PartialDictionary::new(0);
+        insert_surface(&mut d, "dog"); // collection 'd'
+        insert_surface(&mut d, "dogs"); // collection "dog"
+        assert_eq!(d.term_count(), 2);
+        assert_eq!(d.trie_indices().count(), 2);
+    }
+
+    #[test]
+    fn combine_merges_disjoint_shards() {
+        let mut d0 = PartialDictionary::new(0);
+        let mut d1 = PartialDictionary::new(1);
+        insert_surface(&mut d0, "apple");
+        insert_surface(&mut d0, "apricot");
+        insert_surface(&mut d1, "zebra");
+        insert_surface(&mut d1, "954");
+        let g = GlobalDictionary::combine(&[d0, d1]);
+        assert_eq!(g.len(), 4);
+        assert!(g.contains("apple"));
+        assert!(g.contains("zebra"));
+        assert!(g.contains("954"));
+        assert!(!g.contains("mango"));
+        let z = g.lookup("zebra").unwrap();
+        assert_eq!(z.indexer, 1);
+        assert_eq!(z.full_term(), "zebra");
+    }
+
+    #[test]
+    fn entries_are_globally_sorted() {
+        let mut d = PartialDictionary::new(0);
+        for t in ["zebra", "apple", "apricot", "yak", "01", "-80"] {
+            insert_surface(&mut d, t);
+        }
+        let g = GlobalDictionary::combine(&[d]);
+        let keys: Vec<(u32, Vec<u8>)> =
+            g.entries().iter().map(|e| (e.trie_index, e.suffix.clone())).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut d = PartialDictionary::new(3);
+        for t in [
+            "apple", "applesauce", "application", "applied", "zebra", "zeal", "954", "-80",
+            "a",
+        ] {
+            insert_surface(&mut d, t);
+        }
+        let g = GlobalDictionary::combine(&[d]);
+        let mut buf = Vec::new();
+        let n = g.write_to(&mut buf).unwrap();
+        assert_eq!(n as usize, buf.len());
+        let g2 = GlobalDictionary::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn front_coding_helps_on_shared_prefixes() {
+        let mut d = PartialDictionary::new(0);
+        // Long terms sharing long prefixes inside one trie collection.
+        for i in 0..100 {
+            insert_surface(&mut d, &format!("prefixsharedverylong{i:03}"));
+        }
+        let g = GlobalDictionary::combine(&[d]);
+        let mut buf = Vec::new();
+        g.write_to(&mut buf).unwrap();
+        let raw_size: usize =
+            g.entries().iter().map(|e| e.suffix.len() + 14).sum::<usize>() + 8;
+        assert!(
+            buf.len() < raw_size * 2 / 3,
+            "front coding should shrink output: {} vs {}",
+            buf.len(),
+            raw_size
+        );
+    }
+
+    #[test]
+    fn corrupt_dictionary_rejected() {
+        assert!(GlobalDictionary::read_from(&mut &b"XXXX\0\0\0\0"[..]).is_err());
+        let mut d = PartialDictionary::new(0);
+        insert_surface(&mut d, "apple");
+        let g = GlobalDictionary::combine(&[d]);
+        let mut buf = Vec::new();
+        g.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(GlobalDictionary::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn lookup_uses_trie_classification() {
+        let mut d = PartialDictionary::new(0);
+        insert_surface(&mut d, "application");
+        let g = GlobalDictionary::combine(&[d]);
+        let e = g.lookup("application").unwrap();
+        assert_eq!(e.suffix, b"lication");
+        assert_eq!(e.trie_index, crate::trie::trie_index("application").0);
+    }
+}

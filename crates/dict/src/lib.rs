@@ -1,0 +1,22 @@
+//! # ii-dict — the hybrid trie + B-tree dictionary (paper §III.B)
+//!
+//! The central data structure of the paper: a fixed-height-3 trie realized
+//! as a flat table of 17,613 collection indices (Table I), each owning an
+//! independent degree-16 B-tree whose 512-byte nodes (Table II) embed
+//! 4-byte string caches. Independence of the B-trees is what lets CPU
+//! threads and GPU thread blocks index concurrently without locks.
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod btree;
+pub mod dictionary;
+pub mod node;
+pub mod trie;
+pub mod verify;
+
+pub use btree::{BTree, BTreeStore, InsertOutcome};
+pub use dictionary::{DictEntry, GlobalDictionary, PartialDictionary};
+pub use node::{BTreeNode, DEGREE, MAX_KEYS, MIN_KEYS, NODE_BYTES, NULL};
+pub use trie::{classify, trie_index, TrieIndex, TRIE_ENTRIES};
+pub use verify::{verify_btree, verify_shard, BTreeViolation};

@@ -1,0 +1,210 @@
+//! The 512-byte B-tree node (paper Table II).
+//!
+//! Degree-16 B-tree: up to 31 terms per node, chosen to match the CUDA warp
+//! size so one warp can compare a probe term against every key in a node in
+//! parallel. Variable-length term strings cannot live inside a fixed node,
+//! so each key slot holds a 4-byte *string cache* (the first four bytes of
+//! the stored, trie-prefix-stripped term) plus a pointer to the remainder in
+//! a string arena. Short terms (≤ 4 bytes) live entirely in the cache.
+//!
+//! The layout is `#[repr(C)]` and exactly 512 bytes, and the same bytes are
+//! what the simulated GPU's device memory holds — the CUDA indexer reads
+//! nodes as raw 32-bit words at the offsets exported below.
+
+/// Maximum keys per node (2·t − 1 with degree t = 16).
+pub const MAX_KEYS: usize = 31;
+/// Minimum keys in a non-root node (t − 1).
+pub const MIN_KEYS: usize = 15;
+/// B-tree degree.
+pub const DEGREE: usize = 16;
+/// Node size in bytes.
+pub const NODE_BYTES: usize = 512;
+/// Null pointer sentinel for arena offsets / node indices.
+pub const NULL: u32 = u32::MAX;
+
+/// Byte offset of the valid-term count.
+pub const OFF_COUNT: usize = 0;
+/// Byte offset of the 31 term-string pointers.
+pub const OFF_TERM_PTR: usize = 4;
+/// Byte offset of the leaf indicator.
+pub const OFF_LEAF: usize = 128;
+/// Byte offset of the 31 postings-list pointers.
+pub const OFF_POSTINGS: usize = 132;
+/// Byte offset of the 32 child pointers.
+pub const OFF_CHILDREN: usize = 256;
+/// Byte offset of the 31 four-byte string caches.
+pub const OFF_CACHE: usize = 384;
+
+/// One B-tree node, laid out exactly as Table II specifies.
+#[repr(C)]
+#[derive(Clone, Debug)]
+pub struct BTreeNode {
+    /// Number of valid terms (0..=31).
+    pub count: u32,
+    /// String-arena offsets of each term's remainder (`NULL` when the term
+    /// fits entirely in its cache).
+    pub term_ptr: [u32; MAX_KEYS],
+    /// 1 when the node is a leaf.
+    pub leaf: u32,
+    /// Postings-list handles, parallel to `term_ptr`.
+    pub postings_ptr: [u32; MAX_KEYS],
+    /// Child node indices (count + 1 valid when not a leaf).
+    pub children: [u32; MAX_KEYS + 1],
+    /// First four bytes of each stored term, zero-padded. Terms never
+    /// contain NUL, so padding is unambiguous.
+    pub cache: [[u8; 4]; MAX_KEYS],
+    /// Explicit padding to 512 bytes (Table II's final row).
+    pub _pad: u32,
+}
+
+// The GPU indexer depends on this exact size and field placement.
+const _: () = assert!(std::mem::size_of::<BTreeNode>() == NODE_BYTES);
+const _: () = assert!(std::mem::align_of::<BTreeNode>() == 4);
+
+impl Default for BTreeNode {
+    fn default() -> Self {
+        BTreeNode {
+            count: 0,
+            term_ptr: [NULL; MAX_KEYS],
+            leaf: 1,
+            postings_ptr: [NULL; MAX_KEYS],
+            children: [NULL; MAX_KEYS + 1],
+            cache: [[0; 4]; MAX_KEYS],
+            _pad: 0,
+        }
+    }
+}
+
+impl BTreeNode {
+    /// Is this node a leaf?
+    pub fn is_leaf(&self) -> bool {
+        self.leaf != 0
+    }
+
+    /// Is the node full (must split before inserting below it)?
+    pub fn is_full(&self) -> bool {
+        self.count as usize == MAX_KEYS
+    }
+
+    /// Serialize to the exact on-device byte layout.
+    pub fn to_bytes(&self) -> [u8; NODE_BYTES] {
+        let mut out = [0u8; NODE_BYTES];
+        out[OFF_COUNT..OFF_COUNT + 4].copy_from_slice(&self.count.to_le_bytes());
+        for (i, p) in self.term_ptr.iter().enumerate() {
+            out[OFF_TERM_PTR + 4 * i..OFF_TERM_PTR + 4 * i + 4]
+                .copy_from_slice(&p.to_le_bytes());
+        }
+        out[OFF_LEAF..OFF_LEAF + 4].copy_from_slice(&self.leaf.to_le_bytes());
+        for (i, p) in self.postings_ptr.iter().enumerate() {
+            out[OFF_POSTINGS + 4 * i..OFF_POSTINGS + 4 * i + 4]
+                .copy_from_slice(&p.to_le_bytes());
+        }
+        for (i, p) in self.children.iter().enumerate() {
+            out[OFF_CHILDREN + 4 * i..OFF_CHILDREN + 4 * i + 4]
+                .copy_from_slice(&p.to_le_bytes());
+        }
+        for (i, c) in self.cache.iter().enumerate() {
+            out[OFF_CACHE + 4 * i..OFF_CACHE + 4 * i + 4].copy_from_slice(c);
+        }
+        out
+    }
+
+    /// Deserialize from the on-device byte layout.
+    pub fn from_bytes(b: &[u8; NODE_BYTES]) -> Self {
+        let rd = |off: usize| u32::from_le_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]]);
+        let mut n = BTreeNode {
+            count: rd(OFF_COUNT),
+            leaf: rd(OFF_LEAF),
+            ..BTreeNode::default()
+        };
+        for i in 0..MAX_KEYS {
+            n.term_ptr[i] = rd(OFF_TERM_PTR + 4 * i);
+            n.postings_ptr[i] = rd(OFF_POSTINGS + 4 * i);
+            n.cache[i].copy_from_slice(&b[OFF_CACHE + 4 * i..OFF_CACHE + 4 * i + 4]);
+        }
+        for i in 0..=MAX_KEYS {
+            n.children[i] = rd(OFF_CHILDREN + 4 * i);
+        }
+        n
+    }
+
+    /// Build the 4-byte cache for a term: first four bytes, zero-padded.
+    pub fn make_cache(term: &[u8]) -> [u8; 4] {
+        let mut c = [0u8; 4];
+        let n = term.len().min(4);
+        c[..n].copy_from_slice(&term[..n]);
+        c
+    }
+}
+
+/// Table II as data, for the `table2_node` report binary and its test.
+pub const TABLE_II: &[(&str, usize, usize)] = &[
+    ("Valid term number", 1, 4),
+    ("Pointer to term string", 31, 124),
+    ("Leaf indicator", 1, 4),
+    ("Pointer to postings lists", 31, 124),
+    ("Pointer to children", 32, 128),
+    ("4-Byte Cache for term string", 31, 124),
+    ("Padding", 1, 4),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::mem::offset_of;
+
+    #[test]
+    fn node_is_exactly_512_bytes() {
+        assert_eq!(std::mem::size_of::<BTreeNode>(), 512);
+    }
+
+    #[test]
+    fn field_offsets_match_table_ii() {
+        assert_eq!(offset_of!(BTreeNode, count), OFF_COUNT);
+        assert_eq!(offset_of!(BTreeNode, term_ptr), OFF_TERM_PTR);
+        assert_eq!(offset_of!(BTreeNode, leaf), OFF_LEAF);
+        assert_eq!(offset_of!(BTreeNode, postings_ptr), OFF_POSTINGS);
+        assert_eq!(offset_of!(BTreeNode, children), OFF_CHILDREN);
+        assert_eq!(offset_of!(BTreeNode, cache), OFF_CACHE);
+    }
+
+    #[test]
+    fn table_ii_rows_sum_to_512() {
+        let total: usize = TABLE_II.iter().map(|(_, _, sz)| sz).sum();
+        assert_eq!(total, 512);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut n = BTreeNode { count: 3, leaf: 0, ..BTreeNode::default() };
+        n.term_ptr[0] = 42;
+        n.postings_ptr[2] = 7;
+        n.children[3] = 9;
+        n.cache[1] = *b"lica";
+        let b = n.to_bytes();
+        let m = BTreeNode::from_bytes(&b);
+        assert_eq!(m.count, 3);
+        assert_eq!(m.leaf, 0);
+        assert_eq!(m.term_ptr[0], 42);
+        assert_eq!(m.term_ptr[1], NULL);
+        assert_eq!(m.postings_ptr[2], 7);
+        assert_eq!(m.children[3], 9);
+        assert_eq!(m.cache[1], *b"lica");
+    }
+
+    #[test]
+    fn make_cache_pads_with_zeros() {
+        assert_eq!(BTreeNode::make_cache(b""), [0, 0, 0, 0]);
+        assert_eq!(BTreeNode::make_cache(b"ab"), [b'a', b'b', 0, 0]);
+        assert_eq!(BTreeNode::make_cache(b"lication"), *b"lica");
+    }
+
+    #[test]
+    fn default_node_is_empty_leaf() {
+        let n = BTreeNode::default();
+        assert!(n.is_leaf());
+        assert!(!n.is_full());
+        assert_eq!(n.count, 0);
+        assert!(n.term_ptr.iter().all(|&p| p == NULL));
+    }
+}

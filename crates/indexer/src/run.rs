@@ -1,0 +1,256 @@
+//! The indexer pool: parallel CPU + GPU indexers consuming parsed batches
+//! and producing runs (paper Fig 8).
+//!
+//! A *single run* starts with parsed data in parser buffers and ends with
+//! postings lists: pre-processing moves GPU input to device memory,
+//! indexing runs on all indexers, post-processing flushes postings into
+//! per-indexer run files (variable-byte compressed). The pool also owns the
+//! global document-ID offset: parsers emit local IDs and "a global document
+//! ID offset will be calculated by the indexer" (§III.C).
+
+use crate::balance::{BalancePlan, Owner};
+use crate::cpu::CpuIndexer;
+use crate::gpu::{GpuBatchReport, GpuIndexer, GpuIndexerConfig};
+use crate::stats::WorkloadStats;
+use ii_dict::PartialDictionary;
+use ii_postings::{Codec, RunFile};
+use ii_text::ParsedBatch;
+use std::time::Instant;
+
+/// Timing of one batch through the pool.
+#[derive(Clone, Debug, Default)]
+pub struct BatchTiming {
+    /// Measured wall seconds of each CPU indexer's work on this batch.
+    pub cpu_seconds: Vec<f64>,
+    /// Simulated timing of each GPU indexer on this batch.
+    pub gpu: Vec<GpuBatchReport>,
+}
+
+impl BatchTiming {
+    /// The batch's indexing-stage latency: indexers run in parallel, so it
+    /// is the max of per-indexer times (GPU time = device + transfer).
+    pub fn stage_seconds(&self) -> f64 {
+        let cpu = self.cpu_seconds.iter().copied().fold(0.0, f64::max);
+        let gpu = self
+            .gpu
+            .iter()
+            .map(|g| g.device_seconds + g.transfer_seconds)
+            .fold(0.0, f64::max);
+        cpu.max(gpu)
+    }
+}
+
+/// All indexers of the system plus the routing plan.
+pub struct IndexerPool {
+    /// CPU indexers (ids `0..n_cpu`).
+    pub cpus: Vec<CpuIndexer>,
+    /// GPU indexers (ids `n_cpu..n_cpu+n_gpu`).
+    pub gpus: Vec<GpuIndexer>,
+    /// The lifetime-fixed collection→indexer assignment.
+    pub plan: BalancePlan,
+    /// Postings codec for run files.
+    pub codec: Codec,
+    next_doc: u32,
+    next_run: u32,
+}
+
+impl IndexerPool {
+    /// Build a pool matching `plan`'s indexer counts.
+    pub fn new(plan: BalancePlan, gpu_config: GpuIndexerConfig, codec: Codec) -> Self {
+        let cpus: Vec<CpuIndexer> = (0..plan.n_cpu()).map(|i| CpuIndexer::new(i as u32)).collect();
+        let gpus: Vec<GpuIndexer> = (0..plan.n_gpu())
+            .map(|i| GpuIndexer::new((plan.n_cpu() + i) as u32, gpu_config))
+            .collect();
+        IndexerPool { cpus, gpus, plan, codec, next_doc: 0, next_run: 0 }
+    }
+
+    /// Global doc IDs consumed so far.
+    pub fn docs_indexed(&self) -> u32 {
+        self.next_doc
+    }
+
+    /// Index one parsed batch: routes each trie group to its owner and
+    /// advances the global document-ID offset.
+    pub fn index_batch(&mut self, batch: &ParsedBatch) -> BatchTiming {
+        let offset = self.next_doc;
+        self.next_doc += batch.num_docs;
+
+        // Route groups.
+        let mut cpu_groups: Vec<Vec<&ii_text::TrieGroup>> =
+            vec![Vec::new(); self.cpus.len()];
+        let mut gpu_groups: Vec<Vec<&ii_text::TrieGroup>> =
+            vec![Vec::new(); self.gpus.len()];
+        for g in &batch.groups {
+            match self.plan.owner(g.trie_index) {
+                Owner::Cpu(i) => cpu_groups[i].push(g),
+                Owner::Gpu(i) => gpu_groups[i].push(g),
+            }
+        }
+
+        let mut timing = BatchTiming::default();
+        for (i, groups) in cpu_groups.iter().enumerate() {
+            let t0 = Instant::now();
+            for g in groups {
+                self.cpus[i].index_group(g, offset);
+            }
+            timing.cpu_seconds.push(t0.elapsed().as_secs_f64());
+        }
+        for (i, groups) in gpu_groups.iter().enumerate() {
+            timing.gpu.push(self.gpus[i].index_batch(groups, offset));
+        }
+        timing
+    }
+
+    /// End a run: every indexer flushes its postings into a run file.
+    /// Returns one file per indexer (some may be empty).
+    pub fn flush_run(&mut self) -> Vec<RunFile> {
+        let run_id = self.next_run;
+        self.next_run += 1;
+        let mut out = Vec::with_capacity(self.cpus.len() + self.gpus.len());
+        for c in &mut self.cpus {
+            out.push(c.flush_run(run_id, self.codec));
+        }
+        for g in &mut self.gpus {
+            out.push(g.flush_run(run_id, self.codec));
+        }
+        out
+    }
+
+    /// Aggregate CPU-side and GPU-side workload (paper Table V).
+    pub fn workload_split(&self) -> (WorkloadStats, WorkloadStats) {
+        let mut cpu = WorkloadStats::default();
+        for c in &self.cpus {
+            cpu.merge(&c.stats);
+        }
+        let mut gpu = WorkloadStats::default();
+        for g in &self.gpus {
+            gpu.merge(&g.stats);
+        }
+        (cpu, gpu)
+    }
+
+    /// End of program: collect every indexer's dictionary shard (GPU shards
+    /// are downloaded and reinterpreted).
+    pub fn finish(mut self) -> Vec<PartialDictionary> {
+        let mut parts: Vec<PartialDictionary> =
+            self.cpus.iter().map(|c| c.dict.clone()).collect();
+        for g in &mut self.gpus {
+            parts.push(g.into_partial_dictionary());
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::{make_plan, sample_counts};
+    use ii_corpus::RawDocument;
+    use ii_dict::GlobalDictionary;
+    use ii_postings::RunSet;
+    use ii_text::parse_documents;
+    use std::collections::HashMap;
+
+    fn parse(bodies: &[&str], file_idx: usize) -> ParsedBatch {
+        let docs: Vec<RawDocument> = bodies
+            .iter()
+            .map(|b| RawDocument { url: String::new(), body: (*b).into() })
+            .collect();
+        parse_documents(&docs, false, file_idx)
+    }
+
+    fn pool(n_cpu: usize, n_gpu: usize, sample: &ParsedBatch) -> IndexerPool {
+        let counts = sample_counts(std::slice::from_ref(sample));
+        let plan = make_plan(&counts, n_cpu, n_gpu, 2);
+        IndexerPool::new(plan, GpuIndexerConfig::small(), Codec::VarByte)
+    }
+
+    #[test]
+    fn end_to_end_small_index() {
+        let b0 = parse(&["the zebra runs", "zebra quilt zebra"], 0);
+        let b1 = parse(&["quilt and zebra again"], 1);
+        let mut p = pool(1, 1, &b0);
+        p.index_batch(&b0);
+        p.index_batch(&b1);
+        assert_eq!(p.docs_indexed(), 3);
+        let runs = p.flush_run();
+        assert_eq!(runs.len(), 2);
+
+        // Build run sets per indexer id.
+        let mut sets: HashMap<u32, RunSet> = HashMap::new();
+        for r in runs {
+            sets.entry(r.indexer_id).or_default().push(r);
+        }
+        let parts = p.finish();
+        let dict = GlobalDictionary::combine(&parts);
+        // zebra appears in global docs 0, 1, 2 with tf 1, 2, 1.
+        let e = dict.lookup("zebra").expect("zebra indexed");
+        let list = sets[&e.indexer].fetch(e.postings);
+        let docs_tfs: Vec<(u32, u32)> =
+            list.postings().iter().map(|p| (p.doc.0, p.tf)).collect();
+        assert_eq!(docs_tfs, vec![(0, 1), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn cpu_only_and_gpu_only_agree_with_mixed() {
+        let batches =
+            vec![parse(&["alpha beta gamma beta", "delta alpha"], 0), parse(&["gamma gamma epsilon"], 1)];
+        type Fingerprint = Vec<(String, Vec<(u32, u32)>)>;
+        let mut results: Vec<Fingerprint> = Vec::new();
+        for (n_cpu, n_gpu) in [(2, 0), (0, 1), (1, 2)] {
+            let mut p = pool(n_cpu, n_gpu, &batches[0]);
+            for b in &batches {
+                p.index_batch(b);
+            }
+            let runs = p.flush_run();
+            let mut sets: HashMap<u32, RunSet> = HashMap::new();
+            for r in runs {
+                sets.entry(r.indexer_id).or_default().push(r);
+            }
+            let dict = GlobalDictionary::combine(&p.finish());
+            let mut terms: Vec<(String, Vec<(u32, u32)>)> = dict
+                .entries()
+                .iter()
+                .map(|e| {
+                    let l = sets[&e.indexer].fetch(e.postings);
+                    (
+                        e.full_term(),
+                        l.postings().iter().map(|p| (p.doc.0, p.tf)).collect(),
+                    )
+                })
+                .collect();
+            terms.sort();
+            results.push(terms);
+        }
+        assert_eq!(results[0], results[1], "cpu-only vs gpu-only");
+        assert_eq!(results[0], results[2], "cpu-only vs mixed");
+    }
+
+    #[test]
+    fn multi_run_postings_concatenate() {
+        let mut p = pool(1, 0, &parse(&["omega"], 0));
+        p.index_batch(&parse(&["omega"], 0));
+        let r0 = p.flush_run();
+        p.index_batch(&parse(&["omega omega"], 1));
+        let r1 = p.flush_run();
+        let mut set = RunSet::new();
+        set.push(r0.into_iter().next().unwrap());
+        set.push(r1.into_iter().next().unwrap());
+        let dict = GlobalDictionary::combine(&p.finish());
+        let e = dict.lookup("omega").unwrap();
+        let l = set.fetch(e.postings);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.postings()[1].tf, 2);
+    }
+
+    #[test]
+    fn workload_split_partitions_tokens() {
+        let b = parse(&["the cat and the dog chased the big cats dogs zebra"], 0);
+        let mut p = pool(1, 1, &b);
+        p.index_batch(&b);
+        let (cpu, gpu) = p.workload_split();
+        let total = cpu.tokens + gpu.tokens;
+        assert_eq!(total, b.stats.terms_kept);
+        assert!(cpu.tokens > 0, "popular collections must hit the CPU");
+    }
+}

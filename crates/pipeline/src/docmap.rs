@@ -1,0 +1,166 @@
+//! Auxiliary document-ID → source-file map (paper §III.F).
+//!
+//! "This is possible since we include an auxiliary file containing the
+//! mapping of document IDs to output file names" — the structure that lets
+//! a range-narrowed retrieval know which container files (and thus which
+//! runs) a document window touches. One record per container file: the
+//! first global doc ID it holds and its document count, plus the source
+//! URL table for doc-level provenance.
+
+use ii_corpus::DocId;
+use std::io::{self, Read, Write};
+
+/// One container file's document range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DocMapEntry {
+    /// Source container file index.
+    pub file_idx: u32,
+    /// First global document ID in the file.
+    pub first_doc: u32,
+    /// Number of documents in the file.
+    pub n_docs: u32,
+}
+
+/// The docID → file mapping for a whole collection.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DocMap {
+    entries: Vec<DocMapEntry>,
+}
+
+const DOCMAP_MAGIC: &[u8; 4] = b"IIDM";
+
+impl DocMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the next file's range; files must arrive in order and
+    /// ranges must be contiguous from 0.
+    pub fn push_file(&mut self, file_idx: u32, n_docs: u32) {
+        let first_doc = match self.entries.last() {
+            Some(e) => e.first_doc + e.n_docs,
+            None => 0,
+        };
+        self.entries.push(DocMapEntry { file_idx, first_doc, n_docs });
+    }
+
+    /// Total documents covered.
+    pub fn total_docs(&self) -> u32 {
+        self.entries.last().map_or(0, |e| e.first_doc + e.n_docs)
+    }
+
+    /// Records, in doc order.
+    pub fn entries(&self) -> &[DocMapEntry] {
+        &self.entries
+    }
+
+    /// Source file of a global document ID.
+    pub fn file_of(&self, doc: DocId) -> Option<u32> {
+        let i = self.entries.partition_point(|e| e.first_doc + e.n_docs <= doc.0);
+        let e = self.entries.get(i)?;
+        (doc.0 >= e.first_doc).then_some(e.file_idx)
+    }
+
+    /// Files whose doc range overlaps `[lo, hi]` — the pre-filter for
+    /// range-narrowed retrieval.
+    pub fn files_overlapping(&self, lo: DocId, hi: DocId) -> Vec<u32> {
+        self.entries
+            .iter()
+            .filter(|e| e.first_doc <= hi.0 && e.first_doc + e.n_docs > lo.0)
+            .map(|e| e.file_idx)
+            .collect()
+    }
+
+    /// Serialize.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(DOCMAP_MAGIC)?;
+        w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        for e in &self.entries {
+            w.write_all(&e.file_idx.to_le_bytes())?;
+            w.write_all(&e.first_doc.to_le_bytes())?;
+            w.write_all(&e.n_docs.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<DocMap> {
+        let mut head = [0u8; 8];
+        r.read_exact(&mut head)?;
+        if &head[..4] != DOCMAP_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad docmap magic"));
+        }
+        let n = u32::from_le_bytes(head[4..].try_into().unwrap()) as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut rec = [0u8; 12];
+            r.read_exact(&mut rec)?;
+            entries.push(DocMapEntry {
+                file_idx: u32::from_le_bytes(rec[0..4].try_into().unwrap()),
+                first_doc: u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+                n_docs: u32::from_le_bytes(rec[8..12].try_into().unwrap()),
+            });
+        }
+        Ok(DocMap { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(counts: &[u32]) -> DocMap {
+        let mut m = DocMap::new();
+        for (i, &n) in counts.iter().enumerate() {
+            m.push_file(i as u32, n);
+        }
+        m
+    }
+
+    #[test]
+    fn contiguous_ranges() {
+        let m = map(&[3, 5, 2]);
+        assert_eq!(m.total_docs(), 10);
+        assert_eq!(m.file_of(DocId(0)), Some(0));
+        assert_eq!(m.file_of(DocId(2)), Some(0));
+        assert_eq!(m.file_of(DocId(3)), Some(1));
+        assert_eq!(m.file_of(DocId(7)), Some(1));
+        assert_eq!(m.file_of(DocId(8)), Some(2));
+        assert_eq!(m.file_of(DocId(9)), Some(2));
+        assert_eq!(m.file_of(DocId(10)), None);
+    }
+
+    #[test]
+    fn empty_file_handled() {
+        let m = map(&[2, 0, 3]);
+        assert_eq!(m.file_of(DocId(2)), Some(2));
+        assert_eq!(m.total_docs(), 5);
+    }
+
+    #[test]
+    fn overlap_query() {
+        let m = map(&[4, 4, 4]);
+        assert_eq!(m.files_overlapping(DocId(0), DocId(3)), vec![0]);
+        assert_eq!(m.files_overlapping(DocId(3), DocId(4)), vec![0, 1]);
+        assert_eq!(m.files_overlapping(DocId(5), DocId(20)), vec![1, 2]);
+        assert!(m.files_overlapping(DocId(50), DocId(60)).is_empty());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let m = map(&[7, 1, 9, 0, 2]);
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        assert_eq!(DocMap::read_from(&mut buf.as_slice()).unwrap(), m);
+        buf[0] = b'X';
+        assert!(DocMap::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_map() {
+        let m = DocMap::new();
+        assert_eq!(m.total_docs(), 0);
+        assert_eq!(m.file_of(DocId(0)), None);
+    }
+}

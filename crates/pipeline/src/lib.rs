@@ -1,0 +1,16 @@
+//! # ii-pipeline — the pipelined parallel indexing system (paper Fig 9)
+//!
+//! Parallel parsers with a serialized disk scheduler feed bounded buffers
+//! that CPU and GPU indexers drain in strict round-robin order, preserving
+//! global document order; `build_index` drives the whole system and emits
+//! Table VI-style timing plus per-file Fig 11 detail.
+
+#![warn(missing_docs)]
+
+pub mod docmap;
+pub mod driver;
+pub mod parsers;
+
+pub use docmap::{DocMap, DocMapEntry};
+pub use driver::{build_index, sample_plan, FileTiming, IndexOutput, PipelineConfig, PipelineReport};
+pub use parsers::{ParserPool, ParserTiming, RoundRobin};

@@ -1,0 +1,79 @@
+//! Cluster-throughput projections for the Fig 12 comparison.
+//!
+//! The paper compares its single heterogeneous node against Ivory
+//! MapReduce (99 Hadoop nodes, 198 cores) on ClueWeb09 and Single-Pass
+//! MapReduce (8 nodes, 24 usable cores) on .GOV2. We cannot run Hadoop
+//! clusters here; instead `ii-baselines` implements both algorithms on an
+//! in-process MapReduce runtime, the Fig 12 harness *measures* their
+//! per-core throughput on synthetic data, and this module projects the
+//! cluster-scale numbers: per-core rate × cores × framework efficiency.
+
+/// A modeled cluster running a MapReduce indexing job.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterModel {
+    /// Nodes in the cluster.
+    pub nodes: usize,
+    /// Worker cores per node available to the job.
+    pub cores_per_node: usize,
+    /// Single-core indexing throughput of the algorithm (MB/s of
+    /// uncompressed input), measured from the `ii-baselines`
+    /// implementation.
+    pub per_core_mb_s: f64,
+    /// Fraction of linear scaling retained at cluster scale (shuffle,
+    /// stragglers, HDFS, JVM): Hadoop-era jobs typically kept 40-70%.
+    pub framework_efficiency: f64,
+}
+
+impl ClusterModel {
+    /// Ivory MapReduce's platform (Table VII): 99 nodes × 2 cores.
+    pub fn ivory(per_core_mb_s: f64) -> Self {
+        ClusterModel {
+            nodes: 99,
+            cores_per_node: 2,
+            per_core_mb_s,
+            framework_efficiency: 0.55,
+        }
+    }
+
+    /// Single-Pass MapReduce's platform (Table VII): 8 nodes × 3 usable
+    /// cores (one reserved for HDFS).
+    pub fn single_pass(per_core_mb_s: f64) -> Self {
+        ClusterModel {
+            nodes: 8,
+            cores_per_node: 3,
+            per_core_mb_s,
+            framework_efficiency: 0.65,
+        }
+    }
+
+    /// Projected cluster throughput in MB/s.
+    pub fn throughput_mb_s(&self) -> f64 {
+        self.nodes as f64
+            * self.cores_per_node as f64
+            * self.per_core_mb_s
+            * self.framework_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_is_linear_in_inputs() {
+        let a = ClusterModel::ivory(1.0).throughput_mb_s();
+        let b = ClusterModel::ivory(2.0).throughput_mb_s();
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_shapes_hold_for_plausible_rates() {
+        // With Hadoop-era per-core rates around 1-2 MB/s, the 99-node
+        // cluster lands near but below the paper's 262 MB/s single node —
+        // Fig 12's qualitative claim.
+        let ivory = ClusterModel::ivory(1.6).throughput_mb_s();
+        assert!((100.0..262.0).contains(&ivory), "ivory {ivory}");
+        let sp = ClusterModel::single_pass(1.6).throughput_mb_s();
+        assert!(sp < ivory / 3.0, "small cluster far below: {sp}");
+    }
+}

@@ -1,0 +1,308 @@
+//! Deterministic pipeline simulation (paper Fig 9 dataflow).
+//!
+//! Because parsers take files in static round-robin order, the disk is a
+//! FIFO resource, buffers are bounded, and the indexing stage consumes
+//! batches in strict global file order, the whole pipeline reduces to a
+//! per-file recurrence over completion times — a discrete-event simulation
+//! without an event queue:
+//!
+//! ```text
+//! read_start[f]  = max(parser_free[p], disk_free, slot_free)
+//! batch_ready[f] = read_end[f] + t_decompress + t_parse
+//! index_start[f] = max(index_free, batch_ready[f])
+//! index_free     = index_start[f] + t_index[f]
+//! ```
+//!
+//! where `slot_free` is the back-pressure from the parser's bounded output
+//! buffer (its k-th batch needs batch k - depth to have entered indexing).
+
+use crate::model::{CollectionModel, PlatformModel, Scenario};
+
+/// Per-parser buffer capacity (batches), as in the functional pipeline.
+pub const BUFFER_DEPTH: usize = 2;
+
+/// Outcome of a pipeline simulation.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// End-to-end seconds (last batch fully indexed; parser-only scenarios
+    /// end at the last batch parsed).
+    pub total_seconds: f64,
+    /// Completion time of the parsing stage (last batch ready).
+    pub parser_stage_seconds: f64,
+    /// Busy seconds of the indexing stage (sum of service times).
+    pub indexing_busy_seconds: f64,
+    /// Seconds the indexing stage waited on parsers.
+    pub indexer_wait_seconds: f64,
+    /// Pre-processing (GPU transfer) seconds, serialized per batch.
+    pub pre_processing_seconds: f64,
+    /// Post-processing (flush/compress/write) seconds, serialized.
+    pub post_processing_seconds: f64,
+    /// Per-file indexing throughput, MB/s (Fig 11 series).
+    pub per_file_throughput: Vec<f64>,
+    /// Overall throughput (uncompressed MB / total seconds).
+    pub throughput_mb_s: f64,
+}
+
+/// Service time of the indexing stage for one batch of `mb` uncompressed
+/// megabytes under `scenario`, ignoring the per-file multiplier.
+fn index_service_base(p: &PlatformModel, s: &Scenario, c: &CollectionModel, mb: f64) -> f64 {
+    let mb = mb * c.density_factor();
+    match (s.cpu_indexers, s.gpu_indexers) {
+        (0, 0) => 0.0,
+        (n, 0) => mb / p.cpu_aggregate(n, p.cpu_index_all_mb_s),
+        (0, g) => mb / (p.gpu_index_all_mb_s * g as f64),
+        (n, g) => {
+            let cpu_mb = mb * c.popular_token_share;
+            let gpu_mb = mb - cpu_mb;
+            let t_cpu = cpu_mb / p.cpu_aggregate(n, p.cpu_index_popular_mb_s);
+            let t_gpu = gpu_mb / (p.gpu_index_unpopular_mb_s * g as f64)
+                * (1.0 + p.gpu_transfer_overhead);
+            t_cpu.max(t_gpu)
+        }
+    }
+}
+
+/// Simulate the pipeline for one scenario over one collection.
+pub fn simulate(p: &PlatformModel, c: &CollectionModel, s: &Scenario) -> SimReport {
+    assert!(s.parsers >= 1, "need at least one parser");
+    assert!(
+        s.parsers + s.cpu_indexers <= p.cores,
+        "parsers + CPU indexers exceed the {} cores",
+        p.cores
+    );
+    let n = c.num_files;
+    let t_read = c.compressed_mb_per_file / p.disk_mb_s;
+    let t_dec = c.compressed_mb_per_file / p.decompress_mb_s;
+    let t_parse = c.uncompressed_mb_per_file * c.density_factor() / p.parse_mb_s;
+    let has_indexers = s.cpu_indexers + s.gpu_indexers > 0;
+
+    let mut parser_free = vec![0.0f64; s.parsers];
+    let mut disk_free = 0.0f64;
+    let mut index_free = 0.0f64;
+    let mut batch_ready = vec![0.0f64; n];
+    let mut index_start = vec![0.0f64; n];
+    let mut indexing_busy = 0.0;
+    let mut indexer_wait = 0.0;
+    let mut per_file_throughput = Vec::with_capacity(n);
+
+    // The platform's per-indexer rates are calibrated from the paper's
+    // whole-collection timings, i.e. they already average over B-tree
+    // depth growth. The per-file multiplier therefore only shapes the
+    // Fig 11 series and must be mean-normalized to keep totals calibrated.
+    let mixed = s.cpu_indexers > 0 && s.gpu_indexers > 0;
+    let raw_mult: Vec<f64> =
+        (0..n).map(|f| c.service_multiplier_for(p, f, mixed)).collect();
+    let mean_mult = raw_mult.iter().sum::<f64>() / n.max(1) as f64;
+
+    for f in 0..n {
+        let parser = f % s.parsers;
+        // Back-pressure: this parser's batch f needs batch f - M*depth to
+        // have entered the indexing stage so a buffer slot is free.
+        let slot_free = if has_indexers {
+            let dep = f.checked_sub(s.parsers * BUFFER_DEPTH);
+            dep.map_or(0.0, |d| index_start[d])
+        } else {
+            0.0
+        };
+        let read_start = parser_free[parser].max(disk_free).max(slot_free);
+        let read_end = read_start + t_read;
+        disk_free = read_end;
+        let ready = read_end + t_dec + t_parse;
+        batch_ready[f] = ready;
+        parser_free[parser] = ready;
+
+        if has_indexers {
+            let mult = raw_mult[f] / mean_mult;
+            let service =
+                index_service_base(p, s, c, c.uncompressed_mb_per_file) * mult;
+            let start = index_free.max(ready);
+            indexer_wait += (ready - index_free).max(0.0);
+            index_start[f] = start;
+            index_free = start + service;
+            indexing_busy += service;
+            per_file_throughput.push(c.uncompressed_mb_per_file / service);
+        } else {
+            index_start[f] = ready;
+        }
+    }
+
+    let parser_stage_seconds = batch_ready.iter().copied().fold(0.0, f64::max);
+    // Pre/post-processing are serialized around indexing (paper Fig 8):
+    // model them as fixed fractions of the moved data.
+    let total_unc = c.total_uncompressed_mb();
+    let pre = if s.gpu_indexers > 0 {
+        // Parsed stream ≈ 35% of the uncompressed bytes crosses PCIe at
+        // 5 GB/s, serialized once per run.
+        total_unc * 0.35 * (1.0 - c.popular_token_share) / 5000.0
+    } else {
+        0.0
+    };
+    // Postings flush + varbyte encode + write: proportional to output size
+    // (~8% of uncompressed at ~300 MB/s effective).
+    let post = total_unc * 0.08 / 300.0;
+    let total_seconds = if has_indexers {
+        index_free + pre + post
+    } else {
+        parser_stage_seconds
+    };
+    SimReport {
+        total_seconds,
+        parser_stage_seconds,
+        indexing_busy_seconds: indexing_busy,
+        indexer_wait_seconds: indexer_wait,
+        pre_processing_seconds: pre,
+        post_processing_seconds: post,
+        per_file_throughput,
+        throughput_mb_s: total_unc / total_seconds,
+    }
+}
+
+/// §IV.A intake-bandwidth model: reading + decompressing compressed files.
+///
+/// *Folded* decompression starts while data streams in, hiding part of the
+/// decompression behind the read but holding the disk for the whole
+/// (read ∥ decompress) span. *Separate* decompression releases the disk
+/// after the raw read; with `p` parsers the decompression overlaps other
+/// parsers' reads. Returns (folded MB/s, separate MB/s) of *uncompressed*
+/// intake at `parsers` parallel parsers.
+pub fn intake_bandwidth(
+    p: &PlatformModel,
+    c: &CollectionModel,
+    parsers: usize,
+) -> (f64, f64) {
+    let t_read = c.compressed_mb_per_file / p.disk_mb_s;
+    let t_dec = c.compressed_mb_per_file / p.decompress_mb_s;
+    // Folded: decompression starts as data arrives but the file-access
+    // right is held until both complete; the paper measures 3.8 s for a
+    // 1.6 s read + 3.2 s decompress, i.e. ~69% of the decompression is
+    // exposed behind the read.
+    let folded = c.uncompressed_mb_per_file / (t_read + 0.69 * t_dec);
+    // Separate: the paper's own formula — "the average time to read a
+    // compressed file is (1.6 + 3.2/p) seconds where p is the number of
+    // parallel parsers" (§IV.A), giving 469 MB/s at p = 6.
+    let separate =
+        c.uncompressed_mb_per_file / (t_read + t_dec / parsers as f64);
+    (folded, separate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> (PlatformModel, CollectionModel) {
+        (PlatformModel::c1060_xeon(), CollectionModel::clueweb09())
+    }
+
+    #[test]
+    fn parser_only_scales_nearly_linearly_until_disk() {
+        let (p, c) = paper();
+        let mut prev = 0.0;
+        for m in 1..=5 {
+            let r = simulate(&p, &c, &Scenario::new(m, 0, 0));
+            assert!(r.throughput_mb_s > prev, "parsers={m}");
+            prev = r.throughput_mb_s;
+        }
+        // Near-linear: 4 parsers at least 3x of 1 parser.
+        let t1 = simulate(&p, &c, &Scenario::new(1, 0, 0)).throughput_mb_s;
+        let t4 = simulate(&p, &c, &Scenario::new(4, 0, 0)).throughput_mb_s;
+        assert!(t4 > 3.0 * t1, "t1={t1} t4={t4}");
+    }
+
+    #[test]
+    fn full_config_hits_paper_ballpark() {
+        // 6 parsers + 2 CPU + 2 GPU gave the paper 262.76 MB/s overall;
+        // the model must land in that neighbourhood.
+        let (p, c) = paper();
+        let r = simulate(&p, &c, &Scenario::new(6, 2, 2));
+        assert!(
+            (230.0..300.0).contains(&r.throughput_mb_s),
+            "throughput {}",
+            r.throughput_mb_s
+        );
+    }
+
+    #[test]
+    fn without_gpu_is_slower_but_close_to_paper() {
+        // Paper: 204.32 MB/s without GPUs (6 parsers, 2 CPU indexers).
+        let (p, c) = paper();
+        let r = simulate(&p, &c, &Scenario::new(6, 2, 0));
+        assert!(
+            (175.0..235.0).contains(&r.throughput_mb_s),
+            "throughput {}",
+            r.throughput_mb_s
+        );
+        let with = simulate(&p, &c, &Scenario::new(6, 2, 2));
+        assert!(with.throughput_mb_s > r.throughput_mb_s);
+    }
+
+    #[test]
+    fn gpu_only_is_the_slowest_indexing_config() {
+        let (p, c) = paper();
+        let gpu_only = simulate(&p, &c, &Scenario::new(6, 0, 2));
+        let one_cpu = simulate(&p, &c, &Scenario::new(6, 1, 0));
+        let two_cpu = simulate(&p, &c, &Scenario::new(6, 2, 0));
+        assert!(gpu_only.throughput_mb_s < one_cpu.throughput_mb_s);
+        assert!(one_cpu.throughput_mb_s < two_cpu.throughput_mb_s);
+    }
+
+    #[test]
+    fn superlinear_combination() {
+        // Table IV: CPU+GPU indexing throughput exceeds the sum of parts.
+        // Compare pure indexing rates (busy time basis).
+        let (p, c) = paper();
+        let mb = c.total_uncompressed_mb();
+        let rate = |s: Scenario| {
+            let r = simulate(&p, &c, &s);
+            mb / r.indexing_busy_seconds
+        };
+        let cpu2 = rate(Scenario::new(6, 2, 0));
+        let gpu2 = rate(Scenario::new(6, 0, 2));
+        let both = rate(Scenario::new(6, 2, 2));
+        assert!(
+            both > (cpu2 + gpu2) * 0.98,
+            "expected ~superlinear: {both} vs {cpu2} + {gpu2}"
+        );
+    }
+
+    #[test]
+    fn per_file_throughput_declines_with_depth_and_shift() {
+        let (p, c) = paper();
+        let r = simulate(&p, &c, &Scenario::new(6, 2, 2));
+        let tp = &r.per_file_throughput;
+        assert!(tp[5] > tp[600], "early files faster");
+        // Decline flattens.
+        let d_early = tp[5] - tp[300];
+        let d_late = tp[700] - tp[1100];
+        assert!(d_early > d_late);
+        // Sharp drop at the shift point (~file 1194).
+        assert!(tp[1150] > tp[1250] * 1.3, "{} vs {}", tp[1150], tp[1250]);
+    }
+
+    #[test]
+    fn intake_separate_beats_folded_at_6_parsers() {
+        // §IV.A: folded ≈ 263 MB/s, separate at p=6 ≈ 469 MB/s.
+        let (p, c) = paper();
+        let (folded, separate) = intake_bandwidth(&p, &c, 6);
+        assert!((folded - 263.0).abs() < 45.0, "folded {folded}");
+        assert!((separate - 469.0).abs() < 140.0, "separate {separate}");
+        assert!(separate > folded * 1.5);
+        // With one parser, separate loses its advantage.
+        let (_, sep1) = intake_bandwidth(&p, &c, 1);
+        assert!(sep1 < folded);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn core_budget_enforced() {
+        let (p, c) = paper();
+        simulate(&p, &c, &Scenario::new(7, 2, 0));
+    }
+
+    #[test]
+    fn indexer_wait_shrinks_with_more_parsers() {
+        let (p, c) = paper();
+        let w2 = simulate(&p, &c, &Scenario::new(2, 2, 2)).indexer_wait_seconds;
+        let w6 = simulate(&p, &c, &Scenario::new(6, 2, 2)).indexer_wait_seconds;
+        assert!(w6 < w2, "more parsers feed indexers better: {w6} vs {w2}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Scenario sweeps and configuration search over the platform model.
+//!
+//! The paper's §IV.A/§IV.B methodology is a parameter search: sweep the
+//! parser count under different indexer mixes, find where the parsing and
+//! indexing stages balance, and pick the best split of the 8 cores. This
+//! module packages that methodology so harnesses (and users porting the
+//! system to a different platform model) can run the same search
+//! programmatically.
+
+use crate::model::{CollectionModel, PlatformModel, Scenario};
+use crate::sim::{simulate, SimReport};
+
+/// One sweep row: a scenario and its simulated outcome.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The configuration simulated.
+    pub scenario: Scenario,
+    /// Its simulated outcome.
+    pub report: SimReport,
+}
+
+/// Fig 10's family of curves: for each parser count `1..=max_parsers`
+/// (bounded by the core budget), simulate `cpu_of(m)` CPU indexers and
+/// `gpus` GPU indexers.
+pub fn sweep_parsers(
+    p: &PlatformModel,
+    c: &CollectionModel,
+    gpus: usize,
+    cpu_of: impl Fn(usize) -> usize,
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for m in 1..p.cores {
+        let cpus = cpu_of(m);
+        if m + cpus > p.cores {
+            continue;
+        }
+        let scenario = Scenario::new(m, cpus, gpus);
+        out.push(SweepPoint { report: simulate(p, c, &scenario), scenario });
+    }
+    out
+}
+
+/// Exhaustive search over all (parsers, cpu indexers) splits of the core
+/// budget with a fixed GPU count; returns the throughput-optimal scenario.
+pub fn best_configuration(
+    p: &PlatformModel,
+    c: &CollectionModel,
+    gpus: usize,
+) -> SweepPoint {
+    let mut best: Option<SweepPoint> = None;
+    for parsers in 1..p.cores {
+        for cpus in 0..=(p.cores - parsers) {
+            if cpus == 0 && gpus == 0 {
+                continue; // no indexers at all
+            }
+            let scenario = Scenario::new(parsers, cpus, gpus);
+            let report = simulate(p, c, &scenario);
+            if best
+                .as_ref()
+                .is_none_or(|b| report.throughput_mb_s > b.report.throughput_mb_s)
+            {
+                best = Some(SweepPoint { scenario, report });
+            }
+        }
+    }
+    best.expect("non-empty search space")
+}
+
+/// The parser count at which the indexing stage stops keeping up with the
+/// parsing stage (indexer wait ≈ 0 switches to parser-bound ≈ 0): the
+/// pipeline's balance point, the quantity §IV.A tunes for. Returns the
+/// largest parser count whose indexing stage still waits on parsers.
+pub fn balance_point(
+    p: &PlatformModel,
+    c: &CollectionModel,
+    gpus: usize,
+    cpu_of: impl Fn(usize) -> usize,
+) -> usize {
+    let sweep = sweep_parsers(p, c, gpus, cpu_of);
+    sweep
+        .iter()
+        .filter(|pt| {
+            // Indexers starved: they spend meaningful time waiting.
+            pt.report.indexer_wait_seconds > 0.05 * pt.report.total_seconds
+        })
+        .map(|pt| pt.scenario.parsers)
+        .max()
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> (PlatformModel, CollectionModel) {
+        (PlatformModel::c1060_xeon(), CollectionModel::clueweb09())
+    }
+
+    #[test]
+    fn sweep_respects_core_budget() {
+        let (p, c) = paper();
+        let rows = sweep_parsers(&p, &c, 2, |m| 8 - m);
+        assert_eq!(rows.len(), 7); // M = 1..=7
+        for r in &rows {
+            assert!(r.scenario.parsers + r.scenario.cpu_indexers <= p.cores);
+        }
+    }
+
+    #[test]
+    fn best_configuration_with_gpus_beats_without() {
+        let (p, c) = paper();
+        let with = best_configuration(&p, &c, 2);
+        let without = best_configuration(&p, &c, 0);
+        assert!(with.report.throughput_mb_s > without.report.throughput_mb_s);
+        // The paper's finding: best CPU-only split is 5 parsers / 3 indexers.
+        assert_eq!(without.scenario.parsers, 5, "{:?}", without.scenario);
+        assert_eq!(without.scenario.cpu_indexers, 3);
+        // With GPUs, most cores go to parsing (the paper ran 6).
+        assert!(with.scenario.parsers >= 6, "{:?}", with.scenario);
+    }
+
+    #[test]
+    fn balance_point_matches_fig10() {
+        // Without GPUs the indexers keep up to ~5 parsers (Fig 10: curves
+        // coincide through 5, diverge after).
+        let (p, c) = paper();
+        let bp = balance_point(&p, &c, 0, |m| 8 - m);
+        assert!((4..=6).contains(&bp), "balance point {bp}");
+    }
+
+    #[test]
+    fn gpu_count_scaling_saturates() {
+        // Throughput grows with GPU count but with diminishing returns:
+        // once the parser stage binds, more GPUs buy nothing.
+        let (p, c) = paper();
+        let t = |g| best_configuration(&p, &c, g).report.throughput_mb_s;
+        let t0 = t(0);
+        let t2 = t(2);
+        let t8 = t(8);
+        assert!(t2 > t0);
+        assert!(t8 >= t2);
+        let marginal_first = t2 - t0;
+        let marginal_later = (t8 - t2) / 3.0;
+        assert!(
+            marginal_later < marginal_first,
+            "diminishing returns: {marginal_first} vs {marginal_later}"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # ii-postings — postings lists, compression codecs and run files
+//!
+//! The output side of the indexing system: doc-sorted postings lists,
+//! gap compression (variable-byte as in the paper, plus Elias γ and Golomb
+//! for the codec ablation), the per-run output file format with its header
+//! mapping table (§III.F), range-narrowed retrieval, and the optional
+//! post-processing merge of partial lists.
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod codec;
+pub mod merge;
+pub mod positional;
+pub mod posting;
+pub mod run;
+pub mod varbyte;
+
+pub use codec::{decode, encode, Codec};
+pub use merge::merge_runs;
+pub use positional::{phrase_matches, phrase_matches_with_offsets, PositionalList, PositionalPosting};
+pub use posting::{Posting, PostingsList};
+pub use run::{RunEntry, RunFile, RunSet};

@@ -1,0 +1,91 @@
+//! Post-processing merge of partial postings lists (paper §III.F).
+//!
+//! "If necessary, we can combine the partial postings lists of each term
+//! into a single list in a post-processing step, with an additional cost of
+//! less than 10% of the total running time." This module implements that
+//! step: it folds a [`RunSet`] into one monolithic run file containing each
+//! term's full list.
+
+use crate::codec::Codec;
+use crate::posting::PostingsList;
+use crate::run::{RunFile, RunSet};
+use std::collections::BTreeMap;
+
+/// Merge every term's partial lists across `runs` into a single run file
+/// (run id = one past the last input run). Lists stay doc-sorted because
+/// runs are processed in order.
+pub fn merge_runs(runs: &RunSet, codec: Codec) -> RunFile {
+    let mut merged: BTreeMap<u32, PostingsList> = BTreeMap::new();
+    let mut indexer_id = 0;
+    let mut next_run = 0;
+    for r in runs.runs() {
+        indexer_id = r.indexer_id;
+        next_run = next_run.max(r.run_id + 1);
+        for e in &r.entries {
+            let part = r.get(e.handle).expect("entry listed in mapping table");
+            let list = merged.entry(e.handle).or_default();
+            for p in part {
+                list.push(p);
+            }
+        }
+    }
+    let pairs: Vec<(u32, PostingsList)> = merged.into_iter().collect();
+    let mut it = pairs.iter().map(|(h, l)| (*h, l));
+    RunFile::build(next_run, indexer_id, &mut it, codec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posting::Posting;
+    use ii_corpus::DocId;
+
+    fn run_with(run_id: u32, handle: u32, docs: &[u32]) -> RunFile {
+        let list: PostingsList =
+            docs.iter().map(|&d| Posting { doc: DocId(d), tf: 1 }).collect();
+        let pairs = [(handle, list)];
+        let mut it = pairs.iter().map(|(h, l)| (*h, l));
+        RunFile::build(run_id, 0, &mut it, Codec::VarByte)
+    }
+
+    #[test]
+    fn merge_concatenates_per_handle() {
+        let mut rs = RunSet::new();
+        rs.push(run_with(0, 4, &[1, 2]));
+        rs.push(run_with(1, 4, &[10, 11]));
+        rs.push(run_with(2, 8, &[5]));
+        let merged = merge_runs(&rs, Codec::VarByte);
+        assert_eq!(merged.run_id, 3);
+        let l4: Vec<u32> = merged.get(4).unwrap().iter().map(|p| p.doc.0).collect();
+        assert_eq!(l4, vec![1, 2, 10, 11]);
+        let l8: Vec<u32> = merged.get(8).unwrap().iter().map(|p| p.doc.0).collect();
+        assert_eq!(l8, vec![5]);
+    }
+
+    #[test]
+    fn merged_file_equals_runset_fetch() {
+        let mut rs = RunSet::new();
+        for r in 0..4 {
+            rs.push(run_with(r, 1, &[r * 10, r * 10 + 3]));
+        }
+        let merged = merge_runs(&rs, Codec::VarByte);
+        assert_eq!(merged.get(1).unwrap(), rs.fetch(1).postings().to_vec());
+    }
+
+    #[test]
+    fn merge_empty_runset() {
+        let merged = merge_runs(&RunSet::new(), Codec::VarByte);
+        assert!(merged.entries.is_empty());
+        assert!(merged.payload.is_empty());
+    }
+
+    #[test]
+    fn merge_can_recode() {
+        let mut rs = RunSet::new();
+        rs.push(run_with(0, 2, &[1, 5, 9]));
+        let merged = merge_runs(&rs, Codec::Gamma);
+        assert_eq!(merged.codec, Codec::Gamma);
+        let docs: Vec<u32> = merged.get(2).unwrap().iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![1, 5, 9]);
+    }
+}

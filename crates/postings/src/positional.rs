@@ -1,0 +1,276 @@
+//! Positional postings — the "possibly other information" of §II.
+//!
+//! The paper's indexers store `<doc, tf>` postings; Ivory MapReduce, one of
+//! the Fig 12 comparators, produces *positional* postings (term offsets
+//! within each document) at extra cost. This module implements that
+//! extension: per-posting position lists, gap + variable-byte compressed,
+//! with phrase-matching support. Positions refer to token ordinals in the
+//! parsed document (stop words still advance the ordinal, so proximity is
+//! preserved across removed words).
+
+use crate::posting::Posting;
+use crate::varbyte;
+use ii_corpus::DocId;
+
+/// One positional posting: document plus the sorted in-document token
+/// positions of the term. Term frequency is `positions.len()`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PositionalPosting {
+    /// Global document ID.
+    pub doc: DocId,
+    /// Sorted token positions of the term within the document.
+    pub positions: Vec<u32>,
+}
+
+impl PositionalPosting {
+    /// Term frequency.
+    pub fn tf(&self) -> u32 {
+        self.positions.len() as u32
+    }
+
+    /// The plain `<doc, tf>` view.
+    pub fn to_posting(&self) -> Posting {
+        Posting { doc: self.doc, tf: self.tf() }
+    }
+}
+
+/// A doc-sorted positional postings list.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PositionalList {
+    postings: Vec<PositionalPosting>,
+}
+
+impl PositionalList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an occurrence of the term at `position` in `doc`. Documents
+    /// must arrive in non-decreasing order; positions within a document in
+    /// increasing order.
+    pub fn add_occurrence(&mut self, doc: DocId, position: u32) {
+        match self.postings.last_mut() {
+            Some(last) if last.doc == doc => {
+                debug_assert!(
+                    last.positions.last().is_none_or(|&p| p < position),
+                    "positions must increase within a document"
+                );
+                last.positions.push(position);
+            }
+            Some(last) => {
+                assert!(doc > last.doc, "documents must arrive in order");
+                self.postings.push(PositionalPosting { doc, positions: vec![position] });
+            }
+            None => self.postings.push(PositionalPosting { doc, positions: vec![position] }),
+        }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// The postings.
+    pub fn postings(&self) -> &[PositionalPosting] {
+        &self.postings
+    }
+
+    /// Encode: per posting, doc gap (+1 for the first), position count,
+    /// then gap-coded positions (+1 for the first), all variable-byte.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut prev_doc: Option<u32> = None;
+        for p in &self.postings {
+            let gap = match prev_doc {
+                None => p.doc.0 + 1,
+                Some(d) => p.doc.0 - d,
+            };
+            varbyte::encode_u32(gap, &mut out);
+            varbyte::encode_u32(p.positions.len() as u32, &mut out);
+            let mut prev_pos: Option<u32> = None;
+            for &pos in &p.positions {
+                let pg = match prev_pos {
+                    None => pos + 1,
+                    Some(q) => pos - q,
+                };
+                varbyte::encode_u32(pg, &mut out);
+                prev_pos = Some(pos);
+            }
+            prev_doc = Some(p.doc.0);
+        }
+        out
+    }
+
+    /// Decode `n_docs` postings from `buf`.
+    pub fn decode(buf: &[u8], n_docs: usize) -> Option<PositionalList> {
+        let mut pos = 0usize;
+        let mut out = PositionalList::new();
+        let mut prev_doc: Option<u32> = None;
+        for _ in 0..n_docs {
+            let gap = varbyte::decode_u32(buf, &mut pos)?;
+            let doc = match prev_doc {
+                None => gap.checked_sub(1)?,
+                Some(d) => d.checked_add(gap)?,
+            };
+            let npos = varbyte::decode_u32(buf, &mut pos)? as usize;
+            let mut positions = Vec::with_capacity(npos);
+            let mut prev_pos: Option<u32> = None;
+            for _ in 0..npos {
+                let pg = varbyte::decode_u32(buf, &mut pos)?;
+                let p = match prev_pos {
+                    None => pg.checked_sub(1)?,
+                    Some(q) => q.checked_add(pg)?,
+                };
+                positions.push(p);
+                prev_pos = Some(p);
+            }
+            if positions.is_empty() {
+                return None; // a posting without positions is malformed
+            }
+            out.postings.push(PositionalPosting { doc: DocId(doc), positions });
+            prev_doc = Some(doc);
+        }
+        Some(out)
+    }
+}
+
+/// Documents where every list occurs at its given offset from a common
+/// start position (`offsets[0]` must be 0). Offsets let phrase queries
+/// skip over removed stop words ("statue of liberty" matches with offsets
+/// [0, 2] for "statue", "liberty"). Returns matching documents and phrase
+/// start positions.
+pub fn phrase_matches_with_offsets(
+    lists: &[(&PositionalList, u32)],
+) -> Vec<(DocId, Vec<u32>)> {
+    let Some(((first, first_off), rest)) = lists.split_first() else { return Vec::new() };
+    debug_assert_eq!(*first_off, 0, "first term anchors the phrase");
+    let mut out = Vec::new();
+    'docs: for p0 in first.postings() {
+        // All subsequent terms must contain this doc.
+        let mut doc_lists = Vec::with_capacity(rest.len());
+        for (l, off) in rest {
+            match l.postings().binary_search_by_key(&p0.doc, |p| p.doc) {
+                Ok(i) => doc_lists.push((&l.postings()[i], *off)),
+                Err(_) => continue 'docs,
+            }
+        }
+        let starts: Vec<u32> = p0
+            .positions
+            .iter()
+            .copied()
+            .filter(|&start| {
+                doc_lists
+                    .iter()
+                    .all(|(p, off)| p.positions.binary_search(&(start + off)).is_ok())
+            })
+            .collect();
+        if !starts.is_empty() {
+            out.push((p0.doc, starts));
+        }
+    }
+    out
+}
+
+/// Documents where the terms of `lists` appear as a contiguous phrase:
+/// `lists[k]` must occur at `position + k`. Returns matching documents and
+/// the start position of each phrase occurrence.
+pub fn phrase_matches(lists: &[&PositionalList]) -> Vec<(DocId, Vec<u32>)> {
+    let with_offsets: Vec<(&PositionalList, u32)> =
+        lists.iter().enumerate().map(|(k, l)| (*l, k as u32)).collect();
+    phrase_matches_with_offsets(&with_offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn list(entries: &[(u32, &[u32])]) -> PositionalList {
+        let mut l = PositionalList::new();
+        for &(doc, poss) in entries {
+            for &p in poss {
+                l.add_occurrence(DocId(doc), p);
+            }
+        }
+        l
+    }
+
+    #[test]
+    fn add_groups_by_doc() {
+        let l = list(&[(1, &[0, 4, 9]), (5, &[2])]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.postings()[0].tf(), 3);
+        assert_eq!(l.postings()[0].to_posting(), Posting { doc: DocId(1), tf: 3 });
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let l = list(&[(0, &[0]), (3, &[1, 2, 100]), (1000, &[7])]);
+        let buf = l.encode();
+        assert_eq!(PositionalList::decode(&buf, l.len()), Some(l));
+    }
+
+    #[test]
+    fn truncated_decode_fails() {
+        let l = list(&[(2, &[5, 9])]);
+        let buf = l.encode();
+        assert_eq!(PositionalList::decode(&buf[..buf.len() - 1], 1), None);
+    }
+
+    #[test]
+    fn phrase_simple() {
+        // "new york" in doc 1 at 4-5; "new" alone in doc 2.
+        let new = list(&[(1, &[4, 9]), (2, &[0])]);
+        let york = list(&[(1, &[5]), (3, &[1])]);
+        let m = phrase_matches(&[&new, &york]);
+        assert_eq!(m, vec![(DocId(1), vec![4])]);
+    }
+
+    #[test]
+    fn phrase_three_terms_and_repeats() {
+        // "a b a" as a phrase: doc 0 = "a b a b a".
+        let a = list(&[(0, &[0, 2, 4])]);
+        let b = list(&[(0, &[1, 3])]);
+        let m = phrase_matches(&[&a, &b, &a]);
+        assert_eq!(m, vec![(DocId(0), vec![0, 2])]);
+    }
+
+    #[test]
+    fn phrase_single_term_is_all_positions() {
+        let a = list(&[(7, &[1, 5])]);
+        let m = phrase_matches(&[&a]);
+        assert_eq!(m, vec![(DocId(7), vec![1, 5])]);
+    }
+
+    #[test]
+    fn empty_phrase() {
+        assert!(phrase_matches(&[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(raw in proptest::collection::vec(
+            (1u32..500, proptest::collection::vec(1u32..50, 1..8)),
+            0..30,
+        )) {
+            let mut l = PositionalList::new();
+            let mut doc = 0u32;
+            for (dgap, pgaps) in raw {
+                doc += dgap;
+                let mut pos = 0u32;
+                for pg in pgaps {
+                    pos += pg;
+                    l.add_occurrence(DocId(doc), pos);
+                }
+            }
+            let buf = l.encode();
+            prop_assert_eq!(PositionalList::decode(&buf, l.len()), Some(l));
+        }
+    }
+}

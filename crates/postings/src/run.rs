@@ -1,0 +1,377 @@
+//! Run output files (paper §III.F).
+//!
+//! "A separate output file is created for the postings lists generated
+//! during a single run, whose header contains a mapping table indicating
+//! the location and length of each postings list." Postings handles stored
+//! in the dictionary index into these mapping tables; a term's full list is
+//! the concatenation of its partial lists across runs, which is already
+//! doc-ordered because runs are.
+
+use crate::codec::{decode, encode, Codec};
+use crate::posting::{Posting, PostingsList};
+use ii_corpus::DocId;
+
+/// Magic bytes of a run file.
+pub const RUN_MAGIC: &[u8; 4] = b"IIRF";
+
+/// One mapping-table row: where a partial postings list lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunEntry {
+    /// Postings handle (dictionary pointer).
+    pub handle: u32,
+    /// Payload-relative byte offset.
+    pub offset: u64,
+    /// Encoded length in bytes.
+    pub len: u32,
+    /// Number of postings encoded.
+    pub n_postings: u32,
+    /// Smallest document ID in the partial list.
+    pub doc_min: u32,
+    /// Largest document ID in the partial list.
+    pub doc_max: u32,
+}
+
+const ENTRY_BYTES: usize = 28;
+
+/// A run file: header + mapping table + payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunFile {
+    /// Which run produced this file.
+    pub run_id: u32,
+    /// Which indexer produced this file.
+    pub indexer_id: u32,
+    /// Mapping table, sorted by handle.
+    pub entries: Vec<RunEntry>,
+    /// Concatenated encoded postings.
+    pub payload: Vec<u8>,
+    /// Codec used for every list in this run.
+    pub codec: Codec,
+}
+
+/// Errors from [`RunFile::from_bytes`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RunFileError {
+    /// Wrong magic or impossible sizes.
+    Malformed,
+    /// Buffer too short.
+    Truncated,
+}
+
+impl std::fmt::Display for RunFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunFileError::Malformed => write!(f, "malformed run file"),
+            RunFileError::Truncated => write!(f, "truncated run file"),
+        }
+    }
+}
+
+impl std::error::Error for RunFileError {}
+
+fn codec_tag(c: Codec) -> (u8, u64) {
+    match c {
+        Codec::VarByte => (0, 0),
+        Codec::Gamma => (1, 0),
+        Codec::Golomb(b) => (2, b),
+    }
+}
+
+fn codec_from_tag(tag: u8, b: u64) -> Option<Codec> {
+    match tag {
+        0 => Some(Codec::VarByte),
+        1 => Some(Codec::Gamma),
+        2 => Some(Codec::Golomb(b.max(1))),
+        _ => None,
+    }
+}
+
+impl RunFile {
+    /// Build a run file from `(handle, list)` pairs (the end-of-run flush).
+    /// Empty lists are skipped. Entries are stored sorted by handle.
+    pub fn build(
+        run_id: u32,
+        indexer_id: u32,
+        lists: &mut dyn Iterator<Item = (u32, &PostingsList)>,
+        codec: Codec,
+    ) -> RunFile {
+        let mut pairs: Vec<(u32, &PostingsList)> =
+            lists.filter(|(_, l)| !l.is_empty()).collect();
+        pairs.sort_unstable_by_key(|(h, _)| *h);
+        let mut entries = Vec::with_capacity(pairs.len());
+        let mut payload = Vec::new();
+        for (handle, list) in pairs {
+            let bytes = encode(list.postings(), codec);
+            let (lo, hi) = list.doc_range().expect("non-empty");
+            entries.push(RunEntry {
+                handle,
+                offset: payload.len() as u64,
+                len: bytes.len() as u32,
+                n_postings: list.len() as u32,
+                doc_min: lo.0,
+                doc_max: hi.0,
+            });
+            payload.extend_from_slice(&bytes);
+        }
+        RunFile { run_id, indexer_id, entries, payload, codec }
+    }
+
+    /// Document range covered by the whole run, if any list is present.
+    pub fn doc_range(&self) -> Option<(u32, u32)> {
+        let lo = self.entries.iter().map(|e| e.doc_min).min()?;
+        let hi = self.entries.iter().map(|e| e.doc_max).max()?;
+        Some((lo, hi))
+    }
+
+    /// Look up the mapping-table row of `handle`.
+    pub fn entry(&self, handle: u32) -> Option<&RunEntry> {
+        self.entries
+            .binary_search_by_key(&handle, |e| e.handle)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Decode the partial postings list of `handle` in this run.
+    pub fn get(&self, handle: u32) -> Option<Vec<Posting>> {
+        let e = self.entry(handle)?;
+        let buf = &self.payload[e.offset as usize..(e.offset + e.len as u64) as usize];
+        decode(buf, e.n_postings as usize, self.codec)
+    }
+
+    /// Serialize to bytes (what goes to disk).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.entries.len() * ENTRY_BYTES + self.payload.len());
+        out.extend_from_slice(RUN_MAGIC);
+        out.extend_from_slice(&self.run_id.to_le_bytes());
+        out.extend_from_slice(&self.indexer_id.to_le_bytes());
+        let (tag, b) = codec_tag(self.codec);
+        out.push(tag);
+        out.extend_from_slice(&b.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.handle.to_le_bytes());
+            out.extend_from_slice(&e.offset.to_le_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+            out.extend_from_slice(&e.n_postings.to_le_bytes());
+            out.extend_from_slice(&e.doc_min.to_le_bytes());
+            out.extend_from_slice(&e.doc_max.to_le_bytes());
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Deserialize a run file.
+    pub fn from_bytes(buf: &[u8]) -> Result<RunFile, RunFileError> {
+        if buf.len() < 33 {
+            return Err(RunFileError::Truncated);
+        }
+        if &buf[..4] != RUN_MAGIC {
+            return Err(RunFileError::Malformed);
+        }
+        let rd32 = |o: usize| u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
+        let rd64 = |o: usize| {
+            u64::from_le_bytes([
+                buf[o],
+                buf[o + 1],
+                buf[o + 2],
+                buf[o + 3],
+                buf[o + 4],
+                buf[o + 5],
+                buf[o + 6],
+                buf[o + 7],
+            ])
+        };
+        let run_id = rd32(4);
+        let indexer_id = rd32(8);
+        let codec = codec_from_tag(buf[12], rd64(13)).ok_or(RunFileError::Malformed)?;
+        let n = rd32(21) as usize;
+        let payload_len = rd64(25) as usize;
+        let table_start = 33;
+        let payload_start = table_start + n * ENTRY_BYTES;
+        if buf.len() < payload_start + payload_len {
+            return Err(RunFileError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let o = table_start + i * ENTRY_BYTES;
+            entries.push(RunEntry {
+                handle: rd32(o),
+                offset: rd64(o + 4),
+                len: rd32(o + 12),
+                n_postings: rd32(o + 16),
+                doc_min: rd32(o + 20),
+                doc_max: rd32(o + 24),
+            });
+        }
+        for e in &entries {
+            if (e.offset + e.len as u64) as usize > payload_len {
+                return Err(RunFileError::Malformed);
+            }
+        }
+        let payload = buf[payload_start..payload_start + payload_len].to_vec();
+        Ok(RunFile { run_id, indexer_id, entries, payload, codec })
+    }
+}
+
+/// All the run files one indexer produced, in run order; answers full-list
+/// and range-narrowed lookups (the two §III.F retrieval benefits).
+#[derive(Clone, Debug, Default)]
+pub struct RunSet {
+    runs: Vec<RunFile>,
+}
+
+impl RunSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the next run (must be in run order).
+    pub fn push(&mut self, run: RunFile) {
+        if let Some(last) = self.runs.last() {
+            assert!(run.run_id > last.run_id, "runs must be appended in order");
+        }
+        self.runs.push(run);
+    }
+
+    /// Runs held.
+    pub fn runs(&self) -> &[RunFile] {
+        &self.runs
+    }
+
+    /// Full postings list of `handle`: concatenation of its partial lists.
+    pub fn fetch(&self, handle: u32) -> PostingsList {
+        let mut out = PostingsList::new();
+        for r in &self.runs {
+            if let Some(part) = r.get(handle) {
+                for p in part {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Postings of `handle` restricted to documents in `[lo, hi]`. Only
+    /// partial lists whose doc range overlaps are decoded; returns the
+    /// postings and the number of runs actually decoded (so tests and
+    /// benches can observe the §III.F narrowing benefit).
+    pub fn fetch_range(&self, handle: u32, lo: DocId, hi: DocId) -> (Vec<Posting>, usize) {
+        let mut out = Vec::new();
+        let mut decoded = 0usize;
+        for r in &self.runs {
+            if let Some(e) = r.entry(handle) {
+                if e.doc_max < lo.0 || e.doc_min > hi.0 {
+                    continue;
+                }
+                decoded += 1;
+                if let Some(part) = r.get(handle) {
+                    out.extend(part.into_iter().filter(|p| p.doc >= lo && p.doc <= hi));
+                }
+            }
+        }
+        (out, decoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(docs: &[(u32, u32)]) -> PostingsList {
+        docs.iter().map(|&(d, tf)| Posting { doc: DocId(d), tf }).collect()
+    }
+
+    fn sample_run(run_id: u32) -> RunFile {
+        let base = run_id * 100;
+        let l1 = list(&[(base, 2), (base + 5, 1)]);
+        let l2 = list(&[(base + 1, 4)]);
+        let pairs = [(7u32, l1), (3u32, l2)];
+        let mut it = pairs.iter().map(|(h, l)| (*h, l));
+        RunFile::build(run_id, 0, &mut it, Codec::VarByte)
+    }
+
+    #[test]
+    fn build_sorts_entries_and_skips_empty() {
+        let l1 = list(&[(1, 1)]);
+        let empty = PostingsList::new();
+        let pairs = [(9u32, l1), (2u32, empty)];
+        let mut it = pairs.iter().map(|(h, l)| (*h, l));
+        let run = RunFile::build(0, 0, &mut it, Codec::VarByte);
+        assert_eq!(run.entries.len(), 1);
+        assert_eq!(run.entries[0].handle, 9);
+    }
+
+    #[test]
+    fn get_decodes_partial_list() {
+        let run = sample_run(1);
+        assert_eq!(
+            run.get(7).unwrap(),
+            vec![Posting { doc: DocId(100), tf: 2 }, Posting { doc: DocId(105), tf: 1 }]
+        );
+        assert_eq!(run.get(3).unwrap(), vec![Posting { doc: DocId(101), tf: 4 }]);
+        assert_eq!(run.get(99), None);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        for codec in [Codec::VarByte, Codec::Gamma, Codec::Golomb(8)] {
+            let l = list(&[(0, 1), (9, 3)]);
+            let pairs = [(1u32, l)];
+            let mut it = pairs.iter().map(|(h, l)| (*h, l));
+            let run = RunFile::build(5, 2, &mut it, codec);
+            let bytes = run.to_bytes();
+            let back = RunFile::from_bytes(&bytes).unwrap();
+            assert_eq!(back, run);
+        }
+    }
+
+    #[test]
+    fn corrupt_rejected() {
+        assert_eq!(RunFile::from_bytes(b"shrt"), Err(RunFileError::Truncated));
+        let mut bytes = sample_run(0).to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(RunFile::from_bytes(&bytes), Err(RunFileError::Malformed));
+        let bytes = sample_run(0).to_bytes();
+        assert_eq!(
+            RunFile::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(RunFileError::Truncated)
+        );
+    }
+
+    #[test]
+    fn runset_concatenates_runs() {
+        let mut rs = RunSet::new();
+        rs.push(sample_run(0));
+        rs.push(sample_run(1));
+        rs.push(sample_run(2));
+        let full = rs.fetch(7);
+        let docs: Vec<u32> = full.postings().iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![0, 5, 100, 105, 200, 205]);
+        // Sorted invariant held by construction.
+        assert!(docs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn range_fetch_skips_nonoverlapping_runs() {
+        let mut rs = RunSet::new();
+        for r in 0..5 {
+            rs.push(sample_run(r));
+        }
+        let (hits, decoded) = rs.fetch_range(7, DocId(100), DocId(205));
+        assert_eq!(decoded, 2, "only runs 1 and 2 overlap");
+        let docs: Vec<u32> = hits.iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![100, 105, 200, 205]);
+        let (none, decoded) = rs.fetch_range(7, DocId(1000), DocId(2000));
+        assert!(none.is_empty());
+        assert_eq!(decoded, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_runs_rejected() {
+        let mut rs = RunSet::new();
+        rs.push(sample_run(1));
+        rs.push(sample_run(0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Variable-byte encoding — the compression the paper applies to postings
+//! lists during post-processing ("compress them with variable bytes
+//! encoding", §III.E).
+//!
+//! Little-endian base-128: each byte carries 7 value bits; the high bit is
+//! set on the final byte of a value (the classic IR convention).
+
+/// Append the varbyte encoding of `v` to `out`.
+pub fn encode_u32(mut v: u32, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte | 0x80);
+            return;
+        }
+        out.push(byte);
+    }
+}
+
+/// Decode one varbyte value from `buf[*pos..]`, advancing `pos`.
+/// Returns `None` on truncated input.
+pub fn decode_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        v |= ((byte & 0x7F) as u32) << shift;
+        if byte & 0x80 != 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 35 {
+            return None; // overlong encoding
+        }
+    }
+}
+
+/// Encode a slice of values.
+pub fn encode_all(vals: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 2);
+    for &v in vals {
+        encode_u32(v, &mut out);
+    }
+    out
+}
+
+/// Decode exactly `n` values.
+pub fn decode_n(buf: &[u8], n: usize) -> Option<Vec<u32>> {
+    let mut pos = 0;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_u32(buf, &mut pos)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_byte_values() {
+        for v in [0u32, 1, 127] {
+            let mut out = Vec::new();
+            encode_u32(v, &mut out);
+            assert_eq!(out.len(), 1);
+            let mut pos = 0;
+            assert_eq!(decode_u32(&out, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn boundary_values() {
+        for v in [128u32, 16_383, 16_384, u32::MAX] {
+            let mut out = Vec::new();
+            encode_u32(v, &mut out);
+            let mut pos = 0;
+            assert_eq!(decode_u32(&out, &mut pos), Some(v));
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn truncated_is_none() {
+        let mut out = Vec::new();
+        encode_u32(300, &mut out);
+        let mut pos = 0;
+        assert_eq!(decode_u32(&out[..1], &mut pos), None);
+        assert_eq!(decode_u32(&[], &mut 0), None);
+    }
+
+    #[test]
+    fn small_gaps_compress_well() {
+        // 1000 gaps of 1 must take exactly 1000 bytes.
+        let vals = vec![1u32; 1000];
+        assert_eq!(encode_all(&vals).len(), 1000);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(vals in proptest::collection::vec(any::<u32>(), 0..200)) {
+            let buf = encode_all(&vals);
+            prop_assert_eq!(decode_n(&buf, vals.len()).unwrap(), vals);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! HTML tag stripping.
+//!
+//! Web-crawl collections (ClueWeb09-like, Congress-like) store HTML pages;
+//! the paper's Wikipedia collection had tags removed upstream. The parser
+//! strips tags before tokenization for HTML collections: a small state
+//! machine that drops `<...>` markup, skips `<script>`/`<style>` content
+//! entirely, and decodes the handful of entities the generator emits.
+
+/// Strip HTML markup from `input`, returning the visible text. Tag
+/// boundaries are replaced by single spaces so adjacent words don't fuse.
+pub fn strip_tags(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            // Find the end of the tag.
+            let tag_start = i + 1;
+            let mut j = tag_start;
+            while j < bytes.len() && bytes[j] != b'>' {
+                j += 1;
+            }
+            let tag = input[tag_start..j.min(input.len())].trim();
+            let name: String = tag
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .flat_map(|c| c.to_lowercase())
+                .collect();
+            i = (j + 1).min(bytes.len());
+            out.push(' ');
+            // Skip raw-content elements wholesale.
+            if name == "script" || name == "style" {
+                let close = format!("</{name}");
+                if let Some(pos) = input[i..].to_ascii_lowercase().find(&close) {
+                    let after = i + pos;
+                    // Move past the closing '>'.
+                    let mut k = after;
+                    while k < bytes.len() && bytes[k] != b'>' {
+                        k += 1;
+                    }
+                    i = (k + 1).min(bytes.len());
+                } else {
+                    i = bytes.len();
+                }
+            }
+        } else if bytes[i] == b'&' {
+            // Decode a small entity set; unknown entities pass through.
+            let rest = &input[i..];
+            let mut decoded = false;
+            for (ent, ch) in [
+                ("&amp;", '&'),
+                ("&lt;", '<'),
+                ("&gt;", '>'),
+                ("&quot;", '"'),
+                ("&#39;", '\''),
+                ("&nbsp;", ' '),
+            ] {
+                if rest.starts_with(ent) {
+                    out.push(ch);
+                    i += ent.len();
+                    decoded = true;
+                    break;
+                }
+            }
+            if !decoded {
+                out.push('&');
+                i += 1;
+            }
+        } else {
+            // Copy one UTF-8 scalar.
+            let c = input[i..].chars().next().unwrap();
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_unchanged() {
+        assert_eq!(strip_tags("hello world"), "hello world");
+    }
+
+    #[test]
+    fn tags_removed_words_separated() {
+        assert_eq!(strip_tags("<p>one</p><p>two</p>").split_whitespace().collect::<Vec<_>>(),
+                   ["one", "two"]);
+    }
+
+    #[test]
+    fn attributes_do_not_leak() {
+        let s = strip_tags("<a href=\"http://evil.example/x?q=1\">link</a>");
+        assert!(!s.contains("evil"), "attribute text leaked: {s}");
+        assert!(s.contains("link"));
+    }
+
+    #[test]
+    fn script_and_style_content_dropped() {
+        let s = strip_tags("a<script>var x = 1;</script>b<style>.c{color:red}</style>c");
+        let words: Vec<_> = s.split_whitespace().collect();
+        assert_eq!(words, ["a", "b", "c"]);
+        // Case-insensitive closing tag.
+        let s = strip_tags("x<SCRIPT>q()</ScRiPt>y");
+        assert_eq!(s.split_whitespace().collect::<Vec<_>>(), ["x", "y"]);
+    }
+
+    #[test]
+    fn entities_decoded() {
+        assert_eq!(strip_tags("a&amp;b &lt;c&gt; &quot;d&quot;"), "a&b <c> \"d\"");
+        assert_eq!(strip_tags("&unknown; stays"), "&unknown; stays");
+    }
+
+    #[test]
+    fn unterminated_tag_is_dropped() {
+        assert_eq!(strip_tags("text <unclosed everything after").trim(), "text");
+    }
+
+    #[test]
+    fn unterminated_script_is_dropped() {
+        assert_eq!(strip_tags("before<script>never closed").trim(), "before");
+    }
+
+    #[test]
+    fn full_page() {
+        let page = "<html><head><title>T</title></head><body><p>hello</p>\
+                    <a href=\"u\">world</a></body></html>";
+        let words: Vec<_> = strip_tags(page).split_whitespace().map(String::from).collect();
+        assert_eq!(words, ["T", "hello", "world"]);
+    }
+}

@@ -1,0 +1,392 @@
+//! The parser pipeline stage (paper §III.C, Fig 3).
+//!
+//! Steps 2-5 of one parser thread: tokenization (with trie-index
+//! classification), Porter stemming, stop-word removal, and the *regrouping*
+//! step that rearranges terms so all terms of one trie collection are
+//! contiguous with their trie-captured prefix removed. Step 1 (disk read,
+//! decompression, local doc-ID assignment) lives in `ii-pipeline`, which
+//! models its cost separately.
+//!
+//! Output layout matches what the GPU indexer consumes (Fig 6): each
+//! group's terms are a contiguous byte buffer of length-prefixed strings
+//! (one length byte, then the bytes), organized per document:
+//! `(Doc_ID1, term1, term2, ...), (Doc_ID2, ...)` with *local* doc IDs.
+
+use crate::html::strip_tags;
+use crate::porter::stem;
+use crate::stopwords::is_stop_word;
+use crate::tokenize::tokens;
+use ii_corpus::doc::{DocId, RawDocument};
+use ii_dict::trie::{classify, TrieIndex};
+use std::collections::HashMap;
+
+/// Longest stored term suffix; the paper assumes one length byte suffices.
+pub const MAX_TERM_BYTES: usize = 255;
+
+/// The terms one document contributed to one trie group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DocSpan {
+    /// Local document ID (within the parser batch).
+    pub doc: DocId,
+    /// Start byte of this doc's terms in the group's `term_bytes`.
+    pub byte_start: u32,
+    /// Length in bytes of this doc's term region.
+    pub byte_len: u32,
+    /// Number of terms in the region.
+    pub n_terms: u32,
+}
+
+/// All parsed terms of one trie collection, prefix-stripped and packed in
+/// the Fig 6 length-prefixed layout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrieGroup {
+    /// Which trie collection this is.
+    pub trie_index: u32,
+    /// Document regions, in local-doc-ID order.
+    pub docs: Vec<DocSpan>,
+    /// Length-prefixed term strings.
+    pub term_bytes: Vec<u8>,
+    /// In-document token positions, one per term in emission order (the
+    /// "possibly other information" of §II; consumed by the positional
+    /// index extension, ignored by the paper's non-positional indexers).
+    pub positions: Vec<u32>,
+}
+
+impl TrieGroup {
+    /// Iterate `(local doc id, term bytes)` pairs in stream order.
+    pub fn iter_terms(&self) -> impl Iterator<Item = (DocId, &[u8])> + '_ {
+        self.docs.iter().flat_map(move |span| {
+            TermBytesIter {
+                buf: &self.term_bytes
+                    [span.byte_start as usize..(span.byte_start + span.byte_len) as usize],
+            }
+            .map(move |t| (span.doc, t))
+        })
+    }
+
+    /// Total number of terms in the group.
+    pub fn total_terms(&self) -> u64 {
+        self.docs.iter().map(|d| d.n_terms as u64).sum()
+    }
+
+    /// Iterate `(local doc id, term bytes, in-doc token position)`.
+    pub fn iter_terms_with_positions(
+        &self,
+    ) -> impl Iterator<Item = (DocId, &[u8], u32)> + '_ {
+        self.iter_terms()
+            .zip(self.positions.iter())
+            .map(|((d, t), &p)| (d, t, p))
+    }
+}
+
+/// Iterator over a length-prefixed term byte buffer.
+pub struct TermBytesIter<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> TermBytesIter<'a> {
+    /// Iterate the terms of a raw Fig 6 buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        TermBytesIter { buf }
+    }
+}
+
+impl<'a> Iterator for TermBytesIter<'a> {
+    type Item = &'a [u8];
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let (&len, rest) = self.buf.split_first()?;
+        let len = len as usize;
+        let (term, rest) = rest.split_at(len.min(rest.len()));
+        self.buf = rest;
+        Some(term)
+    }
+}
+
+/// Counters the pipeline and the Table V workload report consume.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Tokens produced by tokenization (before stop-word removal).
+    pub tokens: u64,
+    /// Terms surviving stop-word removal (what indexers receive).
+    pub terms_kept: u64,
+    /// Bytes of term suffixes handed to indexers.
+    pub chars: u64,
+}
+
+/// One parser's output for one batch (container file) of documents.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedBatch {
+    /// Index of the source container file.
+    pub file_idx: usize,
+    /// Number of documents parsed (local doc IDs are `0..num_docs`).
+    pub num_docs: u32,
+    /// `<doc ID, document location>` table built in Step 1.
+    pub doc_table: Vec<(DocId, String)>,
+    /// Non-empty trie groups, sorted by trie index.
+    pub groups: Vec<TrieGroup>,
+    /// Parse counters.
+    pub stats: ParseStats,
+}
+
+impl ParsedBatch {
+    /// Total uncompressed input size this batch represents (for throughput
+    /// accounting).
+    pub fn group(&self, trie_index: u32) -> Option<&TrieGroup> {
+        self.groups
+            .binary_search_by_key(&trie_index, |g| g.trie_index)
+            .ok()
+            .map(|i| &self.groups[i])
+    }
+}
+
+struct GroupBuilder {
+    docs: Vec<DocSpan>,
+    term_bytes: Vec<u8>,
+    positions: Vec<u32>,
+}
+
+impl GroupBuilder {
+    fn push(&mut self, doc: DocId, term: &[u8], position: u32) {
+        let start_new = match self.docs.last() {
+            Some(span) => span.doc != doc,
+            None => true,
+        };
+        if start_new {
+            self.docs.push(DocSpan {
+                doc,
+                byte_start: self.term_bytes.len() as u32,
+                byte_len: 0,
+                n_terms: 0,
+            });
+        }
+        let term = &term[..term.len().min(MAX_TERM_BYTES)];
+        self.term_bytes.push(term.len() as u8);
+        self.term_bytes.extend_from_slice(term);
+        let span = self.docs.last_mut().unwrap();
+        span.byte_len += 1 + term.len() as u32;
+        span.n_terms += 1;
+        self.positions.push(position);
+    }
+}
+
+/// Run parser Steps 2-5 over one batch of documents.
+///
+/// `html` selects tag stripping (web-crawl collections). Local doc IDs are
+/// assigned in input order starting at 0, matching Step 1's doc table.
+pub fn parse_documents(docs: &[RawDocument], html: bool, file_idx: usize) -> ParsedBatch {
+    let mut builders: HashMap<u32, GroupBuilder> = HashMap::new();
+    let mut stats = ParseStats::default();
+    let mut doc_table = Vec::with_capacity(docs.len());
+    for (local, d) in docs.iter().enumerate() {
+        let doc_id = DocId(local as u32);
+        doc_table.push((doc_id, d.url.clone()));
+        let text: std::borrow::Cow<'_, str> =
+            if html { strip_tags(&d.body).into() } else { (&d.body).into() };
+        let mut it = tokens(&text);
+        let mut token_pos = 0u32;
+        while let Some(tok) = it.next_token() {
+            stats.tokens += 1;
+            let position = token_pos;
+            token_pos += 1;
+            // Step 3: stemming.
+            let stemmed = stem(tok);
+            // Step 4: stop-word removal (post-stem, as in the paper).
+            if is_stop_word(&stemmed) {
+                continue;
+            }
+            // Step 5 classification: trie index + prefix strip. The paper
+            // computes the index during tokenization as a byproduct; we
+            // classify the stemmed form for exactness (stemming a 4-letter
+            // word down to 3 letters would otherwise change its category).
+            let (idx, suffix) = classify(&stemmed);
+            stats.terms_kept += 1;
+            stats.chars += suffix.len() as u64;
+            builders
+                .entry(idx.0)
+                .or_insert_with(|| GroupBuilder {
+                    docs: Vec::new(),
+                    term_bytes: Vec::new(),
+                    positions: Vec::new(),
+                })
+                .push(doc_id, suffix.as_bytes(), position);
+        }
+    }
+    let mut groups: Vec<TrieGroup> = builders
+        .into_iter()
+        .map(|(trie_index, b)| TrieGroup {
+            trie_index,
+            docs: b.docs,
+            term_bytes: b.term_bytes,
+            positions: b.positions,
+        })
+        .collect();
+    groups.sort_unstable_by_key(|g| g.trie_index);
+    ParsedBatch { file_idx, num_docs: docs.len() as u32, doc_table, groups, stats }
+}
+
+/// Parse without regrouping: emit a single flat `(doc, term)` stream in
+/// document order. This is the ablation baseline for the paper's claim that
+/// regrouping yields ~15x faster serial indexing via cache locality; the
+/// suffixes here keep their full term text (no trie prefix strip) because
+/// without grouping there is no shared prefix to remove.
+pub fn parse_documents_flat(
+    docs: &[RawDocument],
+    html: bool,
+) -> (Vec<(DocId, TrieIndex, String)>, ParseStats) {
+    let mut out = Vec::new();
+    let mut stats = ParseStats::default();
+    for (local, d) in docs.iter().enumerate() {
+        let doc_id = DocId(local as u32);
+        let text: std::borrow::Cow<'_, str> =
+            if html { strip_tags(&d.body).into() } else { (&d.body).into() };
+        let mut it = tokens(&text);
+        while let Some(tok) = it.next_token() {
+            stats.tokens += 1;
+            let stemmed = stem(tok);
+            if is_stop_word(&stemmed) {
+                continue;
+            }
+            let (idx, suffix) = classify(&stemmed);
+            stats.terms_kept += 1;
+            stats.chars += suffix.len() as u64;
+            out.push((doc_id, idx, suffix.to_string()));
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ii_dict::trie::trie_index;
+
+    fn doc(body: &str) -> RawDocument {
+        RawDocument { url: format!("u{}", body.len()), body: body.into() }
+    }
+
+    #[test]
+    fn groups_are_sorted_and_contiguous() {
+        let docs = vec![doc("apple banana apple cherry"), doc("banana date")];
+        let b = parse_documents(&docs, false, 0);
+        let idxs: Vec<u32> = b.groups.iter().map(|g| g.trie_index).collect();
+        let mut sorted = idxs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(idxs, sorted);
+        assert_eq!(b.num_docs, 2);
+        assert_eq!(b.doc_table.len(), 2);
+    }
+
+    #[test]
+    fn stop_words_removed_and_stemming_applied() {
+        let docs = vec![doc("the running dogs are hopping")];
+        let b = parse_documents(&docs, false, 0);
+        let all: Vec<(DocId, Vec<u8>)> = b
+            .groups
+            .iter()
+            .flat_map(|g| g.iter_terms().map(|(d, t)| (d, t.to_vec())))
+            .collect();
+        // "the"/"are" removed; run(ning)->run, dogs->dog, hopping->hop.
+        let mut terms: Vec<String> =
+            all.iter().map(|(_, t)| String::from_utf8(t.clone()).unwrap()).collect();
+        terms.sort();
+        // Terms are prefix-stripped: run->(cat 'r', strip 1)->"un",
+        // dog->"og", hop->"op".
+        assert_eq!(terms, ["og", "op", "un"]);
+    }
+
+    #[test]
+    fn prefix_stripping_matches_trie() {
+        let docs = vec![doc("application")];
+        let b = parse_documents(&docs, false, 0);
+        assert_eq!(b.groups.len(), 1);
+        let g = &b.groups[0];
+        assert_eq!(g.trie_index, trie_index("applic").0); // stemmed form
+        let (_, t) = g.iter_terms().next().unwrap();
+        assert_eq!(t, b"lic"); // "applic" minus "app"
+    }
+
+    #[test]
+    fn doc_spans_track_local_ids() {
+        let docs = vec![doc("zebra zebra"), doc("zebra"), doc("quilt")];
+        let b = parse_documents(&docs, false, 0);
+        let zg = b.group(trie_index("zebra").0).unwrap();
+        assert_eq!(zg.docs.len(), 2);
+        assert_eq!(zg.docs[0].doc, DocId(0));
+        assert_eq!(zg.docs[0].n_terms, 2);
+        assert_eq!(zg.docs[1].doc, DocId(1));
+        assert_eq!(zg.docs[1].n_terms, 1);
+    }
+
+    #[test]
+    fn html_mode_strips_tags() {
+        let docs = vec![RawDocument {
+            url: "u".into(),
+            body: "<p>zebra</p><script>junkword()</script>".into(),
+        }];
+        let with_html = parse_documents(&docs, true, 0);
+        let terms: Vec<String> = with_html
+            .groups
+            .iter()
+            .flat_map(|g| g.iter_terms().map(|(_, t)| String::from_utf8(t.to_vec()).unwrap()))
+            .collect();
+        assert_eq!(terms, ["ra"]); // "zebra" -> collection "zeb", stored suffix "ra"
+    }
+
+    #[test]
+    fn stats_counted() {
+        let docs = vec![doc("the cat sat on the mat")];
+        let b = parse_documents(&docs, false, 0);
+        assert_eq!(b.stats.tokens, 6);
+        // "the" x2, "on" removed -> cat, sat, mat kept.
+        assert_eq!(b.stats.terms_kept, 3);
+        assert!(b.stats.chars > 0);
+    }
+
+    #[test]
+    fn flat_parse_agrees_with_grouped() {
+        let docs = vec![doc("alpha beta gamma alpha"), doc("delta beta")];
+        let grouped = parse_documents(&docs, false, 0);
+        let (flat, stats) = parse_documents_flat(&docs, false);
+        assert_eq!(stats, grouped.stats);
+        // Same multiset of (doc, trie, term).
+        let mut a: Vec<(u32, u32, Vec<u8>)> = grouped
+            .groups
+            .iter()
+            .flat_map(|g| g.iter_terms().map(move |(d, t)| (d.0, g.trie_index, t.to_vec())))
+            .collect();
+        let mut b: Vec<(u32, u32, Vec<u8>)> =
+            flat.into_iter().map(|(d, i, t)| (d.0, i.0, t.into_bytes())).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn term_bytes_iter_roundtrip() {
+        let mut buf = Vec::new();
+        for t in [&b"ab"[..], b"", b"xyz"] {
+            buf.push(t.len() as u8);
+            buf.extend_from_slice(t);
+        }
+        let got: Vec<&[u8]> = TermBytesIter::new(&buf).collect();
+        assert_eq!(got, vec![&b"ab"[..], b"", b"xyz"]);
+    }
+
+    #[test]
+    fn very_long_tokens_truncated() {
+        let long = "z".repeat(600);
+        let docs = vec![doc(&long)];
+        let b = parse_documents(&docs, false, 0);
+        let (_, t) = b.groups[0].iter_terms().next().unwrap();
+        assert!(t.len() <= MAX_TERM_BYTES);
+    }
+
+    #[test]
+    fn empty_input() {
+        let b = parse_documents(&[], false, 0);
+        assert_eq!(b.num_docs, 0);
+        assert!(b.groups.is_empty());
+        assert_eq!(b.stats, ParseStats::default());
+    }
+}

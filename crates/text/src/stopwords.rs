@@ -1,0 +1,85 @@
+//! Stop-word removal (parser Step 4).
+//!
+//! The paper removes stop words *after* stemming (§III.C Step 3 then
+//! Step 4), so the filter must recognize both surface forms ("this") and
+//! their stems ("thi"). We build one sorted table containing the classic
+//! stop list plus the Porter stem of every entry, and answer membership by
+//! binary search.
+
+use crate::porter;
+use std::sync::OnceLock;
+
+/// The classic SMART-derived stop list (surface forms).
+pub const STOP_WORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it",
+    "its", "itself", "me", "more", "most", "my", "myself", "no", "nor", "not", "of", "off",
+    "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over",
+    "own", "same", "she", "should", "so", "some", "such", "than", "that", "the", "their",
+    "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those",
+    "through", "to", "too", "under", "until", "up", "very", "was", "we", "were", "what",
+    "when", "where", "which", "while", "who", "whom", "why", "with", "would", "you", "your",
+    "yours", "yourself", "yourselves",
+];
+
+fn table() -> &'static Vec<&'static str> {
+    static TABLE: OnceLock<Vec<&'static str>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut v: Vec<&'static str> = Vec::with_capacity(STOP_WORDS.len() * 2);
+        v.extend_from_slice(STOP_WORDS);
+        for w in STOP_WORDS {
+            let stemmed = porter::stem(w);
+            if stemmed != *w {
+                // Leak is bounded and one-time: a few dozen short strings.
+                v.push(Box::leak(stemmed.into_owned().into_boxed_str()));
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+/// Is `term` (surface or stemmed form) a stop word?
+pub fn is_stop_word(term: &str) -> bool {
+    table().binary_search(&term).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_stop_words_match() {
+        for w in ["the", "to", "and", "of", "a", "is"] {
+            assert!(is_stop_word(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn stemmed_forms_match() {
+        // Porter: this -> thi, because -> becaus, having -> have, etc.
+        assert!(is_stop_word("thi"));
+        assert!(is_stop_word("becaus"));
+        assert!(is_stop_word("onc"));
+        assert!(is_stop_word("veri"));
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["computer", "index", "parallel", "gpu", "zebra", "954"] {
+            assert!(!is_stop_word(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn table_is_sorted_and_deduped() {
+        let t = table();
+        for w in t.windows(2) {
+            assert!(w[0] < w[1], "table must be strictly sorted: {w:?}");
+        }
+    }
+}

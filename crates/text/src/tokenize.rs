@@ -1,0 +1,148 @@
+//! Tokenization (parser Step 2).
+//!
+//! Splits text into lowercase tokens by scanning character by character —
+//! the same single pass the paper uses to compute each term's trie index as
+//! a byproduct. A token is a maximal run of Unicode alphanumeric characters;
+//! a leading '-' is kept when directly followed by a digit so terms like
+//! "-80" (Table I's special-category example) survive.
+
+/// Iterator over the tokens of a text.
+pub struct Tokens<'a> {
+    rest: &'a str,
+    /// Scratch buffer reused across tokens to avoid per-token allocation
+    /// when no lowercasing is needed.
+    buf: String,
+}
+
+/// Tokenize `text`. Tokens are lowercased. Returned borrows are not
+/// possible in general (lowercasing), so the iterator yields `String`s
+/// drawn from an internal buffer via `next_token`.
+pub fn tokens(text: &str) -> Tokens<'_> {
+    Tokens { rest: text, buf: String::with_capacity(32) }
+}
+
+impl<'a> Tokens<'a> {
+    /// Advance to the next token, returning it as a borrowed `&str` valid
+    /// until the next call. Using a lending-iterator shape keeps the hot
+    /// parsing loop allocation-free.
+    pub fn next_token(&mut self) -> Option<&str> {
+        let bytes = self.rest.as_bytes();
+        let mut i = 0usize;
+        // Skip separators; allow '-' to start a token only before a digit.
+        loop {
+            if i >= bytes.len() {
+                self.rest = "";
+                return None;
+            }
+            let c = self.rest[i..].chars().next().unwrap();
+            if c.is_alphanumeric() {
+                break;
+            }
+            if c == '-' {
+                let mut it = self.rest[i..].chars();
+                it.next();
+                if matches!(it.next(), Some(d) if d.is_ascii_digit()) {
+                    break;
+                }
+            }
+            i += c.len_utf8();
+        }
+        let start = i;
+        // Consume the leading '-' if present.
+        if bytes[i] == b'-' {
+            i += 1;
+        }
+        while i < bytes.len() {
+            let c = self.rest[i..].chars().next().unwrap();
+            if !c.is_alphanumeric() {
+                break;
+            }
+            i += c.len_utf8();
+        }
+        let raw = &self.rest[start..i];
+        self.rest = &self.rest[i..];
+        self.buf.clear();
+        if raw.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-') {
+            self.buf.push_str(raw);
+        } else {
+            for ch in raw.chars() {
+                for l in ch.to_lowercase() {
+                    self.buf.push(l);
+                }
+            }
+        }
+        Some(&self.buf)
+    }
+
+    /// Collect the remaining tokens into owned strings (test convenience).
+    pub fn collect_all(mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_token() {
+            out.push(t.to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokens(s).collect_all()
+    }
+
+    #[test]
+    fn simple_words() {
+        assert_eq!(toks("the quick brown fox"), ["the", "quick", "brown", "fox"]);
+    }
+
+    #[test]
+    fn punctuation_and_newlines_split() {
+        assert_eq!(toks("one, two.\nthree!four"), ["one", "two", "three", "four"]);
+    }
+
+    #[test]
+    fn lowercasing() {
+        assert_eq!(toks("Hello WORLD MiXeD"), ["hello", "world", "mixed"]);
+    }
+
+    #[test]
+    fn numbers_kept() {
+        assert_eq!(toks("in 1999 and 01 things"), ["in", "1999", "and", "01", "things"]);
+    }
+
+    #[test]
+    fn negative_numbers_keep_minus() {
+        assert_eq!(toks("at -80 degrees"), ["at", "-80", "degrees"]);
+        // '-' not followed by a digit is a separator.
+        assert_eq!(toks("well-known fact"), ["well", "known", "fact"]);
+        // trailing dash
+        assert_eq!(toks("dash- end -"), ["dash", "end"]);
+    }
+
+    #[test]
+    fn alphanumeric_mix_is_one_token() {
+        assert_eq!(toks("3d model x86"), ["3d", "model", "x86"]);
+    }
+
+    #[test]
+    fn unicode_letters() {
+        assert_eq!(toks("caf\u{e9} Z\u{0416}ivot"), ["caf\u{e9}", "z\u{436}ivot"]);
+    }
+
+    #[test]
+    fn empty_and_separator_only() {
+        assert_eq!(toks(""), Vec::<String>::new());
+        assert_eq!(toks("  ,.;:!  \n\t"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lending_iteration_reuses_buffer() {
+        let mut it = tokens("aaa bbb");
+        assert_eq!(it.next_token(), Some("aaa"));
+        assert_eq!(it.next_token(), Some("bbb"));
+        assert_eq!(it.next_token(), None);
+        assert_eq!(it.next_token(), None);
+    }
+}

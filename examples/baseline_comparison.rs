@@ -1,0 +1,133 @@
+//! Compare the paper's system against the baselines on identical input:
+//! Ivory MapReduce, Single-Pass MapReduce, SPIMI and sort-based inversion
+//! all build the same logical index; all must agree with the heterogeneous
+//! pipeline posting-for-posting, and their measured single-core costs are
+//! what the Fig 12 harness projects to cluster scale.
+//!
+//! ```sh
+//! cargo run --release -p ii-examples --bin baseline_comparison
+//! ```
+
+use ii_baselines::{
+    ivory_index, sort_based_index, spimi_index, spmr_index, MapReduceConfig,
+};
+use ii_core::corpus::{CollectionGenerator, CollectionSpec};
+use ii_core::IndexBuilder;
+use std::time::Instant;
+
+fn main() -> std::io::Result<()> {
+    // One small text collection, shared by all systems.
+    let spec = CollectionSpec {
+        name: "comparison".into(),
+        num_files: 4,
+        docs_per_file: 120,
+        mean_doc_tokens: 300,
+        vocab_size: 20_000,
+        zipf_s: 1.0,
+        html: false,
+        seed: 99,
+        shift: None,
+    };
+    let gen = CollectionGenerator::new(spec.clone());
+    let splits: Vec<Vec<ii_core::corpus::RawDocument>> =
+        (0..spec.num_files).map(|f| gen.generate_file(f)).collect();
+    let flat: Vec<ii_core::corpus::RawDocument> =
+        splits.iter().flatten().cloned().collect();
+    let bytes: usize = flat.iter().map(|d| d.stored_len()).sum();
+    println!(
+        "collection: {} docs, {:.2} MB plain text\n",
+        flat.len(),
+        bytes as f64 / 1e6
+    );
+
+    let mr = MapReduceConfig { map_workers: 2, reduce_workers: 2 };
+
+    println!("{:<28}{:>12}{:>12}{:>14}", "system", "seconds", "terms", "MB/s");
+    let t0 = Instant::now();
+    let (ivory, ivory_stats) = ivory_index(&splits, false, mr);
+    let t_ivory = t0.elapsed().as_secs_f64();
+    println!(
+        "{:<28}{:>12.3}{:>12}{:>14.2}",
+        "Ivory MapReduce [9]",
+        t_ivory,
+        ivory.len(),
+        bytes as f64 / 1e6 / t_ivory
+    );
+
+    let t0 = Instant::now();
+    let (spmr, spmr_stats) = spmr_index(&splits, false, mr);
+    let t_spmr = t0.elapsed().as_secs_f64();
+    println!(
+        "{:<28}{:>12.3}{:>12}{:>14.2}",
+        "Single-Pass MapReduce [8]",
+        t_spmr,
+        spmr.len(),
+        bytes as f64 / 1e6 / t_spmr
+    );
+
+    let t0 = Instant::now();
+    let (spimi, spimi_stats) = spimi_index(&flat, false, 50_000);
+    let t_spimi = t0.elapsed().as_secs_f64();
+    println!(
+        "{:<28}{:>12.3}{:>12}{:>14.2}",
+        "SPIMI (serial) [4]",
+        t_spimi,
+        spimi.len(),
+        bytes as f64 / 1e6 / t_spimi
+    );
+
+    let t0 = Instant::now();
+    let (sortb, _) = sort_based_index(&flat, false, 200_000);
+    let t_sort = t0.elapsed().as_secs_f64();
+    println!(
+        "{:<28}{:>12.3}{:>12}{:>14.2}",
+        "Sort-based (serial) [3]",
+        t_sort,
+        sortb.len(),
+        bytes as f64 / 1e6 / t_sort
+    );
+
+    // The paper's system over the same data (via a stored collection).
+    let dir = std::env::temp_dir().join("ii-baseline-comparison");
+    let _ = std::fs::remove_dir_all(&dir);
+    ii_core::corpus::StoredCollection::generate(spec, &dir)?;
+    let t0 = Instant::now();
+    let index = IndexBuilder::small().parsers(2).build_from_dir(&dir)?;
+    let t_ours = t0.elapsed().as_secs_f64();
+    println!(
+        "{:<28}{:>12.3}{:>12}{:>14.2}",
+        "This paper (CPU+GPU-sim)",
+        t_ours,
+        index.num_terms(),
+        bytes as f64 / 1e6 / t_ours
+    );
+
+    println!(
+        "\nemit volume: Ivory {} pairs vs Single-Pass {} pairs ({}x fewer)",
+        ivory_stats.pairs_emitted,
+        spmr_stats.pairs_emitted,
+        ivory_stats.pairs_emitted / spmr_stats.pairs_emitted.max(1)
+    );
+    println!("SPIMI runs flushed: {}", spimi_stats.runs);
+
+    // Cross-validate: every system agrees on every term's postings.
+    println!("\ncross-validating all five indexes...");
+    assert_eq!(ivory.len(), spmr.len());
+    assert_eq!(ivory.len(), spimi.len());
+    assert_eq!(ivory.len(), sortb.len());
+    assert_eq!(ivory.len(), index.num_terms());
+    let mut checked = 0usize;
+    for (term, list) in &ivory.postings {
+        assert_eq!(spmr.get(term), Some(list), "spmr disagrees on {term}");
+        assert_eq!(spimi.get(term), Some(list), "spimi disagrees on {term}");
+        assert_eq!(sortb.get(term), Some(list), "sort-based disagrees on {term}");
+        let ours =
+            index.postings_stemmed(term).unwrap_or_else(|| panic!("ours missing {term}"));
+        assert_eq!(&ours, list, "pipeline disagrees on {term}");
+        checked += 1;
+    }
+    println!("all {checked} terms agree across all five systems ✓");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
