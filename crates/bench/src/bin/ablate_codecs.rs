@@ -15,7 +15,7 @@ fn main() {
     let mut spec = CollectionSpec::wikipedia_like(0.4);
     spec.docs_per_file = 300;
     let coll = ii_bench::stored_collection("ablate-codecs", spec);
-    let out = build_index(&coll, &PipelineConfig::small(2, 1, 0));
+    let out = build_index(&coll, &PipelineConfig::small(2, 1, 0)).expect("index build");
     let total_docs = out.report.docs as u64;
 
     // Materialize all postings lists once.

@@ -17,7 +17,7 @@ fn main() {
     let coll = ii_bench::stored_collection("ablate-merge", spec);
     let cfg = PipelineConfig::small(2, 1, 1); // one run per file => many runs
     let t0 = Instant::now();
-    let out = build_index(&coll, &cfg);
+    let out = build_index(&coll, &cfg).expect("index build");
     let build_s = t0.elapsed().as_secs_f64();
 
     let n_runs: usize = out.run_sets.values().map(|s| s.runs().len()).sum();

@@ -29,7 +29,7 @@ fn main() {
             popular_count: popular,
             ..Default::default()
         };
-        let out = build_index(&coll, &cfg);
+        let out = build_index(&coll, &cfg).expect("index build");
         let cpu = out.report.cpu_stats;
         let gpu = out.report.gpu_stats;
         let tok_total = (cpu.tokens + gpu.tokens) as f64;

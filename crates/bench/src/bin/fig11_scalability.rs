@@ -51,7 +51,7 @@ fn main() {
     let coll = ii_bench::stored_collection("fig11", spec);
     let mut cfg = PipelineConfig::small(2, 2, 2);
     cfg.popular_count = 40;
-    let out = build_index(&coll, &cfg);
+    let out = build_index(&coll, &cfg).expect("index build");
     println!("{:<8}{:>12}{:>14}{:>16}", "file", "tokens", "wall ms", "MB/s (modeled)");
     ii_bench::rule(52);
     for ft in &out.report.per_file {

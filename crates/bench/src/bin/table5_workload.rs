@@ -46,7 +46,7 @@ fn main() {
         popular_count,
         ..Default::default()
     };
-    let out = build_index(&coll, &cfg);
+    let out = build_index(&coll, &cfg).expect("index build");
     let cpu = out.report.cpu_stats;
     let gpu = out.report.gpu_stats;
 

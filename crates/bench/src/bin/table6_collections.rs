@@ -70,7 +70,7 @@ fn main() {
         let coll = ii_bench::stored_collection(&format!("table6-{}", spec.name), spec);
         let mut cfg = PipelineConfig::small(2, 2, gpus);
         cfg.popular_count = 40;
-        let out = build_index(&coll, &cfg);
+        let out = build_index(&coll, &cfg).expect("index build");
         let r = &out.report;
         println!(
             "{:<26}{:>10}{:>12}{:>12}{:>10}{:>10}{:>10}{:>10.2}",

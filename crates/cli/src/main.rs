@@ -3,6 +3,7 @@
 //! ```text
 //! ii generate <dir> [--preset clueweb|wikipedia|congress|tiny] [--scale F] [--seed N]
 //! ii build    <collection-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]
+//!             [--max-retries N] [--on-fault fail|skip]
 //! ii query    <index-dir> <terms...>
 //! ii postings <index-dir> <term> [--range LO HI]
 //! ii stats    <collection-dir | index-dir>
@@ -10,6 +11,7 @@
 //! ```
 
 use ii_core::corpus::{CollectionSpec, DocId, StoredCollection};
+use ii_core::pipeline::FaultAction;
 use ii_core::platsim::{simulate, CollectionModel, PlatformModel, Scenario};
 use ii_core::{Index, IndexBuilder};
 use std::path::{Path, PathBuf};
@@ -53,7 +55,9 @@ fn usage() {
         "ii — fast inverted-file construction on heterogeneous platforms\n\n\
          commands:\n  \
          generate <dir> [--preset P] [--scale F] [--seed N]   synthesize a collection\n  \
-         build <coll-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]\n  \
+         build <coll-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]\n        \
+         [--max-retries N] [--on-fault fail|skip]      fail aborts on a corrupt file (default);\n        \
+         skip quarantines it and indexes the rest\n  \
          query <index-dir> <terms...>                         conjunctive search\n  \
          postings <index-dir> <term> [--range LO HI]          dump a postings list\n  \
          stats <dir>                                          collection or index stats\n  \
@@ -129,11 +133,19 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let cpu = flag_usize(args, "--cpu", 1)?;
     let gpus = flag_usize(args, "--gpus", 1)?;
     let popular = flag_usize(args, "--popular", 40)?;
+    let max_retries = flag_usize(args, "--max-retries", 3)? as u32;
+    let on_fault = match flag(args, "--on-fault").as_deref() {
+        None | Some("fail") => FaultAction::FailFast,
+        Some("skip") => FaultAction::SkipFile,
+        Some(other) => return Err(format!("--on-fault expects 'fail' or 'skip', got '{other}'")),
+    };
     let index = IndexBuilder::small()
         .parsers(parsers)
         .cpu_indexers(cpu)
         .gpus(gpus)
         .popular_count(popular)
+        .max_retries(max_retries)
+        .on_fault(on_fault)
         .build_from_dir(Path::new(coll_dir))
         .map_err(|e| format!("build failed: {e}"))?;
     index.save(Path::new(index_dir)).map_err(|e| format!("save failed: {e}"))?;
@@ -154,6 +166,10 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         r.dict_combine_seconds,
         r.dict_write_seconds
     );
+    println!("faults: {}", r.faults.summary());
+    for q in &r.faults.quarantined {
+        println!("  quarantined {q}");
+    }
     println!("index written to {index_dir}");
     Ok(())
 }

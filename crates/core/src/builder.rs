@@ -3,7 +3,7 @@
 use crate::index::Index;
 use ii_corpus::StoredCollection;
 use ii_indexer::GpuIndexerConfig;
-use ii_pipeline::{build_index, PipelineConfig};
+use ii_pipeline::{build_index, FaultAction, FaultPolicy, PipelineConfig, PipelineError};
 use ii_postings::Codec;
 use std::io;
 use std::path::Path;
@@ -87,20 +87,39 @@ impl IndexBuilder {
         self
     }
 
+    /// Retry budget per file for transient read faults.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.config.fault_policy.max_retries = n;
+        self
+    }
+
+    /// What to do with unrecoverable files: abort ([`FaultAction::FailFast`],
+    /// the default) or quarantine and continue ([`FaultAction::SkipFile`]).
+    pub fn on_fault(mut self, action: FaultAction) -> Self {
+        self.config.fault_policy.action = action;
+        self
+    }
+
+    /// Replace the whole fault policy at once.
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.config.fault_policy = policy;
+        self
+    }
+
     /// The underlying pipeline configuration.
     pub fn pipeline_config(&self) -> &PipelineConfig {
         &self.config
     }
 
     /// Build an index over an already-opened stored collection.
-    pub fn build(&self, collection: &Arc<StoredCollection>) -> Index {
-        Index::from_output(build_index(collection, &self.config))
+    pub fn build(&self, collection: &Arc<StoredCollection>) -> Result<Index, PipelineError> {
+        Ok(Index::from_output(build_index(collection, &self.config)?))
     }
 
     /// Open the collection directory and build.
     pub fn build_from_dir(&self, dir: &Path) -> io::Result<Index> {
         let coll = Arc::new(StoredCollection::open(dir)?);
-        Ok(self.build(&coll))
+        self.build(&coll).map_err(io::Error::other)
     }
 
     /// Build the plain index plus a positional index for phrase search
@@ -112,7 +131,7 @@ impl IndexBuilder {
         &self,
         collection: &Arc<StoredCollection>,
     ) -> io::Result<(Index, ii_indexer::PositionalIndex)> {
-        let index = self.build(collection);
+        let index = self.build(collection).map_err(io::Error::other)?;
         let html = collection.manifest.spec.html;
         let mut pos = ii_indexer::PositionalIndexer::new();
         let mut offset = 0u32;
@@ -133,11 +152,19 @@ mod tests {
 
     #[test]
     fn builder_fluent_api() {
-        let b = IndexBuilder::new().parsers(3).cpu_indexers(1).gpus(0).popular_count(5);
+        let b = IndexBuilder::new()
+            .parsers(3)
+            .cpu_indexers(1)
+            .gpus(0)
+            .popular_count(5)
+            .max_retries(5)
+            .on_fault(FaultAction::SkipFile);
         assert_eq!(b.pipeline_config().num_parsers, 3);
         assert_eq!(b.pipeline_config().num_cpu_indexers, 1);
         assert_eq!(b.pipeline_config().num_gpus, 0);
         assert_eq!(b.pipeline_config().popular_count, 5);
+        assert_eq!(b.pipeline_config().fault_policy.max_retries, 5);
+        assert_eq!(b.pipeline_config().fault_policy.action, FaultAction::SkipFile);
     }
 
     #[test]

@@ -216,7 +216,7 @@ mod tests {
         std::fs::write(dir.join("manifest.json"), serde_json::to_vec(&manifest).unwrap())
             .unwrap();
         let coll = Arc::new(StoredCollection::open(&dir).unwrap());
-        let out = build_index(&coll, &PipelineConfig::small(1, 1, 1));
+        let out = build_index(&coll, &PipelineConfig::small(1, 1, 1)).expect("build");
         std::fs::remove_dir_all(&dir).unwrap();
         Index::from_output(out)
     }

@@ -136,7 +136,7 @@ mod tests {
         std::fs::write(dir.join("manifest.json"), serde_json::to_vec(&manifest).unwrap())
             .unwrap();
         let coll = Arc::new(StoredCollection::open(&dir).unwrap());
-        let out = build_index(&coll, &PipelineConfig::small(1, 1, 0));
+        let out = build_index(&coll, &PipelineConfig::small(1, 1, 0)).expect("build");
         std::fs::remove_dir_all(&dir).unwrap();
         Index::from_output(out)
     }

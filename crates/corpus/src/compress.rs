@@ -141,6 +141,13 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
         return Err(DecompressError::Truncated);
     }
     let expect = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    // A valid stream expands at most MAX_MATCH bytes per token pair, so a
+    // header claiming more than input.len() * MAX_MATCH is corrupt. Reject
+    // it before the allocation below: a bit-flipped length header must
+    // surface as a typed error, not a multi-gigabyte allocation.
+    if expect > input.len().saturating_mul(MAX_MATCH) {
+        return Err(DecompressError::LengthMismatch);
+    }
     let mut out = Vec::with_capacity(expect);
     let mut i = 4usize;
     let mut flags = 0u8;
@@ -245,6 +252,14 @@ mod tests {
             let r = decompress(&c[..cut]);
             assert!(r.is_err(), "cut at {cut} should fail");
         }
+    }
+
+    #[test]
+    fn absurd_length_header_rejected() {
+        // A bit-flipped header claiming ~4 GB of output must fail fast with
+        // a typed error instead of attempting the allocation.
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x00];
+        assert_eq!(decompress(&buf), Err(DecompressError::LengthMismatch));
     }
 
     #[test]

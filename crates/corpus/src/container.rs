@@ -3,12 +3,22 @@
 //! ClueWeb09 packs ~1 GB of web pages into each WARC file; the paper's read
 //! scheduler hands whole files to parsers. We use an analogous self-contained
 //! format: a magic header, a document count, then length-prefixed
-//! (url, body) records. Containers are stored LZSS-compressed on disk.
+//! (url, body) records, ending in a CRC32 checksum footer. Containers are
+//! stored LZSS-compressed on disk.
+//!
+//! The footer (`IICC` tag + CRC32 of everything before it) detects silent
+//! corruption — bit flips that survive decompression without tripping a
+//! structural error. Containers written before the footer existed parse
+//! unchanged: a buffer that does not end in the tag is treated as a legacy
+//! checksum-less container.
 
 use crate::doc::RawDocument;
 
 /// Four-byte magic at the start of every (uncompressed) container.
 pub const MAGIC: &[u8; 4] = b"IIC1";
+
+/// Four-byte tag introducing the CRC32 checksum footer.
+pub const FOOTER_MAGIC: &[u8; 4] = b"IICC";
 
 /// Errors from [`parse_container`].
 #[derive(Debug, PartialEq, Eq)]
@@ -19,6 +29,8 @@ pub enum ContainerError {
     Truncated,
     /// A record's text was not valid UTF-8.
     BadUtf8,
+    /// The footer CRC32 does not match the container contents.
+    ChecksumMismatch,
 }
 
 impl std::fmt::Display for ContainerError {
@@ -27,11 +39,39 @@ impl std::fmt::Display for ContainerError {
             ContainerError::BadMagic => write!(f, "bad container magic"),
             ContainerError::Truncated => write!(f, "container truncated"),
             ContainerError::BadUtf8 => write!(f, "container record not UTF-8"),
+            ContainerError::ChecksumMismatch => write!(f, "container checksum mismatch"),
         }
     }
 }
 
 impl std::error::Error for ContainerError {}
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE 802.3 polynomial) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// Serialize documents into an uncompressed container buffer.
 pub fn write_container(docs: &[RawDocument]) -> Vec<u8> {
@@ -45,11 +85,34 @@ pub fn write_container(docs: &[RawDocument]) -> Vec<u8> {
         out.extend_from_slice(d.url.as_bytes());
         out.extend_from_slice(d.body.as_bytes());
     }
+    let crc = crc32(&out);
+    out.extend_from_slice(FOOTER_MAGIC);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
 /// Parse an uncompressed container buffer back into documents.
+///
+/// If the buffer ends in a checksum footer, the CRC is verified *before*
+/// record parsing so silent corruption surfaces as
+/// [`ContainerError::ChecksumMismatch`]. Buffers without the footer are
+/// accepted as legacy checksum-less containers.
 pub fn parse_container(buf: &[u8]) -> Result<Vec<RawDocument>, ContainerError> {
+    let buf = if buf.len() >= 16 && &buf[buf.len() - 8..buf.len() - 4] == FOOTER_MAGIC {
+        let body = &buf[..buf.len() - 8];
+        let stored = u32::from_le_bytes([
+            buf[buf.len() - 4],
+            buf[buf.len() - 3],
+            buf[buf.len() - 2],
+            buf[buf.len() - 1],
+        ]);
+        if crc32(body) != stored {
+            return Err(ContainerError::ChecksumMismatch);
+        }
+        body
+    } else {
+        buf // legacy checksum-less container
+    };
     if buf.len() < 8 || &buf[..4] != MAGIC {
         return Err(ContainerError::BadMagic);
     }
@@ -109,17 +172,61 @@ mod tests {
     #[test]
     fn truncation_rejected() {
         let buf = write_container(&[doc("http://a", "hello world")]);
-        for cut in 8..buf.len() {
+        let records_end = buf.len() - 8; // checksum footer follows the records
+        for cut in 8..records_end {
             assert_eq!(parse_container(&buf[..cut]), Err(ContainerError::Truncated));
+        }
+        // Cutting inside the footer leaves intact records with trailing
+        // garbage, which the legacy-tolerant path accepts.
+        for cut in records_end..buf.len() {
+            assert!(parse_container(&buf[..cut]).is_ok());
         }
     }
 
     #[test]
     fn utf8_enforced() {
+        // Use the legacy (footer-less) form so the corruption reaches the
+        // UTF-8 check instead of tripping the checksum first.
         let mut buf = write_container(&[doc("u", "abcd")]);
+        buf.truncate(buf.len() - 8);
         let body_start = buf.len() - 4;
         buf[body_start] = 0xFF;
         assert_eq!(parse_container(&buf), Err(ContainerError::BadUtf8));
+    }
+
+    #[test]
+    fn checksum_detects_any_payload_corruption() {
+        let buf = write_container(&[doc("http://a", "some body text")]);
+        // Every byte before the footer tag is covered by the CRC.
+        for i in 0..buf.len() - 8 {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(
+                parse_container(&bad),
+                Err(ContainerError::ChecksumMismatch),
+                "corruption at byte {i} undetected"
+            );
+        }
+        // Corrupting the stored CRC itself is also a mismatch.
+        let mut bad = buf.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 0x01;
+        assert_eq!(parse_container(&bad), Err(ContainerError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn legacy_footerless_containers_still_parse() {
+        let docs = vec![doc("http://a", "legacy body"), doc("http://b", "x")];
+        let mut buf = write_container(&docs);
+        buf.truncate(buf.len() - 8); // what the pre-checksum writer produced
+        assert_eq!(parse_container(&buf).unwrap(), docs);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     proptest! {

@@ -15,6 +15,7 @@ pub mod analysis;
 pub mod compress;
 pub mod container;
 pub mod doc;
+pub mod fault;
 pub mod store;
 pub mod synth;
 pub mod vocab;
@@ -22,6 +23,7 @@ pub mod zipf;
 
 pub use analysis::{fit_heaps, fit_zipf, vocabulary_growth, GrowthPoint};
 pub use doc::{DocId, RawDocument};
+pub use fault::{FaultKind, FaultPlan, IngestError};
 pub use store::{Manifest, StoredCollection};
 pub use synth::{CollectionGenerator, CollectionSpec, CollectionStats, DistributionShift};
 pub use vocab::Vocabulary;

@@ -9,6 +9,7 @@
 use crate::compress;
 use crate::container;
 use crate::doc::RawDocument;
+use crate::fault::{FaultPlan, IngestError};
 use crate::synth::{CollectionGenerator, CollectionSpec, CollectionStats};
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -33,6 +34,8 @@ pub struct StoredCollection {
     dir: PathBuf,
     /// Parsed manifest.
     pub manifest: Manifest,
+    /// Optional fault-injection plan consulted on every raw read.
+    faults: Option<FaultPlan>,
 }
 
 impl StoredCollection {
@@ -84,14 +87,26 @@ impl StoredCollection {
             file_uncompressed_bytes: file_u,
         };
         fs::write(dir.join("manifest.json"), serde_json::to_vec_pretty(&manifest)?)?;
-        Ok(StoredCollection { dir: dir.to_path_buf(), manifest })
+        Ok(StoredCollection { dir: dir.to_path_buf(), manifest, faults: None })
     }
 
     /// Open an existing collection directory.
     pub fn open(dir: &Path) -> io::Result<StoredCollection> {
         let manifest: Manifest =
             serde_json::from_slice(&fs::read(dir.join("manifest.json"))?)?;
-        Ok(StoredCollection { dir: dir.to_path_buf(), manifest })
+        Ok(StoredCollection { dir: dir.to_path_buf(), manifest, faults: None })
+    }
+
+    /// Attach a fault-injection plan: every subsequent raw read consults it.
+    /// Used by the chaos tests to exercise the pipeline's recovery paths.
+    pub fn with_faults(mut self, plan: FaultPlan) -> StoredCollection {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The attached fault-injection plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Number of container files.
@@ -105,20 +120,32 @@ impl StoredCollection {
     }
 
     /// Read the raw (compressed) bytes of file `idx` — the unit the read
-    /// scheduler transfers.
+    /// scheduler transfers. If a fault plan is attached, the bytes (or the
+    /// error) are whatever the injected fault dictates.
     pub fn read_file_raw(&self, idx: usize) -> io::Result<Vec<u8>> {
-        fs::read(self.file_path(idx))
+        let bytes = fs::read(self.file_path(idx))?;
+        match &self.faults {
+            Some(plan) => plan.apply_read(idx, bytes),
+            None => Ok(bytes),
+        }
     }
 
     /// Read and fully decode file `idx` into documents (read + decompress +
-    /// container parse). Convenience for tests; the pipeline separates the
-    /// stages to model their costs individually.
-    pub fn read_file_docs(&self, idx: usize) -> io::Result<Vec<RawDocument>> {
+    /// container parse), with each stage's failure typed so callers can
+    /// distinguish transient I/O faults from permanent corruption.
+    pub fn read_file(&self, idx: usize) -> Result<Vec<RawDocument>, IngestError> {
         let packed = self.read_file_raw(idx)?;
-        let raw = compress::decompress(&packed)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        container::parse_container(&raw)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let raw = compress::decompress(&packed)?;
+        Ok(container::parse_container(&raw)?)
+    }
+
+    /// Read and fully decode file `idx` into documents. Convenience wrapper
+    /// over [`Self::read_file`] that flattens the error into `io::Error`.
+    pub fn read_file_docs(&self, idx: usize) -> io::Result<Vec<RawDocument>> {
+        self.read_file(idx).map_err(|e| match e {
+            IngestError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })
     }
 }
 
@@ -191,6 +218,29 @@ mod tests {
         for f in 0..spec.num_files {
             assert_eq!(stored.read_file_docs(f).unwrap(), gen.generate_file(f));
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_hooks_into_reads() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let dir = tmpdir("faulty");
+        let spec = CollectionSpec::tiny(24);
+        StoredCollection::generate(spec, &dir).unwrap();
+        let stored = StoredCollection::open(&dir)
+            .unwrap()
+            .with_faults(
+                FaultPlan::new(5)
+                    .with_fault(0, FaultKind::TransientRead { failures: 1 })
+                    .with_fault(1, FaultKind::Garbage),
+            );
+        // File 0: first read fails transiently, second succeeds.
+        let first = stored.read_file(0);
+        assert!(matches!(&first, Err(e) if e.is_transient()), "{first:?}");
+        assert!(stored.read_file(0).is_ok());
+        // File 1: permanently corrupt.
+        let bad = stored.read_file(1);
+        assert!(matches!(&bad, Err(e) if !e.is_transient()), "{bad:?}");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -10,15 +10,25 @@
 //! single-threaded work on this host); GPU times are the simulator's device
 //! seconds. The `ii-platsim` crate projects both onto the paper's 8-core +
 //! 2-GPU platform for the headline experiments.
+//!
+//! Fault handling: both the sampling pre-pass and the streaming build obey
+//! the [`FaultPolicy`] on the config — transient read faults are retried,
+//! permanent ones either abort the build with a typed [`PipelineError`]
+//! (fail-fast) or quarantine the file and continue (skip-file). Everything
+//! survived is tallied in the report's [`FaultReport`].
 
 use crate::docmap::DocMap;
-use crate::parsers::{ParserPool, RoundRobin};
+use crate::fault::{
+    FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,
+};
+use crate::parsers::{panic_message, ParserPool, RoundRobin};
 use ii_corpus::StoredCollection;
 use ii_dict::GlobalDictionary;
 use ii_indexer::{make_plan, sample_counts, BalancePlan, GpuIndexerConfig, IndexerPool, WorkloadStats};
 use ii_postings::{Codec, RunSet};
 use ii_text::parse_documents;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -45,6 +55,8 @@ pub struct PipelineConfig {
     pub buffer_depth: usize,
     /// Batches per run (1 = one run per container file).
     pub batches_per_run: usize,
+    /// Retry and quarantine behaviour for faulty container files.
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -60,6 +72,7 @@ impl Default for PipelineConfig {
             sample_file_stride: 1,
             buffer_depth: 2,
             batches_per_run: 1,
+            fault_policy: FaultPolicy::default(),
         }
     }
 }
@@ -118,7 +131,7 @@ pub struct PipelineReport {
     pub dict_write_seconds: f64,
     /// Total wall seconds for the whole build.
     pub total_seconds: f64,
-    /// Per-file indexing detail (Fig 11).
+    /// Per-file indexing detail (Fig 11); quarantined files have no row.
     pub per_file: Vec<FileTiming>,
     /// CPU-side workload (Table V).
     pub cpu_stats: WorkloadStats,
@@ -126,8 +139,11 @@ pub struct PipelineReport {
     pub gpu_stats: WorkloadStats,
     /// Documents indexed.
     pub docs: u32,
-    /// Uncompressed input bytes processed.
+    /// Uncompressed input bytes actually indexed (quarantined files'
+    /// bytes are excluded so throughput stays honest).
     pub uncompressed_bytes: u64,
+    /// Faults retried, recovered, and quarantined during the build.
+    pub faults: FaultReport,
 }
 
 impl PipelineReport {
@@ -164,46 +180,162 @@ impl IndexOutput {
     }
 }
 
+/// Outcome of the sampling pre-pass: the balance plan plus the faults the
+/// pass recovered from while reading its sample.
+pub struct SamplePlan {
+    /// Term → indexer balance plan.
+    pub plan: BalancePlan,
+    /// Wall seconds spent sampling and planning.
+    pub seconds: f64,
+    /// Transient read attempts that failed before a file sampled cleanly.
+    pub retries: u32,
+    /// Files that needed at least one retry and ultimately sampled.
+    pub recovered_files: u32,
+}
+
 /// Run the sampling pass: parse a slice of every n-th file and build the
 /// balance plan.
+///
+/// Faulty files obey the config's [`FaultPolicy`]: transient faults retry
+/// with backoff; unrecoverable files abort under fail-fast or are simply
+/// left out of the sample under skip-file (the streaming pass is the one
+/// that quarantines and reports them, so each bad file appears exactly once
+/// in the final [`FaultReport`]).
 pub fn sample_plan(
     collection: &StoredCollection,
     cfg: &PipelineConfig,
-) -> (BalancePlan, f64) {
+) -> Result<SamplePlan, PipelineError> {
     let t0 = Instant::now();
+    let policy = cfg.fault_policy;
     let html = collection.manifest.spec.html;
     let mut batches = Vec::new();
+    let mut retries = 0u32;
+    let mut recovered_files = 0u32;
     let stride = cfg.sample_file_stride.max(1);
     let mut f = 0;
     while f < collection.num_files() {
-        let docs = collection.read_file_docs(f).expect("collection file");
-        let take = cfg.sample_docs_per_file.min(docs.len());
-        batches.push(parse_documents(&docs[..take], html, f));
+        let mut attempts = 0u32;
+        let docs = loop {
+            // Containment also covers the sampling read: an injected (or
+            // real) panic inside decode must not unwind out of the build.
+            match catch_unwind(AssertUnwindSafe(|| collection.read_file(f))) {
+                Ok(Ok(docs)) => break Some(docs),
+                Ok(Err(e)) if e.is_transient() && attempts < policy.max_retries => {
+                    attempts += 1;
+                    std::thread::sleep(policy.backoff_for(attempts));
+                }
+                Ok(Err(e)) => {
+                    if policy.action == FaultAction::FailFast {
+                        let class = if e.is_transient() {
+                            FaultClass::Transient
+                        } else {
+                            FaultClass::Permanent
+                        };
+                        return Err(PipelineError::File(FileFault {
+                            file_idx: f,
+                            class,
+                            retries: attempts,
+                            stage: FaultStage::Sampling,
+                            error: e.to_string(),
+                        }));
+                    }
+                    break None;
+                }
+                Err(payload) => {
+                    if policy.action == FaultAction::FailFast {
+                        return Err(PipelineError::File(FileFault {
+                            file_idx: f,
+                            class: FaultClass::Panic,
+                            retries: attempts,
+                            stage: FaultStage::Sampling,
+                            error: panic_message(payload.as_ref()),
+                        }));
+                    }
+                    break None;
+                }
+            }
+        };
+        if let Some(docs) = docs {
+            if attempts > 0 {
+                retries += attempts;
+                recovered_files += 1;
+            }
+            let take = cfg.sample_docs_per_file.min(docs.len());
+            batches.push(parse_documents(&docs[..take], html, f));
+        }
         f += stride;
     }
     let counts = sample_counts(&batches);
     let plan = make_plan(&counts, cfg.num_cpu_indexers, cfg.num_gpus, cfg.popular_count);
-    (plan, t0.elapsed().as_secs_f64())
+    Ok(SamplePlan { plan, seconds: t0.elapsed().as_secs_f64(), retries, recovered_files })
 }
 
 /// Build the full inverted index for a stored collection.
-pub fn build_index(collection: &Arc<StoredCollection>, cfg: &PipelineConfig) -> IndexOutput {
+///
+/// Returns a typed [`PipelineError`] when a file fails unrecoverably under
+/// [`FaultAction::FailFast`], when a parser disconnects before delivering
+/// its files, or when an artifact write fails. Under
+/// [`FaultAction::SkipFile`] unrecoverable files are quarantined — their
+/// round-robin slot is preserved with an empty docID range so every
+/// surviving document keeps the ID a clean build would assign it — and
+/// listed in the report's [`FaultReport`].
+pub fn build_index(
+    collection: &Arc<StoredCollection>,
+    cfg: &PipelineConfig,
+) -> Result<IndexOutput, PipelineError> {
     let t_total = Instant::now();
-    let (plan, sampling_seconds) = sample_plan(collection, cfg);
-    let mut pool = IndexerPool::new(plan, cfg.gpu_config, cfg.codec);
+    let sampled = sample_plan(collection, cfg)?;
+    let mut pool = IndexerPool::new(sampled.plan, cfg.gpu_config, cfg.codec);
     let mut report = PipelineReport {
-        sampling_seconds,
+        sampling_seconds: sampled.seconds,
         uncompressed_bytes: collection.manifest.stats.uncompressed_bytes,
         ..Default::default()
     };
+    report.faults.retries = sampled.retries;
+    report.faults.recovered_files = sampled.recovered_files;
 
     let mut run_sets: HashMap<u32, RunSet> = HashMap::new();
     let mut doc_map = DocMap::new();
     let t_stream = Instant::now();
-    let parser_pool =
-        ParserPool::spawn(Arc::clone(collection), cfg.num_parsers, cfg.buffer_depth);
+    let parser_pool = ParserPool::spawn(
+        Arc::clone(collection),
+        cfg.num_parsers,
+        cfg.buffer_depth,
+        cfg.fault_policy,
+    );
     let mut batches_in_run = 0usize;
-    for batch in RoundRobin::new(&parser_pool.buffers, collection.num_files()) {
+    for msg in RoundRobin::new(&parser_pool.buffers, collection.num_files()) {
+        let msg = msg?;
+        let batch = match msg.result {
+            Ok(batch) => {
+                if msg.retries > 0 {
+                    report.faults.retries += msg.retries;
+                    report.faults.recovered_files += 1;
+                }
+                batch
+            }
+            Err(fault) => {
+                if cfg.fault_policy.action == FaultAction::FailFast {
+                    return Err(PipelineError::File(fault));
+                }
+                // Quarantine: keep the file's slot in the doc map with an
+                // empty docID range so every surviving document gets the
+                // same global ID a clean build would assign.
+                doc_map.push_file(fault.file_idx as u32, 0);
+                report.uncompressed_bytes = report.uncompressed_bytes.saturating_sub(
+                    *collection
+                        .manifest
+                        .file_uncompressed_bytes
+                        .get(fault.file_idx)
+                        .unwrap_or(&0),
+                );
+                if fault.class == FaultClass::Panic {
+                    report.faults.parser_panics += 1;
+                }
+                report.faults.quarantined.push(fault);
+                continue;
+            }
+        };
         doc_map.push_file(batch.file_idx as u32, batch.num_docs);
         let t0 = Instant::now();
         let timing = pool.index_batch(&batch);
@@ -260,17 +392,17 @@ pub fn build_index(collection: &Arc<StoredCollection>, cfg: &PipelineConfig) -> 
 
     let t0 = Instant::now();
     let mut dict_bytes = Vec::new();
-    dictionary.write_to(&mut dict_bytes).expect("in-memory write");
+    dictionary.write_to(&mut dict_bytes)?;
     report.dict_write_seconds = t0.elapsed().as_secs_f64();
 
     report.total_seconds = t_total.elapsed().as_secs_f64();
-    IndexOutput { dictionary, run_sets, dict_bytes, doc_map, report }
+    Ok(IndexOutput { dictionary, run_sets, dict_bytes, doc_map, report })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ii_corpus::CollectionSpec;
+    use ii_corpus::{CollectionSpec, FaultKind, FaultPlan};
     use std::path::PathBuf;
 
     fn stored(tag: &str, spec: CollectionSpec) -> (Arc<StoredCollection>, PathBuf) {
@@ -281,15 +413,20 @@ mod tests {
         (Arc::new(s), dir)
     }
 
+    fn reopen_with(dir: &PathBuf, plan: FaultPlan) -> Arc<StoredCollection> {
+        Arc::new(StoredCollection::open(dir).unwrap().with_faults(plan))
+    }
+
     #[test]
     fn builds_a_queryable_index() {
         let mut spec = CollectionSpec::tiny(41);
         spec.num_files = 4;
         spec.docs_per_file = 12;
         let (coll, dir) = stored("query", spec);
-        let out = build_index(&coll, &PipelineConfig::small(2, 1, 1));
+        let out = build_index(&coll, &PipelineConfig::small(2, 1, 1)).expect("build");
         assert!(out.dictionary.len() > 50, "dictionary too small: {}", out.dictionary.len());
         assert_eq!(out.report.docs, 48);
+        assert!(out.report.faults.is_clean());
         // The head stop words must NOT be in the dictionary.
         assert!(out.dictionary.lookup("the").is_none());
         // A frequent vocabulary word should be present and have postings in
@@ -321,7 +458,7 @@ mod tests {
         let (coll, dir) = stored("configs", spec);
         let mut fingerprints = Vec::new();
         for (p, c, g) in [(1, 1, 0), (3, 2, 0), (2, 1, 1), (1, 0, 2)] {
-            let out = build_index(&coll, &PipelineConfig::small(p, c, g));
+            let out = build_index(&coll, &PipelineConfig::small(p, c, g)).expect("build");
             let mut fp: Vec<(String, Vec<(u32, u32)>)> = out
                 .dictionary
                 .entries()
@@ -346,7 +483,7 @@ mod tests {
     #[test]
     fn report_fields_populated() {
         let (coll, dir) = stored("report", CollectionSpec::tiny(43));
-        let out = build_index(&coll, &PipelineConfig::small(2, 1, 1));
+        let out = build_index(&coll, &PipelineConfig::small(2, 1, 1)).expect("build");
         let r = &out.report;
         assert!(r.total_seconds > 0.0);
         assert!(r.parser_busy_seconds > 0.0);
@@ -356,6 +493,8 @@ mod tests {
         assert!(r.throughput_mb_s() > 0.0);
         assert!(r.cpu_stats.tokens + r.gpu_stats.tokens > 0);
         assert!(!out.dict_bytes.is_empty());
+        assert!(r.faults.is_clean());
+        assert_eq!(r.faults.summary(), "no faults");
         std::fs::remove_dir_all(dir).unwrap();
     }
 
@@ -364,7 +503,7 @@ mod tests {
         let mut spec = CollectionSpec::tiny(44);
         spec.docs_per_file = 20;
         let (coll, dir) = stored("lookup", spec);
-        let out = build_index(&coll, &PipelineConfig::small(1, 1, 0));
+        let out = build_index(&coll, &PipelineConfig::small(1, 1, 0)).expect("build");
         // "zebra"-like content words exist in the tiny vocab; use the
         // dictionary itself to pick one and cross-check the helper.
         let e = &out.dictionary.entries()[0];
@@ -373,6 +512,73 @@ mod tests {
         let direct = out.run_sets[&e.indexer].fetch(e.postings);
         assert_eq!(via_helper, direct);
         assert!(out.postings("no-such-term-xyzzy").is_none());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_preserves_doc_ids_and_reports() {
+        let mut spec = CollectionSpec::tiny(45);
+        spec.num_files = 6;
+        spec.docs_per_file = 10;
+        let (_, dir) = stored("quarantine", spec);
+        let coll = reopen_with(&dir, FaultPlan::new(7).with_fault(2, FaultKind::Garbage));
+        let mut cfg = PipelineConfig::small(2, 1, 0);
+        cfg.fault_policy = FaultPolicy::skip_file();
+        let out = build_index(&coll, &cfg).expect("skip-file build survives corruption");
+        assert_eq!(out.report.faults.quarantined_files(), vec![2]);
+        assert_eq!(out.report.docs, 50, "5 surviving files x 10 docs");
+        // The quarantined file keeps its (empty) slot in the doc map, so
+        // later files' docIDs match a clean build.
+        let entries = out.doc_map.entries();
+        assert_eq!(entries.len(), 6);
+        assert_eq!(entries[2].n_docs, 0);
+        assert_eq!(entries[3].first_doc, 20, "file 3 starts where a clean build would");
+        // Quarantined files have no Fig 11 row and their bytes are excluded.
+        assert_eq!(out.report.per_file.len(), 5);
+        assert!(
+            out.report.uncompressed_bytes < coll.manifest.stats.uncompressed_bytes
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn fail_fast_surfaces_typed_error() {
+        let mut spec = CollectionSpec::tiny(46);
+        spec.num_files = 4;
+        let (_, dir) = stored("failfast", spec);
+        let coll = reopen_with(&dir, FaultPlan::new(8).with_fault(1, FaultKind::Garbage));
+        let err = build_index(&coll, &PipelineConfig::small(2, 1, 0))
+            .err()
+            .expect("default policy must abort on corruption");
+        match err {
+            PipelineError::File(fault) => {
+                assert_eq!(fault.file_idx, 1);
+                assert_eq!(fault.class, FaultClass::Permanent);
+            }
+            other => panic!("expected a file fault, got {other}"),
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn transient_faults_yield_identical_dictionary() {
+        let mut spec = CollectionSpec::tiny(47);
+        spec.num_files = 4;
+        let (clean, dir) = stored("transient-dict", spec);
+        let cfg = PipelineConfig::small(2, 1, 0);
+        let baseline = build_index(&clean, &cfg).expect("clean build");
+        let coll = reopen_with(
+            &dir,
+            FaultPlan::new(9)
+                .with_fault(0, FaultKind::TransientRead { failures: 2 })
+                .with_fault(3, FaultKind::TransientRead { failures: 1 }),
+        );
+        let out = build_index(&coll, &cfg).expect("transient faults must be recovered");
+        assert_eq!(out.dict_bytes, baseline.dict_bytes, "byte-identical dictionary");
+        assert_eq!(out.report.docs, baseline.report.docs);
+        assert!(out.report.faults.retries >= 3, "{}", out.report.faults.summary());
+        assert!(out.report.faults.recovered_files >= 2);
+        assert!(out.report.faults.quarantined.is_empty());
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

@@ -1,0 +1,275 @@
+//! Fault policy, classification, and reporting for the ingest pipeline.
+//!
+//! The paper's pipeline assumes every container reads, decompresses, and
+//! parses cleanly. This module is the production-hardening layer around
+//! that assumption: a [`FaultPolicy`] says how hard to retry transient
+//! faults and whether a permanent fault aborts the build
+//! ([`FaultAction::FailFast`]) or quarantines the file and continues
+//! ([`FaultAction::SkipFile`]); a [`FaultReport`] records everything that
+//! went wrong (and was survived) so the operator sees exactly which inputs
+//! the index does not cover.
+
+use std::time::Duration;
+
+/// How a fault is classified for retry and reporting purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// An I/O fault; retrying may succeed.
+    Transient,
+    /// Corrupt data (bad container, decompress failure, invalid UTF-8);
+    /// retrying cannot help.
+    Permanent,
+    /// A parser thread panicked while handling the file; contained by
+    /// `catch_unwind` instead of truncating the stream.
+    Panic,
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultClass::Transient => write!(f, "transient"),
+            FaultClass::Permanent => write!(f, "permanent"),
+            FaultClass::Panic => write!(f, "panic"),
+        }
+    }
+}
+
+/// Which pipeline stage observed the fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultStage {
+    /// The sampling pre-pass that builds the balance plan.
+    Sampling,
+    /// The parallel parser stage of the streaming build.
+    Parsing,
+}
+
+impl std::fmt::Display for FaultStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultStage::Sampling => write!(f, "sampling"),
+            FaultStage::Parsing => write!(f, "parsing"),
+        }
+    }
+}
+
+/// One file's unrecovered fault: what failed, where, and after how many
+/// retries.
+#[derive(Clone, Debug)]
+pub struct FileFault {
+    /// Index of the container file that failed.
+    pub file_idx: usize,
+    /// Transient / permanent / panic.
+    pub class: FaultClass,
+    /// Failed attempts made before giving up (0 for permanent faults,
+    /// which are never retried).
+    pub retries: u32,
+    /// Stage that observed the fault.
+    pub stage: FaultStage,
+    /// Human-readable cause.
+    pub error: String,
+}
+
+impl std::fmt::Display for FileFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "file {} ({} fault during {}): {}",
+            self.file_idx, self.class, self.stage, self.error
+        )
+    }
+}
+
+/// What to do when a file fails permanently (or exhausts its retries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Abort the build with a typed error naming the file.
+    FailFast,
+    /// Quarantine the file (drop its documents, record it in the
+    /// [`FaultReport`]) and keep indexing the rest of the collection.
+    SkipFile,
+}
+
+/// The pipeline's fault-handling knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPolicy {
+    /// Retry budget per file for transient faults.
+    pub max_retries: u32,
+    /// Base backoff between retries; doubles per attempt (capped).
+    pub retry_backoff: Duration,
+    /// Disposition of files that fail permanently.
+    pub action: FaultAction,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(1),
+            action: FaultAction::FailFast,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// Strict policy (the default): retry transients, abort on anything
+    /// unrecoverable.
+    pub fn fail_fast() -> Self {
+        FaultPolicy::default()
+    }
+
+    /// Lenient policy: retry transients, quarantine unrecoverable files and
+    /// index everything else.
+    pub fn skip_file() -> Self {
+        FaultPolicy { action: FaultAction::SkipFile, ..FaultPolicy::default() }
+    }
+
+    /// Same policy with a different retry budget.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Exponential backoff before retry number `attempt` (1-based).
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.retry_backoff * 2u32.saturating_pow(attempt.saturating_sub(1).min(6))
+    }
+}
+
+/// Everything the pipeline survived (or didn't) during one build.
+#[derive(Clone, Debug, Default)]
+pub struct FaultReport {
+    /// Transient read attempts that failed but were later recovered.
+    pub retries: u32,
+    /// Files that needed at least one retry and ultimately parsed.
+    pub recovered_files: u32,
+    /// Files dropped from the index under [`FaultAction::SkipFile`].
+    pub quarantined: Vec<FileFault>,
+    /// Parser panics contained by `catch_unwind`.
+    pub parser_panics: u32,
+}
+
+impl FaultReport {
+    /// True when the build saw no faults at all.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0
+            && self.recovered_files == 0
+            && self.quarantined.is_empty()
+            && self.parser_panics == 0
+    }
+
+    /// Indices of quarantined files, ascending.
+    pub fn quarantined_files(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.quarantined.iter().map(|q| q.file_idx).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// One-line operator summary.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            "no faults".to_string()
+        } else {
+            format!(
+                "{} retries, {} files recovered, {} quarantined, {} parser panics",
+                self.retries,
+                self.recovered_files,
+                self.quarantined.len(),
+                self.parser_panics
+            )
+        }
+    }
+}
+
+/// A build-aborting pipeline error.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A file failed unrecoverably under [`FaultAction::FailFast`].
+    File(FileFault),
+    /// A parser's output channel closed before it delivered all of its
+    /// files — the crash-truncation case that previously looked like a
+    /// clean end-of-stream.
+    ParserDisconnected {
+        /// Which parser's buffer closed early.
+        parser: usize,
+        /// The file the consumer was waiting for.
+        file_idx: usize,
+    },
+    /// Writing a build artifact failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::File(fault) => write!(f, "indexing aborted: {fault}"),
+            PipelineError::ParserDisconnected { parser, file_idx } => write!(
+                f,
+                "parser {parser} disconnected before delivering file {file_idx} \
+                 (crashed or exited early)"
+            ),
+            PipelineError::Io(e) => write!(f, "index artifact write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = FaultPolicy::default();
+        assert!(p.backoff_for(1) < p.backoff_for(3));
+        // Capped: absurd attempt numbers don't overflow.
+        assert_eq!(p.backoff_for(50), p.backoff_for(7));
+    }
+
+    #[test]
+    fn report_summary_and_cleanliness() {
+        let mut r = FaultReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.summary(), "no faults");
+        r.retries = 2;
+        r.recovered_files = 1;
+        r.quarantined.push(FileFault {
+            file_idx: 4,
+            class: FaultClass::Permanent,
+            retries: 0,
+            stage: FaultStage::Parsing,
+            error: "container checksum mismatch".into(),
+        });
+        assert!(!r.is_clean());
+        assert_eq!(r.quarantined_files(), vec![4]);
+        assert!(r.summary().contains("1 quarantined"));
+    }
+
+    #[test]
+    fn errors_display_context() {
+        let e = PipelineError::File(FileFault {
+            file_idx: 7,
+            class: FaultClass::Transient,
+            retries: 3,
+            stage: FaultStage::Parsing,
+            error: "read failed: injected".into(),
+        });
+        let s = e.to_string();
+        assert!(s.contains("file 7") && s.contains("transient"), "{s}");
+        let d = PipelineError::ParserDisconnected { parser: 1, file_idx: 9 }.to_string();
+        assert!(d.contains("parser 1") && d.contains("file 9"), "{d}");
+    }
+}

@@ -4,13 +4,25 @@
 //! that CPU and GPU indexers drain in strict round-robin order, preserving
 //! global document order; `build_index` drives the whole system and emits
 //! Table VI-style timing plus per-file Fig 11 detail.
+//!
+//! The pipeline is fault-tolerant: a [`FaultPolicy`] governs transient-read
+//! retries and whether corrupt files abort the build or are quarantined,
+//! and every build's [`PipelineReport`] carries a [`FaultReport`] of what
+//! was retried, recovered, quarantined, or contained.
 
 #![warn(missing_docs)]
 
 pub mod docmap;
 pub mod driver;
+pub mod fault;
 pub mod parsers;
 
 pub use docmap::{DocMap, DocMapEntry};
-pub use driver::{build_index, sample_plan, FileTiming, IndexOutput, PipelineConfig, PipelineReport};
-pub use parsers::{ParserPool, ParserTiming, RoundRobin};
+pub use driver::{
+    build_index, sample_plan, FileTiming, IndexOutput, PipelineConfig, PipelineReport,
+    SamplePlan,
+};
+pub use fault::{
+    FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,
+};
+pub use parsers::{ParsedFile, ParserPool, ParserTiming, RoundRobin};

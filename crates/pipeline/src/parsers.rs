@@ -9,11 +9,22 @@
 //! Each parser performs Step 1 (read + decompress + doc-ID table) and
 //! Steps 2-5 (tokenize, stem, stop words, regroup) and pushes the parsed
 //! batch into its bounded output buffer.
+//!
+//! Fault handling: transient read errors are retried with exponential
+//! backoff under the [`FaultPolicy`]; permanent corruption (and exhausted
+//! retries) produce a typed [`FileFault`] message in the file's round-robin
+//! slot, so the strict consumption order — and with it docID determinism —
+//! survives a bad file. Each file's work runs under `catch_unwind`, so a
+//! poisoned parser surfaces as a `Panic`-class fault instead of hanging the
+//! consumer or silently truncating the stream.
 
+use crate::fault::{FaultAction, FaultClass, FaultPolicy, FaultStage, FileFault, PipelineError};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use ii_corpus::{compress, container, StoredCollection};
 use ii_text::{parse_documents, ParsedBatch};
 use parking_lot::Mutex;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -26,25 +37,48 @@ pub struct ParserTiming {
     pub decompress_seconds: f64,
     /// Seconds tokenizing/stemming/regrouping.
     pub parse_seconds: f64,
-    /// Files handled.
+    /// Files handled successfully.
     pub files: usize,
+}
+
+/// One parser's message for one container file: either the parsed batch or
+/// the fault that consumed the file's round-robin slot.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Failed read attempts recovered from before success (0 on the error
+    /// path — the fault itself carries its retry count).
+    pub retries: u32,
+    /// The batch, or the fault occupying this file's slot.
+    pub result: Result<ParsedBatch, FileFault>,
+}
+
+impl ParsedFile {
+    /// The container file this message accounts for.
+    pub fn file_idx(&self) -> usize {
+        match &self.result {
+            Ok(batch) => batch.file_idx,
+            Err(fault) => fault.file_idx,
+        }
+    }
 }
 
 /// Handle to a running parser pool.
 pub struct ParserPool {
     /// One output buffer per parser, in parser order.
-    pub buffers: Vec<Receiver<ParsedBatch>>,
+    pub buffers: Vec<Receiver<ParsedFile>>,
     handles: Vec<std::thread::JoinHandle<ParserTiming>>,
 }
 
 impl ParserPool {
     /// Spawn `num_parsers` parser threads over the collection's files.
     /// `buffer_depth` bounds each parser's output buffer, providing the
-    /// back-pressure that couples the two pipeline stages.
+    /// back-pressure that couples the two pipeline stages. `policy` governs
+    /// retry and skip behaviour for faulty files.
     pub fn spawn(
         collection: Arc<StoredCollection>,
         num_parsers: usize,
         buffer_depth: usize,
+        policy: FaultPolicy,
     ) -> ParserPool {
         assert!(num_parsers >= 1);
         let disk = Arc::new(Mutex::new(()));
@@ -53,7 +87,7 @@ impl ParserPool {
         let mut buffers = Vec::with_capacity(num_parsers);
         let mut handles = Vec::with_capacity(num_parsers);
         for p in 0..num_parsers {
-            let (tx, rx): (Sender<ParsedBatch>, Receiver<ParsedBatch>) =
+            let (tx, rx): (Sender<ParsedFile>, Receiver<ParsedFile>) =
                 bounded(buffer_depth.max(1));
             let disk = Arc::clone(&disk);
             let coll = Arc::clone(&collection);
@@ -61,27 +95,40 @@ impl ParserPool {
                 let mut timing = ParserTiming::default();
                 let mut file_idx = p;
                 while file_idx < num_files {
-                    // Step 1a: serialized read of the compressed file.
-                    let raw = {
-                        let _disk_token = disk.lock();
-                        let t0 = Instant::now();
-                        let raw = coll.read_file_raw(file_idx).expect("collection file");
-                        timing.read_seconds += t0.elapsed().as_secs_f64();
-                        raw
+                    // Crash containment: a panic anywhere in this file's
+                    // ingest becomes a typed fault in its round-robin slot.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        ingest_file(&coll, &disk, html, file_idx, &policy, &mut timing)
+                    }));
+                    let msg = match outcome {
+                        Ok((retries, Ok(batch))) => ParsedFile { retries, result: Ok(batch) },
+                        Ok((retries, Err((class, error)))) => ParsedFile {
+                            retries: 0,
+                            result: Err(FileFault {
+                                file_idx,
+                                class,
+                                retries,
+                                stage: FaultStage::Parsing,
+                                error,
+                            }),
+                        },
+                        Err(payload) => ParsedFile {
+                            retries: 0,
+                            result: Err(FileFault {
+                                file_idx,
+                                class: FaultClass::Panic,
+                                retries: 0,
+                                stage: FaultStage::Parsing,
+                                error: panic_message(payload.as_ref()),
+                            }),
+                        },
                     };
-                    // Step 1b: in-memory decompression (outside the lock —
-                    // the separate-step scheme of §IV.A).
-                    let t0 = Instant::now();
-                    let bytes = compress::decompress(&raw).expect("valid container");
-                    timing.decompress_seconds += t0.elapsed().as_secs_f64();
-                    // Steps 1c-5: container parse + tokenize/stem/stop/regroup.
-                    let t0 = Instant::now();
-                    let docs = container::parse_container(&bytes).expect("container");
-                    let batch = parse_documents(&docs, html, file_idx);
-                    timing.parse_seconds += t0.elapsed().as_secs_f64();
-                    timing.files += 1;
-                    if tx.send(batch).is_err() {
+                    let failed = msg.result.is_err();
+                    if tx.send(msg).is_err() {
                         break; // consumer gone
+                    }
+                    if failed && policy.action == FaultAction::FailFast {
+                        break; // the consumer will abort on receipt
                     }
                     file_idx += num_parsers;
                 }
@@ -93,45 +140,151 @@ impl ParserPool {
         ParserPool { buffers, handles }
     }
 
-    /// Wait for all parsers and collect their timings.
+    /// Wait for all parsers and collect their timings. A parser that died
+    /// outside its per-file containment contributes empty timings rather
+    /// than propagating the panic.
     pub fn join(self) -> Vec<ParserTiming> {
-        self.handles.into_iter().map(|h| h.join().expect("parser thread")).collect()
+        self.handles.into_iter().map(|h| h.join().unwrap_or_default()).collect()
     }
 }
 
-/// Consume the parser buffers in strict round-robin order, yielding batches
-/// in global file order (the §III.F consumption rule).
+type IngestOutcome = (u32, Result<ParsedBatch, (FaultClass, String)>);
+
+/// Ingest one container file: serialized read (with transient-fault retry),
+/// decompress, container parse, and Steps 2-5 parsing. Returns the number
+/// of recovered retries plus the batch or the classified failure.
+fn ingest_file(
+    coll: &StoredCollection,
+    disk: &Mutex<()>,
+    html: bool,
+    file_idx: usize,
+    policy: &FaultPolicy,
+    timing: &mut ParserTiming,
+) -> IngestOutcome {
+    let mut retries = 0u32;
+    // Step 1a: serialized read of the compressed file, retried on
+    // transient faults with exponential backoff (sleeping outside the
+    // disk lock so other parsers proceed).
+    let raw = loop {
+        let read = {
+            let _disk_token = disk.lock();
+            let t0 = Instant::now();
+            let r = coll.read_file_raw(file_idx);
+            timing.read_seconds += t0.elapsed().as_secs_f64();
+            r
+        };
+        match read {
+            Ok(raw) => break raw,
+            Err(e) => {
+                let transient = io_is_transient(&e);
+                if transient && retries < policy.max_retries {
+                    retries += 1;
+                    std::thread::sleep(policy.backoff_for(retries));
+                    continue;
+                }
+                let class =
+                    if transient { FaultClass::Transient } else { FaultClass::Permanent };
+                return (retries, Err((class, format!("read failed: {e}"))));
+            }
+        }
+    };
+    // Step 1b: in-memory decompression (outside the lock — the
+    // separate-step scheme of §IV.A).
+    let t0 = Instant::now();
+    let bytes = match compress::decompress(&raw) {
+        Ok(b) => b,
+        Err(e) => {
+            return (retries, Err((FaultClass::Permanent, format!("decompress failed: {e}"))))
+        }
+    };
+    timing.decompress_seconds += t0.elapsed().as_secs_f64();
+    // Steps 1c-5: container parse + tokenize/stem/stop/regroup.
+    let t0 = Instant::now();
+    let docs = match container::parse_container(&bytes) {
+        Ok(d) => d,
+        Err(e) => {
+            return (
+                retries,
+                Err((FaultClass::Permanent, format!("container parse failed: {e}"))),
+            )
+        }
+    };
+    let batch = parse_documents(&docs, html, file_idx);
+    timing.parse_seconds += t0.elapsed().as_secs_f64();
+    timing.files += 1;
+    (retries, Ok(batch))
+}
+
+/// I/O errors are retried unless the kind indicates a fault retrying
+/// cannot fix.
+fn io_is_transient(e: &io::Error) -> bool {
+    !matches!(
+        e.kind(),
+        io::ErrorKind::NotFound
+            | io::ErrorKind::PermissionDenied
+            | io::ErrorKind::Unsupported
+            | io::ErrorKind::InvalidData
+            | io::ErrorKind::InvalidInput
+    )
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "parser panicked".to_string()
+    }
+}
+
+/// Consume the parser buffers in strict round-robin order, yielding one
+/// message per file in global file order (the §III.F consumption rule).
+///
+/// A channel that closes before delivering its files yields a
+/// [`PipelineError::ParserDisconnected`] instead of ending the stream —
+/// the silent-truncation bug where a crashed parser looked identical to
+/// end-of-input.
 pub struct RoundRobin<'a> {
-    buffers: &'a [Receiver<ParsedBatch>],
+    buffers: &'a [Receiver<ParsedFile>],
     next_file: usize,
     num_files: usize,
 }
 
 impl<'a> RoundRobin<'a> {
-    /// Iterate the batches of `num_files` files over `buffers`.
-    pub fn new(buffers: &'a [Receiver<ParsedBatch>], num_files: usize) -> Self {
+    /// Iterate the messages of `num_files` files over `buffers`.
+    pub fn new(buffers: &'a [Receiver<ParsedFile>], num_files: usize) -> Self {
         RoundRobin { buffers, next_file: 0, num_files }
     }
 }
 
-impl<'a> Iterator for RoundRobin<'a> {
-    type Item = ParsedBatch;
-    fn next(&mut self) -> Option<ParsedBatch> {
+impl Iterator for RoundRobin<'_> {
+    type Item = Result<ParsedFile, PipelineError>;
+    fn next(&mut self) -> Option<Self::Item> {
         if self.next_file >= self.num_files {
             return None;
         }
         let parser = self.next_file % self.buffers.len();
-        let batch = self.buffers[parser].recv().ok()?;
-        debug_assert_eq!(batch.file_idx, self.next_file, "round-robin order violated");
-        self.next_file += 1;
-        Some(batch)
+        match self.buffers[parser].recv() {
+            Ok(msg) => {
+                debug_assert_eq!(msg.file_idx(), self.next_file, "round-robin order violated");
+                self.next_file += 1;
+                Some(Ok(msg))
+            }
+            Err(_) => {
+                let err = PipelineError::ParserDisconnected { parser, file_idx: self.next_file };
+                self.next_file = self.num_files; // fuse: the stream is dead
+                Some(Err(err))
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ii_corpus::CollectionSpec;
+    use ii_corpus::{CollectionSpec, FaultKind, FaultPlan};
     use std::path::PathBuf;
 
     fn stored(tag: &str, spec: CollectionSpec) -> (Arc<StoredCollection>, PathBuf) {
@@ -142,15 +295,21 @@ mod tests {
         (Arc::new(s), dir)
     }
 
+    fn reopen_with(dir: &PathBuf, plan: FaultPlan) -> Arc<StoredCollection> {
+        Arc::new(StoredCollection::open(dir).unwrap().with_faults(plan))
+    }
+
     #[test]
     fn batches_arrive_in_file_order() {
         let mut spec = CollectionSpec::tiny(31);
         spec.num_files = 7;
         let (coll, dir) = stored("order", spec);
         for num_parsers in [1usize, 2, 3] {
-            let pool = ParserPool::spawn(Arc::clone(&coll), num_parsers, 2);
-            let files: Vec<usize> =
-                RoundRobin::new(&pool.buffers, coll.num_files()).map(|b| b.file_idx).collect();
+            let pool =
+                ParserPool::spawn(Arc::clone(&coll), num_parsers, 2, FaultPolicy::default());
+            let files: Vec<usize> = RoundRobin::new(&pool.buffers, coll.num_files())
+                .map(|m| m.unwrap().result.unwrap().file_idx)
+                .collect();
             assert_eq!(files, (0..7).collect::<Vec<_>>(), "parsers={num_parsers}");
             let timings = pool.join();
             assert_eq!(timings.iter().map(|t| t.files).sum::<usize>(), 7);
@@ -165,9 +324,13 @@ mod tests {
         let (coll, dir) = stored("deterministic", spec);
         let mut outputs = Vec::new();
         for num_parsers in [1usize, 4] {
-            let pool = ParserPool::spawn(Arc::clone(&coll), num_parsers, 2);
+            let pool =
+                ParserPool::spawn(Arc::clone(&coll), num_parsers, 2, FaultPolicy::default());
             let tokens: Vec<(usize, u64)> = RoundRobin::new(&pool.buffers, coll.num_files())
-                .map(|b| (b.file_idx, b.stats.terms_kept))
+                .map(|m| {
+                    let b = m.unwrap().result.unwrap();
+                    (b.file_idx, b.stats.terms_kept)
+                })
                 .collect();
             pool.join();
             outputs.push(tokens);
@@ -179,12 +342,85 @@ mod tests {
     #[test]
     fn timings_are_recorded() {
         let (coll, dir) = stored("timing", CollectionSpec::tiny(33));
-        let pool = ParserPool::spawn(Arc::clone(&coll), 2, 2);
+        let pool = ParserPool::spawn(Arc::clone(&coll), 2, 2, FaultPolicy::default());
         let n: usize = RoundRobin::new(&pool.buffers, coll.num_files()).count();
         assert_eq!(n, coll.num_files());
         let timings = pool.join();
         let total_parse: f64 = timings.iter().map(|t| t.parse_seconds).sum();
         assert!(total_parse > 0.0);
         std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_recovered() {
+        let mut spec = CollectionSpec::tiny(34);
+        spec.num_files = 4;
+        let (_, dir) = stored("transient", spec);
+        let plan = FaultPlan::new(1).with_fault(2, FaultKind::TransientRead { failures: 2 });
+        let coll = reopen_with(&dir, plan);
+        let pool = ParserPool::spawn(Arc::clone(&coll), 2, 2, FaultPolicy::default());
+        let msgs: Vec<ParsedFile> = RoundRobin::new(&pool.buffers, coll.num_files())
+            .map(|m| m.unwrap())
+            .collect();
+        assert!(msgs.iter().all(|m| m.result.is_ok()));
+        assert_eq!(msgs[2].retries, 2, "file 2 needed two retries");
+        assert_eq!(msgs.iter().map(|m| m.retries).sum::<u32>(), 2);
+        pool.join();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn permanent_fault_occupies_its_slot_under_skip_policy() {
+        let mut spec = CollectionSpec::tiny(35);
+        spec.num_files = 4;
+        let (_, dir) = stored("permanent", spec);
+        let coll = reopen_with(&dir, FaultPlan::new(2).with_fault(1, FaultKind::Garbage));
+        let pool = ParserPool::spawn(Arc::clone(&coll), 2, 2, FaultPolicy::skip_file());
+        let msgs: Vec<ParsedFile> = RoundRobin::new(&pool.buffers, coll.num_files())
+            .map(|m| m.unwrap())
+            .collect();
+        assert_eq!(msgs.len(), 4, "every file slot is accounted for");
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(m.file_idx(), i, "round-robin order preserved across the fault");
+        }
+        let fault = msgs[1].result.as_ref().unwrap_err();
+        assert_eq!(fault.class, FaultClass::Permanent);
+        assert_eq!(fault.file_idx, 1);
+        assert!(msgs[3].result.is_ok(), "the faulty parser kept going");
+        pool.join();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn parser_panic_is_contained() {
+        let mut spec = CollectionSpec::tiny(36);
+        spec.num_files = 3;
+        let (_, dir) = stored("panic", spec);
+        let coll = reopen_with(&dir, FaultPlan::new(3).with_fault(0, FaultKind::Panic));
+        let pool = ParserPool::spawn(Arc::clone(&coll), 1, 2, FaultPolicy::skip_file());
+        let msgs: Vec<ParsedFile> = RoundRobin::new(&pool.buffers, coll.num_files())
+            .map(|m| m.unwrap())
+            .collect();
+        let fault = msgs[0].result.as_ref().unwrap_err();
+        assert_eq!(fault.class, FaultClass::Panic);
+        assert!(fault.error.contains("injected parser panic"), "{}", fault.error);
+        assert!(msgs[1].result.is_ok() && msgs[2].result.is_ok());
+        pool.join(); // must not re-raise the panic
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn early_disconnect_is_an_error_not_end_of_stream() {
+        // A channel that closes with files outstanding must surface as an
+        // error — this was the silent-truncation bug.
+        let (tx, rx) = bounded::<ParsedFile>(1);
+        drop(tx);
+        let buffers = [rx];
+        let mut rr = RoundRobin::new(&buffers, 3);
+        match rr.next() {
+            Some(Err(PipelineError::ParserDisconnected { parser: 0, file_idx: 0 })) => {}
+            other => panic!("expected ParserDisconnected, got {other:?}"),
+        }
+        assert!(rr.next().is_none(), "iterator fuses after the error");
     }
 }

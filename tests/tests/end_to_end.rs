@@ -30,7 +30,7 @@ fn stored(tag: &str) -> (Arc<StoredCollection>, std::path::PathBuf) {
 #[test]
 fn pipeline_agrees_with_ivory_baseline() {
     let (coll, dir) = stored("vs-ivory");
-    let index = IndexBuilder::small().parsers(2).gpus(2).build(&coll);
+    let index = IndexBuilder::small().parsers(2).gpus(2).build(&coll).expect("build");
 
     // Independent reference: the Ivory MapReduce implementation over the
     // same documents (text processing shared, indexing path disjoint).
@@ -52,7 +52,7 @@ fn pipeline_agrees_with_ivory_baseline() {
 #[test]
 fn pipeline_agrees_with_spimi_baseline() {
     let (coll, dir) = stored("vs-spimi");
-    let index = IndexBuilder::small().parsers(3).cpu_indexers(2).gpus(0).build(&coll);
+    let index = IndexBuilder::small().parsers(3).cpu_indexers(2).gpus(0).build(&coll).expect("build");
     let gen = CollectionGenerator::new(spec());
     let flat: Vec<ii_core::corpus::RawDocument> =
         (0..spec().num_files).flat_map(|f| gen.generate_file(f)).collect();
@@ -82,9 +82,11 @@ fn every_configuration_builds_the_same_index() {
         v.sort();
         v
     };
-    let base = fingerprint(&IndexBuilder::small().parsers(1).cpu_indexers(1).gpus(0).build(&coll));
+    let base = fingerprint(
+        &IndexBuilder::small().parsers(1).cpu_indexers(1).gpus(0).build(&coll).expect("build"),
+    );
     for (p, c, g) in [(4usize, 1usize, 0usize), (2, 2, 1), (1, 0, 2), (3, 1, 2)] {
-        let idx = IndexBuilder::small().parsers(p).cpu_indexers(c).gpus(g).build(&coll);
+        let idx = IndexBuilder::small().parsers(p).cpu_indexers(c).gpus(g).build(&coll).expect("build");
         assert_eq!(fingerprint(&idx), base, "config ({p},{c},{g}) diverged");
     }
     std::fs::remove_dir_all(dir).unwrap();
@@ -93,8 +95,8 @@ fn every_configuration_builds_the_same_index() {
 #[test]
 fn batches_per_run_does_not_change_results() {
     let (coll, dir) = stored("runs");
-    let one = IndexBuilder::small().batches_per_run(1).build(&coll);
-    let all = IndexBuilder::small().batches_per_run(99).build(&coll);
+    let one = IndexBuilder::small().batches_per_run(1).build(&coll).expect("build");
+    let all = IndexBuilder::small().batches_per_run(99).build(&coll).expect("build");
     assert_eq!(one.num_terms(), all.num_terms());
     let probe: Vec<String> = one
         .dictionary
@@ -116,7 +118,7 @@ fn batches_per_run_does_not_change_results() {
 #[test]
 fn save_open_search_roundtrip() {
     let (coll, dir) = stored("persist");
-    let built = IndexBuilder::small().build(&coll);
+    let built = IndexBuilder::small().build(&coll).expect("build");
     let out = std::env::temp_dir().join(format!("ii-it-persist-idx-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&out);
     built.save(&out).unwrap();

@@ -1,0 +1,85 @@
+//! Property tests for the ingest decoders under corruption.
+//!
+//! The fault-tolerance contract of the decode path is twofold: on *any*
+//! input, `decompress` and `parse_container` return a typed error rather
+//! than panicking (or allocating absurdly); and whenever a corrupted
+//! container still parses, the documents are identical to the originals —
+//! corruption is either detected or provably harmless, never silent.
+
+use ii_core::corpus::{compress, container, RawDocument};
+use proptest::prelude::*;
+
+fn docs_strategy() -> impl Strategy<Value = Vec<RawDocument>> {
+    proptest::collection::vec(
+        ("[a-z:/._]{0,30}", "[a-zA-Z0-9 .,]{0,120}")
+            .prop_map(|(url, body)| RawDocument { url, body }),
+        0..8,
+    )
+}
+
+proptest! {
+    /// `parse_container` is total: arbitrary bytes produce Ok or a typed
+    /// error, never a panic.
+    #[test]
+    fn parse_container_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = container::parse_container(&bytes);
+    }
+
+    /// `decompress` is total on arbitrary bytes — including absurd length
+    /// headers, which must be rejected before allocation.
+    #[test]
+    fn decompress_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        if let Ok(out) = compress::decompress(&bytes) {
+            // The expansion bound that guards the allocation.
+            prop_assert!(out.len() <= bytes.len().saturating_mul(18));
+        }
+    }
+
+    /// Flipping any single byte of a checksummed container is either
+    /// detected or harmless: a successful parse returns the original docs.
+    #[test]
+    fn container_byte_flip_is_detected_or_harmless(
+        docs in docs_strategy(),
+        idx in any::<prop::sample::Index>(),
+        mask in 1u8..,
+    ) {
+        let mut buf = container::write_container(&docs);
+        let i = idx.index(buf.len());
+        buf[i] ^= mask;
+        if let Ok(parsed) = container::parse_container(&buf) {
+            prop_assert_eq!(parsed, docs, "silent corruption at byte {}", i);
+        }
+    }
+
+    /// Every proper prefix of a non-empty compressed stream is an error —
+    /// truncation can never be mistaken for a complete file.
+    #[test]
+    fn compressed_truncation_always_detected(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let c = compress::compress(&data);
+        let cut = cut.index(c.len());
+        prop_assert!(compress::decompress(&c[..cut]).is_err(), "prefix {} of {}", cut, c.len());
+    }
+
+    /// Corrupting the *compressed* bytes of a container never panics either
+    /// decoder, and if the full decode chain still succeeds, the documents
+    /// are unchanged (the CRC footer catches what LZSS cannot).
+    #[test]
+    fn compressed_byte_flip_never_panics_decode_chain(
+        docs in docs_strategy(),
+        idx in any::<prop::sample::Index>(),
+        mask in 1u8..,
+    ) {
+        let packed = compress::compress(&container::write_container(&docs));
+        let mut bad = packed;
+        let i = idx.index(bad.len());
+        bad[i] ^= mask;
+        if let Ok(bytes) = compress::decompress(&bad) {
+            if let Ok(parsed) = container::parse_container(&bytes) {
+                prop_assert_eq!(parsed, docs, "silent corruption via compressed byte {}", i);
+            }
+        }
+    }
+}
