@@ -71,6 +71,10 @@ fn main() {
         let mut cfg = PipelineConfig::small(2, 2, gpus);
         cfg.popular_count = 40;
         let out = build_index(&coll, &cfg).expect("index build");
+        ii_bench::write_stats_snapshot(
+            &format!("table6_{}_{}gpu", coll.manifest.spec.name, gpus),
+            &out.report.stages.snapshot,
+        );
         let r = &out.report;
         println!(
             "{:<26}{:>10}{:>12}{:>12}{:>10}{:>10}{:>10}{:>10.2}",

@@ -32,6 +32,17 @@ pub fn bench_dir(tag: &str) -> PathBuf {
     std::env::temp_dir().join("ii-bench-data").join(tag)
 }
 
+/// Persist an observability snapshot next to the bench artifacts (same
+/// JSON format as `ii build --stats-json`) and print where it went.
+pub fn write_stats_snapshot(tag: &str, snapshot: &ii_core::obs::Snapshot) -> PathBuf {
+    let dir = bench_dir("obs");
+    std::fs::create_dir_all(&dir).expect("create obs dir");
+    let path = dir.join(format!("{tag}.json"));
+    snapshot.write_json(&path).expect("write obs snapshot");
+    println!("\n[obs] stage snapshot written to {}", path.display());
+    path
+}
+
 /// Print a horizontal rule sized to a table width.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));

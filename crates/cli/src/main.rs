@@ -3,7 +3,7 @@
 //! ```text
 //! ii generate <dir> [--preset clueweb|wikipedia|congress|tiny] [--scale F] [--seed N]
 //! ii build    <collection-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]
-//!             [--max-retries N] [--on-fault fail|skip]
+//!             [--max-retries N] [--on-fault fail|skip] [--stats] [--stats-json]
 //! ii query    <index-dir> <terms...>
 //! ii postings <index-dir> <term> [--range LO HI]
 //! ii stats    <collection-dir | index-dir>
@@ -57,7 +57,8 @@ fn usage() {
          generate <dir> [--preset P] [--scale F] [--seed N]   synthesize a collection\n  \
          build <coll-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]\n        \
          [--max-retries N] [--on-fault fail|skip]      fail aborts on a corrupt file (default);\n        \
-         skip quarantines it and indexes the rest\n  \
+         skip quarantines it and indexes the rest\n        \
+         [--stats] prints the per-stage breakdown; [--stats-json] the raw snapshot\n  \
          query <index-dir> <terms...>                         conjunctive search\n  \
          postings <index-dir> <term> [--range LO HI]          dump a postings list\n  \
          stats <dir>                                          collection or index stats\n  \
@@ -77,6 +78,13 @@ fn flag_usize(args: &[String], name: &str, default: usize) -> Result<usize, Stri
     }
 }
 
+/// Flags that take no value (everything else consumes the next argument).
+const BOOL_FLAGS: &[&str] = &["--stats", "--stats-json"];
+
+fn bool_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
 fn positional(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut skip = false;
@@ -86,7 +94,7 @@ fn positional(args: &[String]) -> Vec<&String> {
             continue;
         }
         if a.starts_with("--") {
-            skip = true;
+            skip = !BOOL_FLAGS.contains(&a.as_str());
             continue;
         }
         out.push(a);
@@ -169,6 +177,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     println!("faults: {}", r.faults.summary());
     for q in &r.faults.quarantined {
         println!("  quarantined {q}");
+    }
+    if bool_flag(args, "--stats") {
+        println!("\nper-stage breakdown (Table V / Fig 9):");
+        print!("{}", r.stages.render_table());
+    }
+    if bool_flag(args, "--stats-json") {
+        println!("{}", r.stages.snapshot.to_json());
     }
     println!("index written to {index_dir}");
     Ok(())

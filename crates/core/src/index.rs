@@ -2,12 +2,14 @@
 
 use ii_corpus::DocId;
 use ii_dict::GlobalDictionary;
+use ii_obs::Registry;
 use ii_pipeline::{DocMap, IndexOutput, PipelineReport};
 use ii_postings::{Posting, PostingsList, RunFile, RunSet};
 use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 /// A built inverted index over a document collection.
 pub struct Index {
@@ -19,6 +21,9 @@ pub struct Index {
     pub doc_map: DocMap,
     /// Build timing/workload report (empty when loaded from disk).
     pub report: PipelineReport,
+    /// Query-time metrics: the `query` stage (wall, items, latency) and a
+    /// `query.postings_scanned` counter accumulate over this index's life.
+    pub obs: Arc<Registry>,
 }
 
 impl Index {
@@ -29,6 +34,7 @@ impl Index {
             run_sets: out.run_sets,
             doc_map: out.doc_map,
             report: out.report,
+            obs: Arc::new(Registry::new()),
         }
     }
 
@@ -77,6 +83,9 @@ impl Index {
     /// ranked by summed term frequency. Stop words in the query are
     /// ignored (as they were never indexed).
     pub fn search(&self, query: &str) -> Vec<(DocId, u64)> {
+        let stage = self.obs.stage("query");
+        let _span = stage.span();
+        let scanned = self.obs.counter("query.postings_scanned");
         let mut lists: Vec<PostingsList> = Vec::new();
         let mut it = ii_text::tokenize::tokens(query);
         while let Some(tok) = it.next_token() {
@@ -92,6 +101,7 @@ impl Index {
         if lists.is_empty() {
             return Vec::new();
         }
+        scanned.add(lists.iter().map(|l| l.len() as u64).sum());
         // Intersect smallest-first.
         lists.sort_by_key(|l| l.len());
         let mut acc: HashMap<u32, u64> =
@@ -159,7 +169,13 @@ impl Index {
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             run_sets.entry(indexer).or_default().push(run);
         }
-        Ok(Index { dictionary, run_sets, doc_map, report: PipelineReport::default() })
+        Ok(Index {
+            dictionary,
+            run_sets,
+            doc_map,
+            report: PipelineReport::default(),
+            obs: Arc::new(Registry::new()),
+        })
     }
 }
 

@@ -40,6 +40,8 @@ pub use ii_dict as dict;
 pub use ii_gpusim as gpusim;
 /// CPU/GPU indexers and load balancing.
 pub use ii_indexer as indexer;
+/// Metrics registry, stage spans, JSON snapshots.
+pub use ii_obs as obs;
 /// Pipelined dataflow driver.
 pub use ii_pipeline as pipeline;
 /// Platform performance model (Fig 10/11, Tables IV/VI, Fig 12).

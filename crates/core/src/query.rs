@@ -47,6 +47,9 @@ impl Index {
     /// BM25-ranked retrieval. Query terms are normalized like document
     /// terms; stop words are dropped. Returns hits best-first.
     pub fn search_ranked(&self, query: &str, mode: QueryMode, params: Bm25Params) -> Vec<RankedHit> {
+        let stage = self.obs.stage("query");
+        let _span = stage.span();
+        let scanned = self.obs.counter("query.postings_scanned");
         // Collect normalized query terms (dedup keeps idf honest for
         // repeated query words).
         let mut terms: Vec<String> = Vec::new();
@@ -72,6 +75,7 @@ impl Index {
                 continue;
             };
             matched_terms += 1;
+            scanned.add(list.len() as u64);
             let df = list.len() as f64;
             // BM25 idf with the +1 smoothing that keeps it positive.
             let idf = ((n_docs - df + 0.5) / (df + 0.5) + 1.0).ln();

@@ -26,6 +26,8 @@ pub struct BTreeStore {
     pub cache_hits: u64,
     /// Comparisons that had to read the string remainder.
     pub cache_misses: u64,
+    /// B-TREE-SPLIT-CHILD invocations across all trees in the store.
+    pub node_splits: u64,
 }
 
 /// Handle to one B-tree (one trie collection) within a store.
@@ -58,7 +60,7 @@ impl BTreeStore {
     /// Rebuild a store from arenas downloaded off the simulated GPU (same
     /// node/string layouts) plus the number of postings handles issued.
     pub fn from_parts(nodes: NodeArena, strings: StringArena, next_postings: u32) -> Self {
-        BTreeStore { nodes, strings, next_postings, cache_hits: 0, cache_misses: 0 }
+        BTreeStore { nodes, strings, next_postings, cache_hits: 0, cache_misses: 0, node_splits: 0 }
     }
 
     /// Number of distinct terms ever inserted across all trees in the store
@@ -126,6 +128,7 @@ impl BTreeStore {
 
     /// Split the full child `ci` of `parent_idx` (CLRS B-TREE-SPLIT-CHILD).
     fn split_child(&mut self, parent_idx: u32, ci: usize) {
+        self.node_splits += 1;
         let left_idx = self.nodes.get(parent_idx).children[ci];
         let right_idx = self.nodes.alloc();
         let mid = MAX_KEYS / 2; // 15: median key index
@@ -369,6 +372,7 @@ mod tests {
         want.sort();
         assert_eq!(got, want.iter().map(|v| v.as_slice()).collect::<Vec<_>>());
         assert!(s.depth(&t) >= 2);
+        assert!(s.node_splits >= 6, "200 keys over 31-key nodes must split: {}", s.node_splits);
     }
 
     #[test]

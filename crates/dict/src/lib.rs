@@ -19,4 +19,4 @@ pub use btree::{BTree, BTreeStore, InsertOutcome};
 pub use dictionary::{DictEntry, GlobalDictionary, PartialDictionary};
 pub use node::{BTreeNode, DEGREE, MAX_KEYS, MIN_KEYS, NODE_BYTES, NULL};
 pub use trie::{classify, trie_index, TrieIndex, TRIE_ENTRIES};
-pub use verify::{verify_btree, verify_shard, BTreeViolation};
+pub use verify::{verify_btree, verify_global, verify_shard, BTreeViolation, GlobalViolation};

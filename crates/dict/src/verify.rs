@@ -131,6 +131,51 @@ fn walk(
     }
 }
 
+/// A violated invariant of the combined [`GlobalDictionary`].
+///
+/// [`GlobalDictionary`]: crate::dictionary::GlobalDictionary
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalViolation {
+    /// Entries not strictly sorted by `(trie_index, suffix)` — implies a
+    /// duplicate or misordered term.
+    EntriesOutOfOrder {
+        /// Index of the offending entry (the later of the pair).
+        index: usize,
+    },
+    /// The same `(indexer, postings)` handle is claimed by two terms.
+    DuplicatePostings {
+        /// Owning indexer.
+        indexer: u32,
+        /// The repeated postings handle.
+        postings: u32,
+    },
+}
+
+/// Verify the combined dictionary: entries strictly sorted and unique by
+/// `(trie_index, suffix)`, and every `(indexer, postings)` handle claimed
+/// by exactly one term. Returns all violations found.
+pub fn verify_global(dict: &crate::dictionary::GlobalDictionary) -> Vec<GlobalViolation> {
+    let mut out = Vec::new();
+    let entries = dict.entries();
+    for (i, w) in entries.windows(2).enumerate() {
+        let a = (w[0].trie_index, w[0].suffix.as_slice());
+        let b = (w[1].trie_index, w[1].suffix.as_slice());
+        if a >= b {
+            out.push(GlobalViolation::EntriesOutOfOrder { index: i + 1 });
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    for e in entries {
+        if !seen.insert((e.indexer, e.postings)) {
+            out.push(GlobalViolation::DuplicatePostings {
+                indexer: e.indexer,
+                postings: e.postings,
+            });
+        }
+    }
+    out
+}
+
 /// Verify every tree of a dictionary shard; returns `(trie index,
 /// violations)` for trees with problems.
 pub fn verify_shard(dict: &crate::dictionary::PartialDictionary) -> Vec<(u32, Vec<BTreeViolation>)> {
@@ -204,6 +249,26 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| matches!(v, BTreeViolation::DuplicateHandle { .. })));
+    }
+
+    #[test]
+    fn global_dictionary_verifies_and_detects_duplicates() {
+        let mut a = crate::dictionary::PartialDictionary::new(0);
+        for t in ["alpha", "beta", "gamma"] {
+            crate::dictionary::insert_surface(&mut a, t);
+        }
+        let dict = crate::dictionary::GlobalDictionary::combine(&[a]);
+        assert_eq!(verify_global(&dict), vec![]);
+        // Two shards sharing indexer_id 0 collide on postings handles —
+        // exactly the corruption verify_global must catch.
+        let mut b = crate::dictionary::PartialDictionary::new(0);
+        let mut c = crate::dictionary::PartialDictionary::new(0);
+        crate::dictionary::insert_surface(&mut b, "delta");
+        crate::dictionary::insert_surface(&mut c, "omega");
+        let bad = crate::dictionary::GlobalDictionary::combine(&[b, c]);
+        assert!(verify_global(&bad)
+            .iter()
+            .any(|v| matches!(v, GlobalViolation::DuplicatePostings { .. })));
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub struct Metrics {
     pub instructions: u64,
     /// Branches where the warp diverged (lanes took both paths).
     pub divergent_branches: u64,
+    /// Key comparisons performed warp-wide (31 per Fig 7 node probe —
+    /// lane *i* compares the probe against key slot *i*).
+    pub warp_comparisons: u64,
     /// Host-to-device bytes transferred (pre-processing).
     pub h2d_bytes: u64,
     /// Device-to-host bytes transferred (post-processing).
@@ -36,6 +39,7 @@ impl Metrics {
         self.bank_conflict_cycles += other.bank_conflict_cycles;
         self.instructions += other.instructions;
         self.divergent_branches += other.divergent_branches;
+        self.warp_comparisons += other.warp_comparisons;
         self.h2d_bytes += other.h2d_bytes;
         self.d2h_bytes += other.d2h_bytes;
     }
@@ -58,11 +62,17 @@ mod tests {
     #[test]
     fn merge_sums_fields() {
         let mut a = Metrics { global_transactions: 1, instructions: 10, ..Default::default() };
-        let b = Metrics { global_transactions: 2, h2d_bytes: 5, ..Default::default() };
+        let b = Metrics {
+            global_transactions: 2,
+            h2d_bytes: 5,
+            warp_comparisons: 31,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.global_transactions, 3);
         assert_eq!(a.instructions, 10);
         assert_eq!(a.h2d_bytes, 5);
+        assert_eq!(a.warp_comparisons, 31);
     }
 
     #[test]

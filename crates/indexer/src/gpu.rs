@@ -478,6 +478,7 @@ fn node_probe(
     }
     lane_cmp[31] = 1;
     ctx.instr(2); // swap + compare
+    ctx.metrics.warp_comparisons += MAX_KEYS as u64; // lane i vs key slot i
     // Cache ties need the string remainder (device memory, uncoalesced) —
     // the expensive, rare path the 4-byte cache exists to avoid.
     let probe_rem: &[u8] = if term.len() > 4 { &term[4..] } else { b"" };

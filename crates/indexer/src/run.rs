@@ -51,6 +51,7 @@ pub struct IndexerPool {
     /// Postings codec for run files.
     pub codec: Codec,
     next_doc: u32,
+    docs_indexed: u32,
     next_run: u32,
 }
 
@@ -61,12 +62,20 @@ impl IndexerPool {
         let gpus: Vec<GpuIndexer> = (0..plan.n_gpu())
             .map(|i| GpuIndexer::new((plan.n_cpu() + i) as u32, gpu_config))
             .collect();
-        IndexerPool { cpus, gpus, plan, codec, next_doc: 0, next_run: 0 }
+        IndexerPool { cpus, gpus, plan, codec, next_doc: 0, docs_indexed: 0, next_run: 0 }
     }
 
-    /// Global doc IDs consumed so far.
+    /// Documents actually indexed (doc-ID gaps reserved via
+    /// [`Self::skip_docs`] are excluded).
     pub fn docs_indexed(&self) -> u32 {
-        self.next_doc
+        self.docs_indexed
+    }
+
+    /// Reserve `n` doc IDs without indexing anything — the slot of a
+    /// quarantined file, keeping later files' global IDs identical to a
+    /// clean build's.
+    pub fn skip_docs(&mut self, n: u32) {
+        self.next_doc += n;
     }
 
     /// Index one parsed batch: routes each trie group to its owner and
@@ -74,6 +83,7 @@ impl IndexerPool {
     pub fn index_batch(&mut self, batch: &ParsedBatch) -> BatchTiming {
         let offset = self.next_doc;
         self.next_doc += batch.num_docs;
+        self.docs_indexed += batch.num_docs;
 
         // Route groups.
         let mut cpu_groups: Vec<Vec<&ii_text::TrieGroup>> =

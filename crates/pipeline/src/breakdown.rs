@@ -1,0 +1,136 @@
+//! Per-stage breakdown of one pipeline build (paper Table V / Fig 9).
+//!
+//! `build_index` records every stage of the dataflow — serialized read,
+//! decompression, parsing, indexing, run flush, dictionary combine/write —
+//! into a per-build [`ii_obs::Registry`] and freezes it here. The
+//! breakdown carries wall time, queue-wait time, payload bytes, and item
+//! counts per stage, plus the deep counters (B-tree node splits,
+//! string-cache hit rate, warp comparisons, simulated-GPU traffic), and
+//! renders the Table V-style text used by `ii build --stats`.
+
+use ii_obs::{Snapshot, StageSnapshot};
+
+/// Frozen per-stage metrics of one build.
+#[derive(Clone, Debug, Default)]
+pub struct StageBreakdown {
+    /// The raw registry snapshot (counters, gauges, histograms, stages).
+    /// `snapshot.to_json()` is the `--stats-json` / bench-file format.
+    pub snapshot: Snapshot,
+}
+
+impl StageBreakdown {
+    /// Freeze a registry into a breakdown.
+    pub fn from_registry(r: &ii_obs::Registry) -> StageBreakdown {
+        StageBreakdown { snapshot: r.snapshot() }
+    }
+
+    /// A stage's frozen metrics, if it was recorded.
+    pub fn stage(&self, name: &str) -> Option<&StageSnapshot> {
+        self.snapshot.stages.get(name)
+    }
+
+    /// A counter's value (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.snapshot.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Fraction of dictionary key comparisons settled by the in-node
+    /// 4-byte string cache (paper §III.D.1), `None` before any compare.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits = self.counter("dict.cache_hits");
+        let total = hits + self.counter("dict.cache_misses");
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// Render the Table V-style per-stage table plus the deep counters.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12}{:>10}{:>12}{:>14}{:>8}{:>10}\n",
+            "stage", "wall s", "q-wait s", "bytes", "items", "MB/s"
+        ));
+        out.push_str(&format!("{}\n", "-".repeat(66)));
+        // Dataflow order, not alphabetical.
+        for name in ["read", "decompress", "parse", "index", "post_process", "dict_combine", "dict_write"] {
+            let Some(s) = self.stage(name) else { continue };
+            let mb_s = if s.wall_seconds > 0.0 {
+                s.bytes as f64 / 1e6 / s.wall_seconds
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<12}{:>10.3}{:>12.3}{:>14}{:>8}{:>10.1}\n",
+                name, s.wall_seconds, s.queue_wait_seconds, s.bytes, s.items, mb_s
+            ));
+        }
+        // Any stage outside the canonical dataflow still gets a row.
+        for (name, s) in &self.snapshot.stages {
+            if ["read", "decompress", "parse", "index", "post_process", "dict_combine", "dict_write"]
+                .contains(&name.as_str())
+            {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<12}{:>10.3}{:>12.3}{:>14}{:>8}\n",
+                name, s.wall_seconds, s.queue_wait_seconds, s.bytes, s.items
+            ));
+        }
+        if let Some(rate) = self.cache_hit_rate() {
+            out.push_str(&format!(
+                "string cache: {:.1}% hit ({} hits / {} misses), {} node splits\n",
+                rate * 100.0,
+                self.counter("dict.cache_hits"),
+                self.counter("dict.cache_misses"),
+                self.counter("dict.node_splits"),
+            ));
+        }
+        if self.counter("gpu.warp_comparisons") > 0 {
+            out.push_str(&format!(
+                "gpu: {} warp comparisons, {} global transactions ({} B), h2d {} B, d2h {} B\n",
+                self.counter("gpu.warp_comparisons"),
+                self.counter("gpu.global_transactions"),
+                self.counter("gpu.global_bytes"),
+                self.counter("gpu.h2d_bytes"),
+                self.counter("gpu.d2h_bytes"),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ii_obs::Registry;
+
+    #[test]
+    fn render_includes_known_stages_in_order() {
+        let r = Registry::new();
+        drop(r.stage("index").span());
+        {
+            let read = r.stage("read");
+            let mut s = read.span();
+            s.add_bytes(4096);
+        }
+        r.counter("dict.cache_hits").add(90);
+        r.counter("dict.cache_misses").add(10);
+        r.counter("dict.node_splits").add(3);
+        let b = StageBreakdown::from_registry(&r);
+        let t = b.render_table();
+        let read_at = t.find("read").unwrap();
+        let index_at = t.find("index").unwrap();
+        assert!(read_at < index_at, "dataflow order:\n{t}");
+        assert!(t.contains("90.0% hit"), "{t}");
+        assert!(t.contains("3 node splits"), "{t}");
+        assert_eq!(b.cache_hit_rate(), Some(0.9));
+        assert_eq!(b.counter("no.such.counter"), 0);
+    }
+
+    #[test]
+    fn empty_breakdown_renders_header_only() {
+        let b = StageBreakdown::default();
+        let t = b.render_table();
+        assert!(t.contains("stage"));
+        assert!(b.cache_hit_rate().is_none());
+    }
+}

@@ -25,6 +25,9 @@ pub struct DocMapEntry {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DocMap {
     entries: Vec<DocMapEntry>,
+    /// First doc ID of the next file — tracked explicitly so quarantined
+    /// files can reserve an ID gap that `entries` alone cannot express.
+    next_first: u32,
 }
 
 const DOCMAP_MAGIC: &[u8; 4] = b"IIDM";
@@ -36,18 +39,23 @@ impl DocMap {
     }
 
     /// Record the next file's range; files must arrive in order and
-    /// ranges must be contiguous from 0.
+    /// ranges must be contiguous from 0 (modulo quarantine gaps).
     pub fn push_file(&mut self, file_idx: u32, n_docs: u32) {
-        let first_doc = match self.entries.last() {
-            Some(e) => e.first_doc + e.n_docs,
-            None => 0,
-        };
-        self.entries.push(DocMapEntry { file_idx, first_doc, n_docs });
+        self.entries.push(DocMapEntry { file_idx, first_doc: self.next_first, n_docs });
+        self.next_first += n_docs;
     }
 
-    /// Total documents covered.
+    /// Record a quarantined file: an empty entry that still reserves
+    /// `reserved` doc IDs, so every later file keeps the IDs a clean build
+    /// would assign and [`Self::file_of`] answers `None` inside the gap.
+    pub fn push_quarantined(&mut self, file_idx: u32, reserved: u32) {
+        self.entries.push(DocMapEntry { file_idx, first_doc: self.next_first, n_docs: 0 });
+        self.next_first += reserved;
+    }
+
+    /// End of the doc-ID space (quarantine gaps included).
     pub fn total_docs(&self) -> u32 {
-        self.entries.last().map_or(0, |e| e.first_doc + e.n_docs)
+        self.next_first
     }
 
     /// Records, in doc order.
@@ -84,7 +92,9 @@ impl DocMap {
         Ok(())
     }
 
-    /// Deserialize.
+    /// Deserialize. A quarantine gap after the *last* file is not
+    /// recoverable from the record layout; the ID space ends at the last
+    /// entry, which is indistinguishable to lookups.
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<DocMap> {
         let mut head = [0u8; 8];
         r.read_exact(&mut head)?;
@@ -102,7 +112,8 @@ impl DocMap {
                 n_docs: u32::from_le_bytes(rec[8..12].try_into().unwrap()),
             });
         }
-        Ok(DocMap { entries })
+        let next_first = entries.last().map_or(0, |e: &DocMapEntry| e.first_doc + e.n_docs);
+        Ok(DocMap { entries, next_first })
     }
 }
 

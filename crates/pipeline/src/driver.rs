@@ -17,12 +17,14 @@
 //! (fail-fast) or quarantine the file and continue (skip-file). Everything
 //! survived is tallied in the report's [`FaultReport`].
 
+use crate::breakdown::StageBreakdown;
 use crate::docmap::DocMap;
 use crate::fault::{
     FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,
 };
-use crate::parsers::{panic_message, ParserPool, RoundRobin};
+use crate::parsers::{panic_message, ParserObs, ParserPool, RoundRobin};
 use ii_corpus::StoredCollection;
+use ii_obs::Registry;
 use ii_dict::GlobalDictionary;
 use ii_indexer::{make_plan, sample_counts, BalancePlan, GpuIndexerConfig, IndexerPool, WorkloadStats};
 use ii_postings::{Codec, RunSet};
@@ -144,6 +146,9 @@ pub struct PipelineReport {
     pub uncompressed_bytes: u64,
     /// Faults retried, recovered, and quarantined during the build.
     pub faults: FaultReport,
+    /// Per-stage observability breakdown (wall, queue-wait, bytes, items)
+    /// plus deep counters — the Table V / Fig 9 view of this build.
+    pub stages: StageBreakdown,
 }
 
 impl PipelineReport {
@@ -296,15 +301,23 @@ pub fn build_index(
 
     let mut run_sets: HashMap<u32, RunSet> = HashMap::new();
     let mut doc_map = DocMap::new();
+    // One registry per build: concurrent builds (parallel tests, library
+    // embedders) never interleave metrics.
+    let registry = Registry::new();
+    let index_stage = registry.stage("index");
+    let post_stage = registry.stage("post_process");
     let t_stream = Instant::now();
-    let parser_pool = ParserPool::spawn(
+    let parser_pool = ParserPool::spawn_observed(
         Arc::clone(collection),
         cfg.num_parsers,
         cfg.buffer_depth,
         cfg.fault_policy,
+        ParserObs::from_registry(&registry),
     );
     let mut batches_in_run = 0usize;
-    for msg in RoundRobin::new(&parser_pool.buffers, collection.num_files()) {
+    let round_robin = RoundRobin::new(&parser_pool.buffers, collection.num_files())
+        .with_queue_wait(Arc::clone(&index_stage));
+    for msg in round_robin {
         let msg = msg?;
         let batch = match msg.result {
             Ok(batch) => {
@@ -318,10 +331,14 @@ pub fn build_index(
                 if cfg.fault_policy.action == FaultAction::FailFast {
                     return Err(PipelineError::File(fault));
                 }
-                // Quarantine: keep the file's slot in the doc map with an
-                // empty docID range so every surviving document gets the
-                // same global ID a clean build would assign.
-                doc_map.push_file(fault.file_idx as u32, 0);
+                // Quarantine: keep the file's slot in the doc map as an
+                // empty entry that still reserves the file's doc-ID range,
+                // so every surviving document gets the same global ID a
+                // clean build would assign. Synthetic collections hold
+                // exactly `docs_per_file` documents per container.
+                let reserved = collection.manifest.spec.docs_per_file as u32;
+                doc_map.push_quarantined(fault.file_idx as u32, reserved);
+                pool.skip_docs(reserved);
                 report.uncompressed_bytes = report.uncompressed_bytes.saturating_sub(
                     *collection
                         .manifest
@@ -337,8 +354,17 @@ pub fn build_index(
             }
         };
         doc_map.push_file(batch.file_idx as u32, batch.num_docs);
+        let file_bytes = *collection
+            .manifest
+            .file_uncompressed_bytes
+            .get(batch.file_idx)
+            .unwrap_or(&0);
         let t0 = Instant::now();
-        let timing = pool.index_batch(&batch);
+        let timing = {
+            let mut span = index_stage.span();
+            span.add_bytes(file_bytes);
+            pool.index_batch(&batch)
+        };
         let wall = t0.elapsed().as_secs_f64();
         let modeled = timing.stage_seconds();
         report.pre_processing_seconds +=
@@ -346,11 +372,7 @@ pub fn build_index(
         report.indexing_seconds += modeled;
         report.per_file.push(FileTiming {
             file_idx: batch.file_idx,
-            uncompressed_bytes: *collection
-                .manifest
-                .file_uncompressed_bytes
-                .get(batch.file_idx)
-                .unwrap_or(&0),
+            uncompressed_bytes: file_bytes,
             wall_seconds: wall,
             modeled_seconds: modeled,
             tokens: batch.stats.terms_kept,
@@ -358,18 +380,24 @@ pub fn build_index(
         batches_in_run += 1;
         if batches_in_run >= cfg.batches_per_run {
             let t0 = Instant::now();
+            let mut span = post_stage.span();
             for run in pool.flush_run() {
+                span.add_bytes(run.payload.len() as u64);
                 run_sets.entry(run.indexer_id).or_default().push(run);
             }
+            drop(span);
             report.post_processing_seconds += t0.elapsed().as_secs_f64();
             batches_in_run = 0;
         }
     }
     if batches_in_run > 0 {
         let t0 = Instant::now();
+        let mut span = post_stage.span();
         for run in pool.flush_run() {
+            span.add_bytes(run.payload.len() as u64);
             run_sets.entry(run.indexer_id).or_default().push(run);
         }
+        drop(span);
         report.post_processing_seconds += t0.elapsed().as_secs_f64();
     }
     report.streaming_seconds = t_stream.elapsed().as_secs_f64();
@@ -385,17 +413,57 @@ pub fn build_index(
     report.cpu_stats = cpu_stats;
     report.gpu_stats = gpu_stats;
 
+    // Deep counters: exported from each component's native tallies into
+    // the build registry before `finish` consumes the pool.
+    registry.counter("pipeline.docs").add(pool.docs_indexed() as u64);
+    registry.counter("pipeline.retries").add(report.faults.retries as u64);
+    registry
+        .counter("pipeline.files.quarantined")
+        .add(report.faults.quarantined.len() as u64);
+    for c in &pool.cpus {
+        registry.counter("dict.cache_hits").add(c.dict.store.cache_hits);
+        registry.counter("dict.cache_misses").add(c.dict.store.cache_misses);
+        registry.counter("dict.node_splits").add(c.dict.store.node_splits);
+    }
+    for g in &pool.gpus {
+        let m = &g.kernel_metrics;
+        registry.counter("gpu.warp_comparisons").add(m.warp_comparisons);
+        registry.counter("gpu.global_transactions").add(m.global_transactions);
+        registry.counter("gpu.global_bytes").add(m.global_bytes);
+        registry.counter("gpu.shared_accesses").add(m.shared_accesses);
+        registry.counter("gpu.bank_conflict_cycles").add(m.bank_conflict_cycles);
+        registry.counter("gpu.instructions").add(m.instructions);
+        registry.counter("gpu.divergent_branches").add(m.divergent_branches);
+        let t = g.transfer_metrics();
+        registry.counter("gpu.h2d_bytes").add(t.h2d_bytes);
+        registry.counter("gpu.d2h_bytes").add(t.d2h_bytes);
+    }
+
     let t0 = Instant::now();
-    let parts = pool.finish();
-    let dictionary = GlobalDictionary::combine(&parts);
+    let combine_stage = registry.stage("dict_combine");
+    let parts = {
+        let _span = combine_stage.span();
+        pool.finish()
+    };
+    let dictionary = {
+        let _span = combine_stage.span();
+        GlobalDictionary::combine(&parts)
+    };
     report.dict_combine_seconds = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
     let mut dict_bytes = Vec::new();
-    dictionary.write_to(&mut dict_bytes)?;
+    {
+        let write_stage = registry.stage("dict_write");
+        let mut span = write_stage.span();
+        dictionary.write_to(&mut dict_bytes)?;
+        span.add_bytes(dict_bytes.len() as u64);
+    }
     report.dict_write_seconds = t0.elapsed().as_secs_f64();
+    registry.counter("pipeline.terms").add(dictionary.len() as u64);
 
     report.total_seconds = t_total.elapsed().as_secs_f64();
+    report.stages = StageBreakdown::from_registry(&registry);
     Ok(IndexOutput { dictionary, run_sets, dict_bytes, doc_map, report })
 }
 
@@ -403,7 +471,7 @@ pub fn build_index(
 mod tests {
     use super::*;
     use ii_corpus::{CollectionSpec, FaultKind, FaultPlan};
-    use std::path::PathBuf;
+    use std::path::{Path, PathBuf};
 
     fn stored(tag: &str, spec: CollectionSpec) -> (Arc<StoredCollection>, PathBuf) {
         let dir =
@@ -413,7 +481,7 @@ mod tests {
         (Arc::new(s), dir)
     }
 
-    fn reopen_with(dir: &PathBuf, plan: FaultPlan) -> Arc<StoredCollection> {
+    fn reopen_with(dir: &Path, plan: FaultPlan) -> Arc<StoredCollection> {
         Arc::new(StoredCollection::open(dir).unwrap().with_faults(plan))
     }
 
@@ -532,7 +600,7 @@ mod tests {
         let entries = out.doc_map.entries();
         assert_eq!(entries.len(), 6);
         assert_eq!(entries[2].n_docs, 0);
-        assert_eq!(entries[3].first_doc, 20, "file 3 starts where a clean build would");
+        assert_eq!(entries[3].first_doc, 30, "file 3 starts where a clean build would");
         // Quarantined files have no Fig 11 row and their bytes are excluded.
         assert_eq!(out.report.per_file.len(), 5);
         assert!(

@@ -12,11 +12,13 @@
 
 #![warn(missing_docs)]
 
+pub mod breakdown;
 pub mod docmap;
 pub mod driver;
 pub mod fault;
 pub mod parsers;
 
+pub use breakdown::StageBreakdown;
 pub use docmap::{DocMap, DocMapEntry};
 pub use driver::{
     build_index, sample_plan, FileTiming, IndexOutput, PipelineConfig, PipelineReport,
@@ -25,4 +27,4 @@ pub use driver::{
 pub use fault::{
     FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,
 };
-pub use parsers::{ParsedFile, ParserPool, ParserTiming, RoundRobin};
+pub use parsers::{ParsedFile, ParserObs, ParserPool, ParserTiming, RoundRobin};

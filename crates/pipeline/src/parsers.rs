@@ -21,12 +21,39 @@
 use crate::fault::{FaultAction, FaultClass, FaultPolicy, FaultStage, FileFault, PipelineError};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use ii_corpus::{compress, container, StoredCollection};
+use ii_obs::{Registry, Stage};
 use ii_text::{parse_documents, ParsedBatch};
 use parking_lot::Mutex;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Stage handles the parser threads record into: one [`Stage`] per
+/// dataflow step of paper Step 1 (read, decompress) and Steps 2-5 (parse).
+/// Producer back-pressure (time blocked sending into a full buffer) lands
+/// in the parse stage's `queue_wait_ns`.
+#[derive(Clone)]
+pub struct ParserObs {
+    /// Serialized disk reads (bytes = compressed bytes read).
+    pub read: Arc<Stage>,
+    /// In-memory decompression (bytes = uncompressed output).
+    pub decompress: Arc<Stage>,
+    /// Container parse + tokenize/stem/stop/regroup (bytes = uncompressed
+    /// input).
+    pub parse: Arc<Stage>,
+}
+
+impl ParserObs {
+    /// Intern the parser stages ("read", "decompress", "parse") in `r`.
+    pub fn from_registry(r: &Registry) -> ParserObs {
+        ParserObs {
+            read: r.stage("read"),
+            decompress: r.stage("decompress"),
+            parse: r.stage("parse"),
+        }
+    }
+}
 
 /// Per-parser timing accumulators (read under the disk lock vs the rest).
 #[derive(Clone, Copy, Debug, Default)]
@@ -80,6 +107,27 @@ impl ParserPool {
         buffer_depth: usize,
         policy: FaultPolicy,
     ) -> ParserPool {
+        // Callers that don't care about metrics still record into a
+        // throwaway registry — the instrumentation stays exercised (and
+        // measured) everywhere.
+        Self::spawn_observed(
+            collection,
+            num_parsers,
+            buffer_depth,
+            policy,
+            ParserObs::from_registry(&Registry::new()),
+        )
+    }
+
+    /// [`Self::spawn`] recording per-stage metrics into `obs` (the
+    /// pipeline driver passes stages interned in its per-build registry).
+    pub fn spawn_observed(
+        collection: Arc<StoredCollection>,
+        num_parsers: usize,
+        buffer_depth: usize,
+        policy: FaultPolicy,
+        obs: ParserObs,
+    ) -> ParserPool {
         assert!(num_parsers >= 1);
         let disk = Arc::new(Mutex::new(()));
         let html = collection.manifest.spec.html;
@@ -91,6 +139,7 @@ impl ParserPool {
                 bounded(buffer_depth.max(1));
             let disk = Arc::clone(&disk);
             let coll = Arc::clone(&collection);
+            let obs = obs.clone();
             let handle = std::thread::spawn(move || {
                 let mut timing = ParserTiming::default();
                 let mut file_idx = p;
@@ -98,7 +147,7 @@ impl ParserPool {
                     // Crash containment: a panic anywhere in this file's
                     // ingest becomes a typed fault in its round-robin slot.
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        ingest_file(&coll, &disk, html, file_idx, &policy, &mut timing)
+                        ingest_file(&coll, &disk, html, file_idx, &policy, &mut timing, &obs)
                     }));
                     let msg = match outcome {
                         Ok((retries, Ok(batch))) => ParsedFile { retries, result: Ok(batch) },
@@ -124,9 +173,12 @@ impl ParserPool {
                         },
                     };
                     let failed = msg.result.is_err();
+                    // Producer back-pressure: time blocked on a full buffer.
+                    let t_send = Instant::now();
                     if tx.send(msg).is_err() {
                         break; // consumer gone
                     }
+                    obs.parse.queue_wait_ns.add(t_send.elapsed().as_nanos() as u64);
                     if failed && policy.action == FaultAction::FailFast {
                         break; // the consumer will abort on receipt
                     }
@@ -160,6 +212,7 @@ fn ingest_file(
     file_idx: usize,
     policy: &FaultPolicy,
     timing: &mut ParserTiming,
+    obs: &ParserObs,
 ) -> IngestOutcome {
     let mut retries = 0u32;
     // Step 1a: serialized read of the compressed file, retried on
@@ -170,11 +223,18 @@ fn ingest_file(
             let _disk_token = disk.lock();
             let t0 = Instant::now();
             let r = coll.read_file_raw(file_idx);
-            timing.read_seconds += t0.elapsed().as_secs_f64();
+            let dt = t0.elapsed();
+            timing.read_seconds += dt.as_secs_f64();
+            obs.read.wall_ns.add(dt.as_nanos() as u64);
+            obs.read.latency.record_ns(dt.as_nanos() as u64);
             r
         };
         match read {
-            Ok(raw) => break raw,
+            Ok(raw) => {
+                obs.read.items.inc();
+                obs.read.bytes.add(raw.len() as u64);
+                break raw;
+            }
             Err(e) => {
                 let transient = io_is_transient(&e);
                 if transient && retries < policy.max_retries {
@@ -190,28 +250,36 @@ fn ingest_file(
     };
     // Step 1b: in-memory decompression (outside the lock — the
     // separate-step scheme of §IV.A).
+    let mut span = obs.decompress.span();
     let t0 = Instant::now();
     let bytes = match compress::decompress(&raw) {
         Ok(b) => b,
         Err(e) => {
-            return (retries, Err((FaultClass::Permanent, format!("decompress failed: {e}"))))
+            drop(span);
+            return (retries, Err((FaultClass::Permanent, format!("decompress failed: {e}"))));
         }
     };
     timing.decompress_seconds += t0.elapsed().as_secs_f64();
+    span.add_bytes(bytes.len() as u64);
+    drop(span);
     // Steps 1c-5: container parse + tokenize/stem/stop/regroup.
+    let mut span = obs.parse.span();
     let t0 = Instant::now();
     let docs = match container::parse_container(&bytes) {
         Ok(d) => d,
         Err(e) => {
+            drop(span);
             return (
                 retries,
                 Err((FaultClass::Permanent, format!("container parse failed: {e}"))),
-            )
+            );
         }
     };
     let batch = parse_documents(&docs, html, file_idx);
     timing.parse_seconds += t0.elapsed().as_secs_f64();
     timing.files += 1;
+    span.add_bytes(bytes.len() as u64);
+    drop(span);
     (retries, Ok(batch))
 }
 
@@ -250,12 +318,22 @@ pub struct RoundRobin<'a> {
     buffers: &'a [Receiver<ParsedFile>],
     next_file: usize,
     num_files: usize,
+    /// Consumer queue-wait accounting: time blocked in `recv` lands in
+    /// this stage's `queue_wait_ns` (the driver passes its index stage).
+    queue_wait: Option<Arc<Stage>>,
 }
 
 impl<'a> RoundRobin<'a> {
     /// Iterate the messages of `num_files` files over `buffers`.
     pub fn new(buffers: &'a [Receiver<ParsedFile>], num_files: usize) -> Self {
-        RoundRobin { buffers, next_file: 0, num_files }
+        RoundRobin { buffers, next_file: 0, num_files, queue_wait: None }
+    }
+
+    /// Record time blocked waiting on parser buffers into `stage`'s
+    /// `queue_wait_ns`.
+    pub fn with_queue_wait(mut self, stage: Arc<Stage>) -> Self {
+        self.queue_wait = Some(stage);
+        self
     }
 }
 
@@ -266,7 +344,12 @@ impl Iterator for RoundRobin<'_> {
             return None;
         }
         let parser = self.next_file % self.buffers.len();
-        match self.buffers[parser].recv() {
+        let t_recv = Instant::now();
+        let received = self.buffers[parser].recv();
+        if let Some(stage) = &self.queue_wait {
+            stage.queue_wait_ns.add(t_recv.elapsed().as_nanos() as u64);
+        }
+        match received {
             Ok(msg) => {
                 debug_assert_eq!(msg.file_idx(), self.next_file, "round-robin order violated");
                 self.next_file += 1;
@@ -285,7 +368,7 @@ impl Iterator for RoundRobin<'_> {
 mod tests {
     use super::*;
     use ii_corpus::{CollectionSpec, FaultKind, FaultPlan};
-    use std::path::PathBuf;
+    use std::path::{Path, PathBuf};
 
     fn stored(tag: &str, spec: CollectionSpec) -> (Arc<StoredCollection>, PathBuf) {
         let dir = std::env::temp_dir()
@@ -295,7 +378,7 @@ mod tests {
         (Arc::new(s), dir)
     }
 
-    fn reopen_with(dir: &PathBuf, plan: FaultPlan) -> Arc<StoredCollection> {
+    fn reopen_with(dir: &Path, plan: FaultPlan) -> Arc<StoredCollection> {
         Arc::new(StoredCollection::open(dir).unwrap().with_faults(plan))
     }
 

@@ -14,7 +14,14 @@ use std::collections::BTreeMap;
 /// Merge every term's partial lists across `runs` into a single run file
 /// (run id = one past the last input run). Lists stay doc-sorted because
 /// runs are processed in order.
+///
+/// Records one span on the process-global `merge` stage
+/// (`ii_obs::global()`): wall time, one item per call, and the input
+/// payload bytes folded.
 pub fn merge_runs(runs: &RunSet, codec: Codec) -> RunFile {
+    let stage = ii_obs::global().stage("merge");
+    let mut span = stage.span();
+    span.add_bytes(runs.runs().iter().map(|r| r.payload.len() as u64).sum());
     let mut merged: BTreeMap<u32, PostingsList> = BTreeMap::new();
     let mut indexer_id = 0;
     let mut next_run = 0;
@@ -77,6 +84,18 @@ mod tests {
         let merged = merge_runs(&RunSet::new(), Codec::VarByte);
         assert!(merged.entries.is_empty());
         assert!(merged.payload.is_empty());
+    }
+
+    #[test]
+    fn merge_records_global_stage_metrics() {
+        let stage = ii_obs::global().stage("merge");
+        let items_before = stage.items.get();
+        let bytes_before = stage.bytes.get();
+        let mut rs = RunSet::new();
+        rs.push(run_with(0, 1, &[1, 2, 3]));
+        merge_runs(&rs, Codec::VarByte);
+        assert_eq!(stage.items.get(), items_before + 1);
+        assert!(stage.bytes.get() > bytes_before, "input payload bytes recorded");
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Property tests for the postings layer: codec round-trips on arbitrary
+//! docID gap sequences, and merge associativity / ordering invariants.
+//!
+//! These are the differential guarantees the post-processing step of
+//! §III.F leans on: any gap structure survives every codec, and folding
+//! runs in stages cannot change the final lists.
+
+use ii_postings::bits::golomb_parameter;
+use ii_postings::{decode, encode, merge_runs, Codec, Posting, PostingsList, RunFile, RunSet};
+use ii_corpus::DocId;
+use proptest::prelude::*;
+
+/// Arbitrary `(gap, tf)` pairs; gaps >= 1 keep docIDs strictly increasing,
+/// matching the doc-sorted contract of every list in the system.
+fn gaps_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((1u32..10_000, 1u32..200), 0..150)
+}
+
+/// Materialize a gap sequence into a doc-sorted postings list.
+fn list_from_gaps(gaps: &[(u32, u32)]) -> Vec<Posting> {
+    let mut doc = 0u32;
+    let mut first = true;
+    let mut out = Vec::with_capacity(gaps.len());
+    for &(gap, tf) in gaps {
+        // First "gap" is doc + 1 in the codec's convention; build docIDs so
+        // gap 1 can produce doc 0.
+        doc = if first { gap - 1 } else { doc + gap };
+        first = false;
+        out.push(Posting { doc: DocId(doc), tf });
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every codec round-trips every gap structure exactly.
+    #[test]
+    fn codecs_roundtrip_arbitrary_gap_sequences(gaps in gaps_strategy()) {
+        let list = list_from_gaps(&gaps);
+        let golomb = Codec::Golomb(golomb_parameter(1 << 24, list.len().max(1) as u64));
+        for codec in [Codec::VarByte, Codec::Gamma, golomb] {
+            let buf = encode(&list, codec);
+            let back = decode(&buf, list.len(), codec);
+            prop_assert_eq!(back.as_deref(), Some(list.as_slice()), "codec {:?}", codec);
+        }
+    }
+
+    /// Merging all runs at once equals merging a prefix first and folding
+    /// the intermediate file with the remaining runs (associativity), and
+    /// merged lists keep strictly increasing docIDs.
+    #[test]
+    fn merge_is_associative_and_keeps_order(
+        gaps in gaps_strategy(),
+        num_runs in 1usize..6,
+        num_handles in 1u32..5,
+        split_at in 0usize..6,
+    ) {
+        let all = list_from_gaps(&gaps);
+        // Deal postings round-robin-by-chunk onto (handle, run) cells so
+        // each handle's docs stay sorted in run order.
+        let mut runs: Vec<Vec<(u32, PostingsList)>> = vec![Vec::new(); num_runs];
+        for (run_idx, chunk) in all.chunks(all.len() / num_runs + 1).enumerate() {
+            if run_idx >= num_runs { break; }
+            for h in 0..num_handles {
+                let l: PostingsList = chunk
+                    .iter()
+                    .filter(|p| p.doc.0 % num_handles == h)
+                    .copied()
+                    .collect();
+                if !l.is_empty() {
+                    runs[run_idx].push((h, l));
+                }
+            }
+        }
+        let files: Vec<RunFile> = runs
+            .iter()
+            .enumerate()
+            .map(|(i, pairs)| {
+                let mut it = pairs.iter().map(|(h, l)| (*h, l));
+                RunFile::build(i as u32, 0, &mut it, Codec::VarByte)
+            })
+            .collect();
+
+        let mut whole = RunSet::new();
+        for f in &files {
+            whole.push(f.clone());
+        }
+        let one_shot = merge_runs(&whole, Codec::VarByte);
+
+        let split = split_at.min(files.len());
+        let mut staged = RunSet::new();
+        if split > 0 {
+            let mut prefix = RunSet::new();
+            for f in &files[..split] {
+                prefix.push(f.clone());
+            }
+            staged.push(merge_runs(&prefix, Codec::VarByte));
+        }
+        for f in &files[split..] {
+            // The intermediate file takes run_id `split`; renumber the
+            // remaining runs past it to keep RunSet's in-order contract.
+            let mut f = f.clone();
+            f.run_id += 1;
+            staged.push(f);
+        }
+        let two_stage = merge_runs(&staged, Codec::VarByte);
+
+        for h in 0..num_handles {
+            prop_assert_eq!(
+                one_shot.get(h),
+                two_stage.get(h),
+                "handle {} diverged between one-shot and staged merge", h
+            );
+            if let Some(list) = one_shot.get(h) {
+                prop_assert!(
+                    list.windows(2).all(|w| w[0].doc < w[1].doc),
+                    "handle {} not strictly doc-sorted: {:?}", h, list
+                );
+                // The merged file agrees with the RunSet's own fetch path.
+                prop_assert_eq!(list, whole.fetch(h).postings().to_vec());
+            }
+        }
+    }
+}

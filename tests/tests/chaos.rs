@@ -12,7 +12,7 @@ use ii_core::pipeline::{
     build_index, FaultClass, FaultPolicy, IndexOutput, PipelineConfig, PipelineError,
 };
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 fn spec(num_files: usize) -> CollectionSpec {
@@ -36,7 +36,7 @@ fn stored(tag: &str, num_files: usize) -> (Arc<StoredCollection>, PathBuf) {
     (Arc::new(s), dir)
 }
 
-fn faulty(dir: &PathBuf, plan: FaultPlan) -> Arc<StoredCollection> {
+fn faulty(dir: &Path, plan: FaultPlan) -> Arc<StoredCollection> {
     Arc::new(StoredCollection::open(dir).unwrap().with_faults(plan))
 }
 
@@ -44,6 +44,13 @@ fn skip_cfg(parsers: usize) -> PipelineConfig {
     let mut cfg = PipelineConfig::small(parsers, 1, 1);
     cfg.fault_policy = FaultPolicy::skip_file();
     cfg
+}
+
+/// Every chaos build — clean or degraded — must still produce a
+/// structurally valid combined dictionary (ii-dict's verify pass).
+fn assert_dict_valid(out: &IndexOutput, ctx: &str) {
+    let violations = ii_core::dict::verify_global(&out.dictionary);
+    assert!(violations.is_empty(), "{ctx}: dictionary invariants violated: {violations:?}");
 }
 
 /// Term -> sorted (docID, tf) postings for the whole index.
@@ -92,11 +99,13 @@ fn skip_file_at_every_position_matches_clean_build_restricted() {
     let (clean_coll, dir) = stored("every-pos", n);
     let clean = build_index(&clean_coll, &skip_cfg(2)).expect("clean build");
     assert!(clean.report.faults.is_clean());
+    assert_dict_valid(&clean, "clean build");
     let clean_fp = fingerprint(&clean);
     for bad in 0..n {
         let coll = faulty(&dir, FaultPlan::new(100 + bad as u64).with_fault(bad, FaultKind::Garbage));
         let out = build_index(&coll, &skip_cfg(2))
             .unwrap_or_else(|e| panic!("skip-file build died at position {bad}: {e}"));
+        assert_dict_valid(&out, &format!("file {bad} quarantined"));
         assert_eq!(out.report.faults.quarantined_files(), vec![bad]);
         assert_eq!(
             fingerprint(&out),
@@ -124,6 +133,7 @@ fn ten_percent_injection_quarantines_exactly_the_injected_files() {
     assert_eq!(injected.len(), 1, "10% of {n} files");
     let coll = faulty(&dir, plan);
     let out = build_index(&coll, &skip_cfg(3)).expect("10% injection must not kill the build");
+    assert_dict_valid(&out, "10% injection");
     assert_eq!(out.report.faults.quarantined_files(), injected);
     let clean_coll = Arc::new(StoredCollection::open(&dir).unwrap());
     let clean = build_index(&clean_coll, &skip_cfg(3)).expect("clean build");
@@ -161,6 +171,7 @@ fn quarantine_output_is_deterministic_across_parser_counts() {
                 .with_fault(4, FaultKind::Truncate),
         );
         let out = build_index(&coll, &skip_cfg(parsers)).expect("skip-file build");
+        assert_dict_valid(&out, &format!("{parsers} parsers"));
         assert_eq!(out.report.faults.quarantined_files(), vec![1, 4]);
         fps.push(fingerprint(&out));
     }
@@ -181,6 +192,7 @@ fn recovered_transient_faults_leave_no_trace_in_the_output() {
             .with_fault(2, FaultKind::TransientRead { failures: 2 }),
     );
     let out = build_index(&coll, &cfg).expect("transient faults under the retry budget");
+    assert_dict_valid(&out, "recovered transients");
     assert_eq!(out.dict_bytes, clean.dict_bytes, "dictionary must be byte-identical");
     assert_eq!(fingerprint(&out), fingerprint(&clean));
     assert!(out.report.faults.retries >= 3);
@@ -196,6 +208,7 @@ fn exhausted_transient_budget_quarantines_as_transient() {
     let mut cfg = skip_cfg(2);
     cfg.fault_policy = cfg.fault_policy.with_max_retries(2);
     let out = build_index(&coll, &cfg).expect("skip-file build");
+    assert_dict_valid(&out, "exhausted retry budget");
     assert_eq!(out.report.faults.quarantined_files(), vec![1]);
     let fault = &out.report.faults.quarantined[0];
     assert_eq!(fault.class, FaultClass::Transient);
@@ -209,6 +222,7 @@ fn injected_panic_is_contained_and_reported() {
     let clean = build_index(&clean_coll, &skip_cfg(2)).expect("clean build");
     let coll = faulty(&dir, FaultPlan::new(9).with_fault(3, FaultKind::Panic));
     let out = build_index(&coll, &skip_cfg(2)).expect("panic must be contained");
+    assert_dict_valid(&out, "contained panic");
     assert_eq!(out.report.faults.quarantined_files(), vec![3]);
     assert_eq!(out.report.faults.quarantined[0].class, FaultClass::Panic);
     assert_eq!(out.report.faults.parser_panics, 1);

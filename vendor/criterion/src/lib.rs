@@ -1,0 +1,190 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-harness API slice this workspace's `benches/`
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! median-of-samples wall-clock timer instead of criterion's full
+//! statistical machinery. Numbers print per benchmark (median ns/iter plus
+//! derived throughput) so existing benches stay runnable offline; they are
+//! indicative, not criterion-grade.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-per-iteration unit used to derive throughput numbers.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level bench context handed to each target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work unit for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        let median = b.median_ns();
+        let mut line = format!("{}/{:<32} {:>12.1} ns/iter", self.name, id, median);
+        if median > 0.0 {
+            match self.throughput {
+                Some(Throughput::Bytes(n)) => {
+                    let mbps = n as f64 / median * 1e9 / (1024.0 * 1024.0);
+                    line.push_str(&format!("  {mbps:>10.1} MiB/s"));
+                }
+                Some(Throughput::Elements(n)) => {
+                    let meps = n as f64 / median * 1e3;
+                    line.push_str(&format!("  {meps:>10.2} Melem/s"));
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (separator line, matching criterion's call shape).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Per-benchmark timing driver passed to the bench closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` over repeated batches, recording per-iter duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch costs >= ~1ms so Instant overhead is amortized.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut ns: Vec<u128> = self.samples.iter().map(|d| d.as_nanos()).collect();
+        ns.sort_unstable();
+        ns[ns.len() / 2] as f64
+    }
+}
+
+/// Group bench targets into one callable, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (respects `--bench`-style extra
+/// args by ignoring them, so `cargo bench` works unchanged).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(64));
+        let mut count = 0u64;
+        g.bench_function("noop_sum", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0, "routine must have executed");
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module slice the workspace uses is provided:
+//! [`channel::bounded`] returning cloneable senders and a receiving side
+//! with `recv`/`try_recv`/`iter`. Backed by `std::sync::mpsc::sync_channel`,
+//! which has the same bounded back-pressure semantics the pipeline relies
+//! on for parser-buffer coupling.
+
+/// Multi-producer channels (the `crossbeam-channel` API slice).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel; `send` blocks when full.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when the sending side has disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error for non-blocking receive attempts.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is currently empty.
+        Empty,
+        /// All senders are gone and the buffer is drained.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Send `msg`, blocking while the channel is full. Errors if the
+        /// receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator over received messages until disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Create a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn roundtrip_and_disconnect() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2).map(|_| 2u32).unwrap_or(0));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(h.join().unwrap(), 2);
+        assert_eq!(rx.recv(), Ok(2));
+    }
+}

@@ -1,0 +1,643 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot fetch crates.io, so this vendored crate
+//! implements the slice of proptest the workspace uses: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map`, regex-literal string strategies of
+//! the shape `[class]{m,n}` (plus `(?s).{m,n}`), integer range strategies,
+//! [`collection::vec`], [`any`] for primitives and [`sample::Index`], tuple
+//! strategies, and the `prop_assert*` macros.
+//!
+//! Two deliberate simplifications versus upstream:
+//!
+//! * **No shrinking.** A failing case panics with the generating seed and
+//!   case number; rerunning is deterministic, so the case reproduces as-is.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test function's name, so results are identical under
+//!   `--test-threads=1` and full parallelism — an explicit requirement of
+//!   this repo's differential test suite.
+//!
+//! Default case count is 64 (upstream: 256), keeping debug-profile suite
+//! runtime reasonable; tests that need more pass
+//! `ProptestConfig::with_cases(n)` exactly as with upstream.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Value generators.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u128 - lo as u128 + 1) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as u128 - self.start as u128 + 1) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Whole-domain strategy for `T` (see [`any`]).
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+/// Pattern-literal string strategies (`"[a-z]{0,10}"` and `"(?s).{0,n}"`).
+mod pattern {
+    use super::TestRng;
+
+    /// One generatable alternative: an inclusive scalar-value range.
+    #[derive(Clone, Debug)]
+    pub struct CharClass {
+        ranges: Vec<(u32, u32)>,
+        total: u64,
+    }
+
+    impl CharClass {
+        fn from_ranges(ranges: Vec<(u32, u32)>) -> Self {
+            let total = ranges.iter().map(|(lo, hi)| (hi - lo + 1) as u64).sum();
+            CharClass { ranges, total }
+        }
+
+        pub fn sample(&self, rng: &mut TestRng) -> char {
+            let mut k = rng.below(self.total);
+            for &(lo, hi) in &self.ranges {
+                let n = (hi - lo + 1) as u64;
+                if k < n {
+                    // Skip the surrogate gap if a wide range crosses it.
+                    let v = lo + k as u32;
+                    return char::from_u32(v).unwrap_or('\u{fffd}');
+                }
+                k -= n;
+            }
+            unreachable!("sample index out of class bounds")
+        }
+    }
+
+    /// A parsed `atom{m,n}` pattern.
+    #[derive(Clone, Debug)]
+    pub struct Pattern {
+        class: CharClass,
+        min: usize,
+        max: usize,
+    }
+
+    impl Pattern {
+        /// Parse the supported regex subset; panics with a clear message on
+        /// anything else so unsupported tests fail loudly, not wrongly.
+        pub fn parse(pat: &str) -> Pattern {
+            let mut rest = pat;
+            if let Some(stripped) = rest.strip_prefix("(?s)") {
+                rest = stripped;
+            }
+            let (class, after) = if let Some(body) = rest.strip_prefix('[') {
+                let end = body.find(']').unwrap_or_else(|| {
+                    panic!("unsupported proptest pattern (unclosed class): {pat:?}")
+                });
+                (Self::parse_class(&body[..end]), &body[end + 1..])
+            } else if let Some(after) = rest.strip_prefix('.') {
+                // `.` — arbitrary scalar values, weighted toward printable
+                // ASCII but covering multi-byte UTF-8 and controls.
+                (
+                    CharClass::from_ranges(vec![
+                        (0x20, 0x7E),
+                        (0x20, 0x7E),
+                        (0x09, 0x0A),
+                        (0xA0, 0x2FF),
+                        (0x4E00, 0x4FFF),
+                        (0x1F300, 0x1F3FF),
+                    ]),
+                    after,
+                )
+            } else {
+                panic!("unsupported proptest pattern: {pat:?}");
+            };
+            let counts = after
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("unsupported proptest repetition in {pat:?}"));
+            let (min, max) = match counts.split_once(',') {
+                Some((m, n)) => (
+                    m.parse().unwrap_or_else(|_| panic!("bad repetition in {pat:?}")),
+                    n.parse().unwrap_or_else(|_| panic!("bad repetition in {pat:?}")),
+                ),
+                None => {
+                    let m = counts.parse().unwrap_or_else(|_| panic!("bad repetition in {pat:?}"));
+                    (m, m)
+                }
+            };
+            assert!(min <= max, "bad repetition bounds in {pat:?}");
+            Pattern { class, min, max }
+        }
+
+        fn parse_class(body: &str) -> CharClass {
+            let chars: Vec<char> = body.chars().collect();
+            let mut ranges = Vec::new();
+            let mut i = 0;
+            while i < chars.len() {
+                let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                // `a-z` range (a trailing or leading '-' is a literal).
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let hi = chars[i + 2];
+                    ranges.push((c as u32, hi as u32));
+                    i += 3;
+                } else {
+                    ranges.push((c as u32, c as u32));
+                    i += 1;
+                }
+            }
+            assert!(!ranges.is_empty(), "empty character class");
+            CharClass::from_ranges(ranges)
+        }
+
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.class.sample(rng)).collect()
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::Pattern::parse(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::Pattern::parse(self).generate(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length bounds for [`vec`]; converts from ranges and fixed sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    /// Strategy for vectors of `element` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec` — vectors of `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Sampling helpers (`proptest::sample`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// A deferred collection index: resolved against a length via
+    /// [`Index::index`], as in upstream proptest.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Resolve to a concrete index in `[0, len)`; panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index { raw: rng.next_u64() }
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use super::{ProptestConfig, TestRng};
+
+    /// A failed property (from `prop_assert!` and friends).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure with a rendered message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    /// FNV-1a over the test name: a stable, scheduler-independent seed.
+    fn name_seed(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives the configured number of cases for one property.
+    pub struct TestRunner {
+        seed: u64,
+        cases: u32,
+        name: String,
+    }
+
+    impl TestRunner {
+        /// Runner for the named test (the name fixes the seed).
+        pub fn new_for(name: &str, config: &ProptestConfig) -> Self {
+            TestRunner { seed: name_seed(name), cases: config.cases, name: name.to_string() }
+        }
+
+        /// Run `f` for each case; panics with seed/case context on failure.
+        pub fn run<F>(&mut self, mut f: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.cases {
+                let mut rng = TestRng::new(self.seed.wrapping_add(case as u64));
+                if let Err(TestCaseError(msg)) = f(&mut rng) {
+                    panic!(
+                        "property '{}' failed at case {case}/{} (seed {:#x}): {msg}",
+                        self.name, self.cases, self.seed
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The proptest entry-point macro: wraps each property in a `#[test]`
+/// driving [`test_runner::TestRunner`] over its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new_for(stringify!($name), &config);
+                runner.run(|prop_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), prop_rng);)+
+                    let out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    out
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Property assertion: fails the current case (not the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Property equality assertion with optional context message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` namespace alias used as `prop::sample::Index` etc.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn string_patterns_respect_class_and_len() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z0-9 .,\\-]{0,160}", &mut rng);
+            assert!(s.chars().count() <= 160);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || " .,-".contains(c)));
+            let t = Strategy::generate(&"[a-e ]{1,12}", &mut rng);
+            let n = t.chars().count();
+            assert!((1..=12).contains(&n));
+            assert!(t.chars().all(|c| ('a'..='e').contains(&c) || c == ' '));
+        }
+    }
+
+    #[test]
+    fn dot_pattern_produces_multibyte_sometimes() {
+        let mut rng = TestRng::new(5);
+        let mut saw_multibyte = false;
+        for _ in 0..100 {
+            let s = Strategy::generate(&"(?s).{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            saw_multibyte |= s.chars().any(|c| c.len_utf8() > 1);
+        }
+        assert!(saw_multibyte, "dot class should exercise multi-byte UTF-8");
+    }
+
+    #[test]
+    fn ranges_and_vec_sizes_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..500 {
+            let v = Strategy::generate(&(1u64..1_000_000), &mut rng);
+            assert!((1..1_000_000).contains(&v));
+            let w = Strategy::generate(&(1u8..), &mut rng);
+            assert!(w >= 1);
+            let xs = Strategy::generate(&crate::collection::vec(any::<u8>(), 1..512), &mut rng);
+            assert!((1..512).contains(&xs.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_pipeline_works(xs in crate::collection::vec(0u32..50, 0..20), k in 1usize..4) {
+            prop_assert!(xs.len() < 20);
+            prop_assert_eq!(k.min(3), k, "k was {}", k);
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let cfg = ProptestConfig::with_cases(4);
+        let mut a = crate::test_runner::TestRunner::new_for("x", &cfg);
+        let mut b = crate::test_runner::TestRunner::new_for("x", &cfg);
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        a.run(|rng| {
+            va.push(rng.next_u64());
+            Ok(())
+        });
+        b.run(|rng| {
+            vb.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for plain
+//! structs with named fields — the only shape this workspace derives on.
+//! Tokens are parsed by hand (no `syn`/`quote`, which cannot be fetched in
+//! the offline build container) and the generated impls target the
+//! Value-tree traits of the vendored `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Struct name + named-field identifiers, extracted from a derive input.
+fn parse_named_struct(input: TokenStream, derive: &str) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Outer attribute: `#` followed by a bracketed group — skip both.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("derive({derive}): expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("derive({derive}): only structs with named fields are supported");
+            }
+            // `pub`, visibility groups, etc.
+            _ => {}
+        }
+    }
+    let name = name.unwrap_or_else(|| panic!("derive({derive}): no struct found"));
+
+    // Find the brace-delimited field body (skipping generics, which this
+    // workspace never uses on serialized types).
+    let body = tokens
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("derive({derive}): struct {name} has no named-field body"));
+
+    let mut fields = Vec::new();
+    let mut inner = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        let field_name = loop {
+            match inner.next() {
+                None => break None,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    inner.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = inner.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            inner.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("derive({derive}): unexpected token {other:?} in {name}"),
+            }
+        };
+        let Some(field_name) = field_name else { break };
+        match inner.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive({derive}): expected ':' after field {field_name}, got {other:?}"),
+        }
+        // Consume the type up to the next comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tt) = inner.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    inner.next();
+                    break;
+                }
+                _ => {}
+            }
+            inner.next();
+        }
+        fields.push(field_name);
+    }
+    (name, fields)
+}
+
+/// Derive `serde::Serialize` (Value-tree flavor) for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input, "Serialize");
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (Value-tree flavor) for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input, "Deserialize");
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(v, \"{f}\")?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Deserialize): generated impl failed to parse")
+}
