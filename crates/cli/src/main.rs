@@ -3,7 +3,10 @@
 //! ```text
 //! ii generate <dir> [--preset clueweb|wikipedia|congress|tiny] [--scale F] [--seed N]
 //! ii build    <collection-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]
-//!             [--max-retries N] [--on-fault fail|skip] [--stats] [--stats-json]
+//!             [--max-retries N] [--on-fault fail|skip] [--checkpoint-every N] [--resume]
+//!             [--stats] [--stats-json]
+//! ii verify   <index-dir>
+//! ii repair   <index-dir>
 //! ii query    <index-dir> <terms...>
 //! ii postings <index-dir> <term> [--range LO HI]
 //! ii stats    <collection-dir | index-dir>
@@ -31,6 +34,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("repair") => cmd_repair(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("postings") => cmd_postings(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -58,7 +63,11 @@ fn usage() {
          build <coll-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]\n        \
          [--max-retries N] [--on-fault fail|skip]      fail aborts on a corrupt file (default);\n        \
          skip quarantines it and indexes the rest\n        \
+         [--checkpoint-every N] commits a resumable checkpoint every N runs (default 8)\n        \
+         [--resume] continues an interrupted build from its last checkpoint\n        \
          [--stats] prints the per-stage breakdown; [--stats-json] the raw snapshot\n  \
+         verify <index-dir>                                   checksum + dictionary invariants\n  \
+         repair <index-dir>                                   salvage intact artifacts, report losses\n  \
          query <index-dir> <terms...>                         conjunctive search\n  \
          postings <index-dir> <term> [--range LO HI]          dump a postings list\n  \
          stats <dir>                                          collection or index stats\n  \
@@ -79,7 +88,7 @@ fn flag_usize(args: &[String], name: &str, default: usize) -> Result<usize, Stri
 }
 
 /// Flags that take no value (everything else consumes the next argument).
-const BOOL_FLAGS: &[&str] = &["--stats", "--stats-json"];
+const BOOL_FLAGS: &[&str] = &["--stats", "--stats-json", "--resume"];
 
 fn bool_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -147,6 +156,12 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         Some("skip") => FaultAction::SkipFile,
         Some(other) => return Err(format!("--on-fault expects 'fail' or 'skip', got '{other}'")),
     };
+    let checkpoint_every = flag_usize(args, "--checkpoint-every", 8)?;
+    let resume = bool_flag(args, "--resume");
+    // The build itself is durable: sealed runs, the doc map, and indexer
+    // dictionary shards are committed atomically every `checkpoint_every`
+    // runs, and the final index commit replaces the checkpoint — so a
+    // crashed build is always `--resume`-able, never garbage.
     let index = IndexBuilder::small()
         .parsers(parsers)
         .cpu_indexers(cpu)
@@ -154,9 +169,8 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         .popular_count(popular)
         .max_retries(max_retries)
         .on_fault(on_fault)
-        .build_from_dir(Path::new(coll_dir))
+        .build_dir_durable(Path::new(coll_dir), Path::new(index_dir), checkpoint_every, resume)
         .map_err(|e| format!("build failed: {e}"))?;
-    index.save(Path::new(index_dir)).map_err(|e| format!("save failed: {e}"))?;
     let r = &index.report;
     println!(
         "indexed {} docs -> {} terms in {:.2}s ({:.2} MB/s on this host)",
@@ -191,6 +205,68 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
 
 fn open_index(dir: &str) -> Result<Index, String> {
     Index::open(&PathBuf::from(dir)).map_err(|e| format!("cannot open index {dir}: {e}"))
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let dir = pos.first().ok_or("verify: missing <index-dir>")?;
+    let statuses = Index::verify_dir(Path::new(dir.as_str()))
+        .map_err(|e| format!("cannot verify {dir}: {e}"))?;
+    let mut bad = 0usize;
+    for s in &statuses {
+        if s.ok {
+            println!("  ok      {:<24} {} bytes", s.name, s.len);
+        } else {
+            bad += 1;
+            println!("  FAILED  {:<24} {}", s.name, s.detail);
+        }
+    }
+    // The manifest pass proves the bytes are what was committed; the
+    // dictionary invariant pass proves the committed bytes make sense.
+    match Index::open(Path::new(dir.as_str())) {
+        Ok(index) => {
+            let violations = ii_core::dict::verify_global(&index.dictionary);
+            for v in &violations {
+                bad += 1;
+                println!("  FAILED  dictionary invariant: {v:?}");
+            }
+        }
+        Err(e) => {
+            bad += 1;
+            println!("  FAILED  open: {e}");
+        }
+    }
+    if bad > 0 {
+        return Err(format!("{bad} of {} artifact checks failed in {dir}", statuses.len() + 1));
+    }
+    println!("verified {dir}: {} artifacts clean", statuses.len());
+    Ok(())
+}
+
+fn cmd_repair(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let dir = pos.first().ok_or("repair: missing <index-dir>")?;
+    let report = Index::repair(Path::new(dir.as_str()))
+        .map_err(|e| format!("cannot repair {dir}: {e}"))?;
+    for name in &report.kept {
+        println!("  kept  {name}");
+    }
+    for (name, why) in &report.lost {
+        println!("  LOST  {name}: {why}");
+    }
+    println!(
+        "repaired {dir}: {} artifacts kept, {} lost (manifest generation {})",
+        report.kept.len(),
+        report.lost.len(),
+        report.generation
+    );
+    if !report.lost.is_empty() {
+        return Err(format!(
+            "{} artifacts were unrecoverable — rebuild to restore full coverage",
+            report.lost.len()
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {

@@ -3,7 +3,10 @@
 use crate::index::Index;
 use ii_corpus::StoredCollection;
 use ii_indexer::GpuIndexerConfig;
-use ii_pipeline::{build_index, FaultAction, FaultPolicy, PipelineConfig, PipelineError};
+use ii_pipeline::{
+    build_index, build_index_durable, DurableOptions, FaultAction, FaultPolicy, PipelineConfig,
+    PipelineError,
+};
 use ii_postings::Codec;
 use std::io;
 use std::path::Path;
@@ -114,6 +117,34 @@ impl IndexBuilder {
     /// Build an index over an already-opened stored collection.
     pub fn build(&self, collection: &Arc<StoredCollection>) -> Result<Index, PipelineError> {
         Ok(Index::from_output(build_index(collection, &self.config)?))
+    }
+
+    /// Build with crash-safe persistence into `index_dir`: run-boundary
+    /// checkpoints every `checkpoint_every` runs plus a final atomic index
+    /// commit. With `resume`, a build interrupted after a checkpoint
+    /// continues from it and yields a byte-identical index.
+    pub fn build_durable(
+        &self,
+        collection: &Arc<StoredCollection>,
+        index_dir: &Path,
+        checkpoint_every: usize,
+        resume: bool,
+    ) -> Result<Index, PipelineError> {
+        let opts = DurableOptions::new(index_dir).checkpoint_every(checkpoint_every).resume(resume);
+        Ok(Index::from_output(build_index_durable(collection, &self.config, &opts)?))
+    }
+
+    /// Open the collection directory and [`Self::build_durable`] into
+    /// `index_dir`.
+    pub fn build_dir_durable(
+        &self,
+        collection_dir: &Path,
+        index_dir: &Path,
+        checkpoint_every: usize,
+        resume: bool,
+    ) -> io::Result<Index> {
+        let coll = Arc::new(StoredCollection::open(collection_dir)?);
+        self.build_durable(&coll, index_dir, checkpoint_every, resume).map_err(io::Error::other)
     }
 
     /// Open the collection directory and build.

@@ -1,11 +1,17 @@
 //! The user-facing index: build output plus query and persistence.
 
 use ii_corpus::DocId;
-use ii_dict::GlobalDictionary;
+use ii_dict::{GlobalDictionary, PartialDictionary};
 use ii_obs::Registry;
-use ii_pipeline::{DocMap, IndexOutput, PipelineReport};
-use ii_postings::{Posting, PostingsList, RunFile, RunSet};
-use std::collections::HashMap;
+use ii_pipeline::{
+    BuildCheckpoint, DocMap, IndexOutput, PipelineReport, CHECKPOINT_ARTIFACT,
+    DICTIONARY_ARTIFACT, DOCMAP_ARTIFACT,
+};
+use ii_postings::{parse_run_artifact_name, run_artifact_name, Posting, PostingsList, RunFile, RunSet};
+use ii_store::{
+    ArtifactStatus, ManifestKind, RealVfs, SalvageReport, Store, StoreError, Txn, Vfs,
+};
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -119,54 +125,93 @@ impl Index {
         out
     }
 
-    /// Persist the index: `dictionary.bin` plus one `.iirf` file per run
-    /// per indexer — exactly the paper's on-disk artifacts (§III.F).
-    pub fn save(&self, dir: &Path) -> io::Result<()> {
-        fs::create_dir_all(dir)?;
-        let mut f = fs::File::create(dir.join("dictionary.bin"))?;
-        self.dictionary.write_to(&mut f)?;
-        let mut dm = fs::File::create(dir.join("docmap.bin"))?;
-        self.doc_map.write_to(&mut dm)?;
-        for (indexer, set) in &self.run_sets {
-            for run in set.runs() {
-                let name = format!("run_{indexer:03}_{:05}.iirf", run.run_id);
-                fs::write(dir.join(name), run.to_bytes())?;
+    /// Persist the index: `dictionary.bin`, `docmap.bin`, plus one `.iirf`
+    /// file per run per indexer — exactly the paper's on-disk artifacts
+    /// (§III.F) — committed atomically through the ii-store manifest
+    /// protocol. A crash mid-save leaves the previously committed index (or
+    /// a recognizably uncommitted directory), never a silent mix.
+    pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
+        self.save_with(dir, &RealVfs)
+    }
+
+    /// [`Self::save`] through an explicit [`Vfs`] — crash tests inject
+    /// [`CrashVfs`](ii_store::CrashVfs) here.
+    pub fn save_with(&self, dir: &Path, vfs: &dyn Vfs) -> Result<(), StoreError> {
+        let mut txn = Txn::begin(dir, vfs)?.with_registry(Arc::clone(&self.obs));
+        let mut indexers: Vec<u32> = self.run_sets.keys().copied().collect();
+        indexers.sort_unstable();
+        for indexer in indexers {
+            for run in self.run_sets[&indexer].runs() {
+                txn.put(&run_artifact_name(indexer, run.run_id), &run.to_bytes())?;
             }
         }
+        let mut dm = Vec::new();
+        self.doc_map.write_to(&mut dm).expect("vec write is infallible");
+        txn.put(DOCMAP_ARTIFACT, &dm)?;
+        // The dictionary is staged LAST: a power-loss crash that leaves
+        // neither a manifest nor `.tmp` residue then lacks `dictionary.bin`
+        // too, so the pre-manifest fallback in [`Self::open`] reports a
+        // typed missing-artifact error instead of silently loading a
+        // partial run set.
+        let mut dict_bytes = Vec::new();
+        self.dictionary.write_to(&mut dict_bytes).expect("vec write is infallible");
+        txn.put(DICTIONARY_ARTIFACT, &dict_bytes)?;
+        txn.commit(ManifestKind::Index)?;
         Ok(())
     }
 
-    /// Load an index saved by [`Self::save`].
-    pub fn open(dir: &Path) -> io::Result<Index> {
-        let mut f = fs::File::open(dir.join("dictionary.bin"))?;
-        let dictionary = GlobalDictionary::read_from(&mut f)?;
-        let doc_map = match fs::File::open(dir.join("docmap.bin")) {
-            Ok(mut dm) => DocMap::read_from(&mut dm)?,
-            Err(_) => DocMap::new(), // older index layouts
+    /// Load an index saved by [`Self::save`] (or committed by a durable
+    /// pipeline build). Every artifact is verified against the manifest's
+    /// length and CRC32; corruption, truncation, and version skew surface
+    /// as typed [`StoreError`]s. Directories from pre-manifest layouts fall
+    /// back to a direct scan — unless an aborted commit left `*.tmp` files
+    /// behind, which is reported as [`StoreError::TornCommit`].
+    pub fn open(dir: &Path) -> Result<Index, StoreError> {
+        match Store::open(dir) {
+            Ok(store) => Self::open_store(dir, &store),
+            Err(StoreError::MissingManifest { .. }) => Self::open_legacy(dir),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn open_store(dir: &Path, store: &Store) -> Result<Index, StoreError> {
+        if store.manifest().kind != ManifestKind::Index {
+            return Err(StoreError::IncompleteBuild { dir: dir.to_path_buf() });
+        }
+        let dictionary = GlobalDictionary::read_from(&mut store.read(DICTIONARY_ARTIFACT)?.as_slice())
+            .map_err(|e| StoreError::Corrupt {
+                name: DICTIONARY_ARTIFACT.into(),
+                detail: e.to_string(),
+            })?;
+        let doc_map = match store.manifest().artifact(DOCMAP_ARTIFACT) {
+            Some(_) => DocMap::read_from(&mut store.read(DOCMAP_ARTIFACT)?.as_slice())
+                .map_err(|e| StoreError::Corrupt {
+                    name: DOCMAP_ARTIFACT.into(),
+                    detail: e.to_string(),
+                })?,
+            None => DocMap::new(),
         };
-        let mut files: Vec<(u32, u32, std::path::PathBuf)> = Vec::new();
-        for entry in fs::read_dir(dir)? {
-            let entry = entry?;
-            let name = entry.file_name().to_string_lossy().into_owned();
-            if let Some(rest) = name.strip_prefix("run_").and_then(|n| n.strip_suffix(".iirf"))
-            {
-                let mut parts = rest.split('_');
-                let indexer: u32 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad run name"))?;
-                let run: u32 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad run name"))?;
-                files.push((indexer, run, entry.path()));
+        let mut named: Vec<(u32, u32, &str)> = Vec::new();
+        for name in store.manifest().names() {
+            match parse_run_artifact_name(name) {
+                Some((indexer, run)) => named.push((indexer, run, name)),
+                // A manifest entry that merely *looks* like a run file is
+                // foreign data, not something to silently skip.
+                None if name.starts_with("run_") && name.ends_with(".iirf") => {
+                    return Err(StoreError::Corrupt {
+                        name: name.to_string(),
+                        detail: "unrecognized run artifact name".into(),
+                    });
+                }
+                None => {}
             }
         }
-        files.sort();
+        named.sort();
         let mut run_sets: HashMap<u32, RunSet> = HashMap::new();
-        for (indexer, _, path) in files {
-            let run = RunFile::from_bytes(&fs::read(path)?)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        for (indexer, _, name) in named {
+            let run = RunFile::from_bytes(&store.read(name)?).map_err(|e| {
+                StoreError::Corrupt { name: name.to_string(), detail: e.to_string() }
+            })?;
             run_sets.entry(indexer).or_default().push(run);
         }
         Ok(Index {
@@ -176,6 +221,108 @@ impl Index {
             report: PipelineReport::default(),
             obs: Arc::new(Registry::new()),
         })
+    }
+
+    /// Pre-manifest layout: no `MANIFEST.json`, artifacts scanned directly.
+    fn open_legacy(dir: &Path) -> Result<Index, StoreError> {
+        let mut run_names: Vec<String> = Vec::new();
+        for entry in fs::read_dir(dir).map_err(StoreError::Io)? {
+            let name = entry.map_err(StoreError::Io)?.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                // An interrupted manifest commit, not an old layout.
+                return Err(StoreError::TornCommit { dir: dir.to_path_buf() });
+            }
+            if name.starts_with("run_") && name.ends_with(".iirf") {
+                run_names.push(name);
+            }
+        }
+        let mut f = match fs::File::open(dir.join(DICTIONARY_ARTIFACT)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingArtifact { name: DICTIONARY_ARTIFACT.into() })
+            }
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        let dictionary = GlobalDictionary::read_from(&mut f).map_err(|e| StoreError::Corrupt {
+            name: DICTIONARY_ARTIFACT.into(),
+            detail: e.to_string(),
+        })?;
+        // Only *absence* of the doc map means an older layout; a doc map
+        // that exists but cannot be read is corruption and must surface.
+        let doc_map = match fs::File::open(dir.join(DOCMAP_ARTIFACT)) {
+            Ok(mut dm) => DocMap::read_from(&mut dm).map_err(|e| StoreError::Corrupt {
+                name: DOCMAP_ARTIFACT.into(),
+                detail: e.to_string(),
+            })?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => DocMap::new(),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        let mut files: Vec<(u32, u32, String)> = Vec::new();
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for name in run_names {
+            let (indexer, run) =
+                parse_run_artifact_name(&name).ok_or_else(|| StoreError::Corrupt {
+                    name: name.clone(),
+                    detail: "unrecognized run file name".into(),
+                })?;
+            // Distinct names can still decode to the same logical run
+            // (`run_0_1.iirf` vs `run_000_00001.iirf`): loading both would
+            // silently double every posting in that run.
+            if !seen.insert((indexer, run)) {
+                return Err(StoreError::Corrupt {
+                    name,
+                    detail: format!("duplicate run file for indexer {indexer} run {run}"),
+                });
+            }
+            files.push((indexer, run, name));
+        }
+        files.sort();
+        let mut run_sets: HashMap<u32, RunSet> = HashMap::new();
+        for (indexer, _, name) in files {
+            let run = RunFile::from_bytes(&fs::read(dir.join(&name)).map_err(StoreError::Io)?)
+                .map_err(|e| StoreError::Corrupt { name, detail: e.to_string() })?;
+            run_sets.entry(indexer).or_default().push(run);
+        }
+        Ok(Index {
+            dictionary,
+            run_sets,
+            doc_map,
+            report: PipelineReport::default(),
+            obs: Arc::new(Registry::new()),
+        })
+    }
+
+    /// Checksum-verify every artifact of a committed index directory
+    /// against its manifest. Statuses cover all artifacts, failed or not.
+    pub fn verify_dir(dir: &Path) -> Result<Vec<ArtifactStatus>, StoreError> {
+        Ok(Store::open(dir)?.verify())
+    }
+
+    /// Salvage what survives in a damaged index directory: every artifact
+    /// that passes both its checksum and a semantic decode is re-committed
+    /// under a fresh manifest; the rest is reported lost.
+    pub fn repair(dir: &Path) -> Result<SalvageReport, StoreError> {
+        ii_store::salvage(dir, &RealVfs, &validate_artifact)
+    }
+}
+
+/// Semantic validation used by [`Index::repair`]: an artifact only
+/// survives salvage if it actually decodes as what its name claims.
+fn validate_artifact(name: &str, bytes: &[u8]) -> Result<(), String> {
+    if name == DICTIONARY_ARTIFACT {
+        GlobalDictionary::read_from(&mut &bytes[..]).map(|_| ()).map_err(|e| e.to_string())
+    } else if name == DOCMAP_ARTIFACT {
+        DocMap::read_from(&mut &bytes[..]).map(|_| ()).map_err(|e| e.to_string())
+    } else if name == CHECKPOINT_ARTIFACT {
+        serde_json::from_slice::<BuildCheckpoint>(bytes)
+            .map(|_| ())
+            .map_err(|e| format!("{e:?}"))
+    } else if name.ends_with(".iipd") {
+        PartialDictionary::read_from(&mut &bytes[..]).map(|_| ()).map_err(|e| e.to_string())
+    } else if parse_run_artifact_name(name).is_some() {
+        RunFile::from_bytes(bytes).map(|_| ()).map_err(|e| e.to_string())
+    } else {
+        Err("unrecognized artifact name".into())
     }
 }
 
@@ -294,6 +441,123 @@ mod tests {
         assert_eq!(loaded.num_terms(), idx.num_terms());
         assert_eq!(loaded.postings("walrus"), idx.postings("walrus"));
         assert_eq!(loaded.postings("penguin"), idx.postings("penguin"));
+        // The save is manifested and every artifact checksum-clean.
+        let statuses = Index::verify_dir(&dir).unwrap();
+        assert!(statuses.len() >= 3, "dictionary + docmap + runs");
+        assert!(statuses.iter().all(|s| s.ok));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A saved directory with its manifest removed — the pre-manifest
+    /// layout Index::open must keep loading.
+    fn legacy_dir(tag: &str, idx: &Index) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ii-core-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        idx.save(&dir).unwrap();
+        std::fs::remove_file(dir.join(ii_store::MANIFEST_NAME)).unwrap();
+        dir
+    }
+
+    #[test]
+    fn legacy_layout_still_opens() {
+        let idx = small_index("legacy", vec![doc("walrus penguin"), doc("walrus")]);
+        let dir = legacy_dir("legacy-open", &idx);
+        let loaded = Index::open(&dir).unwrap();
+        assert_eq!(loaded.postings("walrus"), idx.postings("walrus"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_docmap_errors_instead_of_loading_empty() {
+        let idx = small_index("dmcorrupt", vec![doc("walrus penguin"), doc("walrus")]);
+        let dir = legacy_dir("dmcorrupt-open", &idx);
+        std::fs::write(dir.join("docmap.bin"), b"not a docmap").unwrap();
+        match Index::open(&dir) {
+            Err(StoreError::Corrupt { name, .. }) => assert_eq!(name, "docmap.bin"),
+            Err(other) => panic!("expected Corrupt, got {other}"),
+            Ok(_) => panic!("corrupt docmap must not fall back to empty"),
+        }
+        // Only *absence* falls back to an empty map.
+        std::fs::remove_file(dir.join("docmap.bin")).unwrap();
+        let loaded = Index::open(&dir).unwrap();
+        assert_eq!(loaded.doc_map.entries().len(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_name_garbage_and_duplicates_rejected() {
+        let idx = small_index("runname", vec![doc("walrus penguin"), doc("walrus")]);
+        let dir = legacy_dir("runname-open", &idx);
+        let a_run = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().starts_with("run_"))
+            .expect("index has at least one run file")
+            .path();
+        // Trailing garbage after the run id must not parse as a run.
+        std::fs::copy(&a_run, dir.join("run_000_00001_extra.iirf")).unwrap();
+        match Index::open(&dir) {
+            Err(StoreError::Corrupt { name, .. }) => {
+                assert_eq!(name, "run_000_00001_extra.iirf")
+            }
+            Err(other) => panic!("expected Corrupt, got {other}"),
+            Ok(_) => panic!("trailing garbage in run name must be rejected"),
+        }
+        std::fs::remove_file(dir.join("run_000_00001_extra.iirf")).unwrap();
+        // Two spellings of the same (indexer, run) pair would double every
+        // posting of that run.
+        let alias = a_run.file_name().unwrap().to_string_lossy().replace("_0", "_");
+        std::fs::copy(&a_run, dir.join(&alias)).unwrap();
+        match Index::open(&dir) {
+            Err(StoreError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("duplicate run file"), "{detail}")
+            }
+            Err(other) => panic!("expected Corrupt, got {other}"),
+            Ok(_) => panic!("duplicate (indexer, run) pair must be rejected"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_residue_means_torn_commit_not_legacy() {
+        let idx = small_index("torn", vec![doc("walrus penguin")]);
+        let dir = legacy_dir("torn-open", &idx);
+        std::fs::write(dir.join("MANIFEST.json.tmp"), b"{").unwrap();
+        assert!(matches!(Index::open(&dir), Err(StoreError::TornCommit { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_detects_and_repair_salvages_corruption() {
+        let idx = small_index("repair", vec![doc("walrus penguin"), doc("walrus")]);
+        let dir =
+            std::env::temp_dir().join(format!("ii-core-repair-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        idx.save(&dir).unwrap();
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().starts_with("run_"))
+            .unwrap();
+        let victim_name = victim.file_name().to_string_lossy().into_owned();
+        let mut bytes = std::fs::read(victim.path()).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(victim.path(), &bytes).unwrap();
+
+        let statuses = Index::verify_dir(&dir).unwrap();
+        let bad: Vec<&ArtifactStatus> = statuses.iter().filter(|s| !s.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, victim_name);
+        assert!(matches!(Index::open(&dir), Err(StoreError::ChecksumMismatch { .. })));
+
+        let report = Index::repair(&dir).unwrap();
+        assert!(report.kept.iter().any(|n| n == "dictionary.bin"));
+        assert_eq!(report.lost.len(), 1);
+        assert_eq!(report.lost[0].0, victim_name);
+        // The repaired directory opens cleanly, minus the lost run.
+        let loaded = Index::open(&dir).unwrap();
+        assert_eq!(loaded.num_terms(), idx.num_terms());
+        assert!(Index::verify_dir(&dir).unwrap().iter().all(|s| s.ok));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -48,5 +48,7 @@ pub use ii_pipeline as pipeline;
 pub use ii_platsim as platsim;
 /// Postings lists, codecs and run files.
 pub use ii_postings as postings;
+/// Crash-safe artifact storage: manifest, atomic commit, fault injection.
+pub use ii_store as store;
 /// Parsing: tokenizer, Porter stemmer, stop words, regrouping.
 pub use ii_text as text;

@@ -62,7 +62,83 @@ impl PartialDictionary {
     pub fn term_count(&self) -> u32 {
         self.store.term_count()
     }
+
+    /// Serialize the complete shard state — node arena, string arena,
+    /// postings high-water mark, and per-collection tree roots — for a
+    /// build checkpoint. The byte layout is identical for CPU- and
+    /// GPU-built shards (both use the 512-byte node form), so a resumed
+    /// build restores exactly the handle-assignment state and later
+    /// inserts allocate the same postings handles as an uninterrupted run.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<u64> {
+        let nodes = self.store.nodes.nodes();
+        let strings = self.store.strings.as_bytes();
+        let mut roots: Vec<(u32, u32)> =
+            self.trees.iter().map(|(ti, t)| (*ti, t.root)).collect();
+        roots.sort_unstable();
+        w.write_all(PARTIAL_MAGIC)?;
+        w.write_all(&self.indexer_id.to_le_bytes())?;
+        w.write_all(&self.store.term_count().to_le_bytes())?;
+        w.write_all(&(nodes.len() as u32).to_le_bytes())?;
+        w.write_all(&(strings.len() as u32).to_le_bytes())?;
+        w.write_all(&(roots.len() as u32).to_le_bytes())?;
+        for n in nodes {
+            w.write_all(&n.to_bytes())?;
+        }
+        w.write_all(strings)?;
+        for (ti, root) in &roots {
+            w.write_all(&ti.to_le_bytes())?;
+            w.write_all(&root.to_le_bytes())?;
+        }
+        Ok(24 + nodes.len() as u64 * crate::node::NODE_BYTES as u64
+            + strings.len() as u64
+            + roots.len() as u64 * 8)
+    }
+
+    /// Deserialize a shard written by [`Self::write_to`].
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<PartialDictionary> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let mut head = [0u8; 24];
+        r.read_exact(&mut head)?;
+        if &head[..4] != PARTIAL_MAGIC {
+            return Err(bad("bad partial-dictionary magic"));
+        }
+        let word = |i: usize| u32::from_le_bytes(head[i..i + 4].try_into().unwrap());
+        let indexer_id = word(4);
+        let term_count = word(8);
+        let n_nodes = word(12) as usize;
+        let n_strings = word(16) as usize;
+        let n_trees = word(20) as usize;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let mut buf = [0u8; crate::node::NODE_BYTES];
+            r.read_exact(&mut buf)?;
+            nodes.push(crate::node::BTreeNode::from_bytes(&buf));
+        }
+        let mut strings = vec![0u8; n_strings];
+        r.read_exact(&mut strings)?;
+        let mut trees = HashMap::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            let mut pair = [0u8; 8];
+            r.read_exact(&mut pair)?;
+            let ti = u32::from_le_bytes(pair[..4].try_into().unwrap());
+            let root = u32::from_le_bytes(pair[4..].try_into().unwrap());
+            if root as usize >= n_nodes {
+                return Err(bad("tree root out of node range"));
+            }
+            if trees.insert(ti, BTree { root }).is_some() {
+                return Err(bad("duplicate trie collection in partial dictionary"));
+            }
+        }
+        let store = BTreeStore::from_parts(
+            crate::arena::NodeArena::from_nodes(nodes),
+            crate::arena::StringArena::from_bytes(strings),
+            term_count,
+        );
+        Ok(PartialDictionary { indexer_id, store, trees })
+    }
 }
+
+const PARTIAL_MAGIC: &[u8; 4] = b"IIPD";
 
 /// One record of the combined dictionary: where to find the postings list
 /// of a term. `indexer` + `postings` locate the list among the per-indexer
@@ -338,6 +414,51 @@ mod tests {
         g.write_to(&mut buf).unwrap();
         buf.truncate(buf.len() - 1);
         assert!(GlobalDictionary::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn partial_checkpoint_roundtrip_resumes_handle_assignment() {
+        let mut d = PartialDictionary::new(7);
+        for t in ["apple", "applesauce", "zebra", "954", "-80", "a"] {
+            insert_surface(&mut d, t);
+        }
+        let mut buf = Vec::new();
+        let n = d.write_to(&mut buf).unwrap();
+        assert_eq!(n as usize, buf.len());
+        let mut back = PartialDictionary::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.indexer_id, 7);
+        assert_eq!(back.term_count(), d.term_count());
+        // Existing terms resolve to their original handles...
+        for t in ["apple", "zebra", "954"] {
+            assert_eq!(lookup_surface(&mut back, t), lookup_surface(&mut d, t));
+        }
+        // ...and the next insert allocates the same handle in both shards:
+        // the property byte-identical resume rests on.
+        let a = insert_surface(&mut d, "quince");
+        let b = insert_surface(&mut back, "quince");
+        assert!(a.is_new && b.is_new);
+        assert_eq!(a.postings, b.postings);
+        // Combined output is identical too.
+        let g1 = GlobalDictionary::combine(&[d]);
+        let g2 = GlobalDictionary::combine(&[back]);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn partial_checkpoint_rejects_garbage() {
+        assert!(PartialDictionary::read_from(&mut &b"XXXX"[..]).is_err());
+        let mut d = PartialDictionary::new(0);
+        insert_surface(&mut d, "apple");
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        let full = buf.clone();
+        buf.truncate(buf.len() - 1);
+        assert!(PartialDictionary::read_from(&mut buf.as_slice()).is_err());
+        // A root index outside the node arena is rejected, not trusted.
+        let mut broken = full;
+        let len = broken.len();
+        broken[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(PartialDictionary::read_from(&mut broken.as_slice()).is_err());
     }
 
     #[test]

@@ -35,6 +35,18 @@ impl CpuIndexer {
         }
     }
 
+    /// Rebuild an indexer from a checkpointed dictionary shard. Postings
+    /// lists restart empty — checkpoints are taken at run boundaries, where
+    /// pending lists have just been flushed — sized so every restored
+    /// handle stays addressable and the next new term allocates the same
+    /// handle an uninterrupted build would. Workload counters restart from
+    /// zero (they describe work actually performed by this process).
+    pub fn restore(dict: PartialDictionary) -> Self {
+        let mut lists = Vec::new();
+        lists.resize_with(dict.term_count() as usize, PostingsList::new);
+        CpuIndexer { id: dict.indexer_id, dict, lists, stats: WorkloadStats::default() }
+    }
+
     /// Index one parsed trie group. `doc_offset` is the global document-ID
     /// offset of the batch (the parser assigned local IDs from 0).
     pub fn index_group(&mut self, group: &TrieGroup, doc_offset: u32) {

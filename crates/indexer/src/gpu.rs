@@ -366,6 +366,53 @@ impl GpuIndexer {
         PartialDictionary::from_parts(self.id, store, roots)
     }
 
+    /// Resume support: upload a checkpointed dictionary shard back into
+    /// device memory. The inverse of [`Self::into_partial_dictionary`] —
+    /// node and string arenas, allocation counters, and per-collection
+    /// root cells are restored byte-for-byte, so later inserts allocate
+    /// node indices and postings handles exactly as the uninterrupted
+    /// build would have. State is uploaded through the memset path (not
+    /// counted as PCIe traffic) like the initial device initialization;
+    /// the kernel is *not* replayed, because dynamic block scheduling
+    /// could discover terms in a different order and reassign handles.
+    pub fn restore_dictionary(&mut self, part: &PartialDictionary) {
+        let nodes = part.store.nodes.nodes();
+        assert!(
+            nodes.len() <= self.config.node_capacity,
+            "checkpoint has {} nodes, device capacity {}",
+            nodes.len(),
+            self.config.node_capacity
+        );
+        let strings = part.store.strings.as_bytes().to_vec();
+        assert!(
+            strings.len() <= self.config.string_capacity
+                && part.term_count() as usize <= self.config.max_terms,
+            "checkpoint exceeds device arena capacity"
+        );
+        let mut node_bytes = Vec::with_capacity(nodes.len() * NODE_BYTES);
+        for n in nodes {
+            node_bytes.extend_from_slice(&n.to_bytes());
+        }
+        if !node_bytes.is_empty() {
+            let at = self.node_area.0 as usize;
+            self.memset(at, &node_bytes);
+        }
+        if !strings.is_empty() {
+            let at = self.string_area.0 as usize;
+            self.memset(at, &strings);
+        }
+        self.memset(self.ctr_nodes.0 as usize, &(nodes.len() as u32).to_le_bytes());
+        self.memset(self.ctr_strings.0 as usize, &(strings.len() as u32).to_le_bytes());
+        self.memset(self.ctr_terms.0 as usize, &part.term_count().to_le_bytes());
+        let tis: Vec<u32> = part.trie_indices().collect();
+        for ti in tis {
+            let tree = part.tree(ti).expect("listed index has a tree");
+            let cell = (self.roots.0 + ti * 4) as usize;
+            self.memset(cell, &tree.root.to_le_bytes());
+            self.seen.insert(ti);
+        }
+    }
+
     /// PCIe + metrics tallies of the device (testing/reporting).
     pub fn transfer_metrics(&self) -> ii_gpusim::Metrics {
         self.mem.transfers

@@ -65,10 +65,56 @@ impl IndexerPool {
         IndexerPool { cpus, gpus, plan, codec, next_doc: 0, docs_indexed: 0, next_run: 0 }
     }
 
+    /// Rebuild a pool from checkpointed dictionary shards plus the scalar
+    /// counters a resumed build must continue from. Each shard is routed to
+    /// the indexer whose id it carries (CPU shards are adopted directly,
+    /// GPU shards are uploaded back into device memory), so postings-handle
+    /// assignment continues exactly where the checkpoint left off.
+    pub fn restore(
+        plan: BalancePlan,
+        gpu_config: GpuIndexerConfig,
+        codec: Codec,
+        parts: Vec<PartialDictionary>,
+        next_doc: u32,
+        docs_indexed: u32,
+        next_run: u32,
+    ) -> Self {
+        let mut pool = IndexerPool::new(plan, gpu_config, codec);
+        for part in parts {
+            let id = part.indexer_id as usize;
+            assert!(
+                id < pool.cpus.len() + pool.gpus.len(),
+                "checkpoint shard for indexer {id} but pool has {} indexers",
+                pool.cpus.len() + pool.gpus.len()
+            );
+            if id < pool.cpus.len() {
+                pool.cpus[id] = CpuIndexer::restore(part);
+            } else {
+                let g = id - pool.cpus.len();
+                pool.gpus[g].restore_dictionary(&part);
+            }
+        }
+        pool.next_doc = next_doc;
+        pool.docs_indexed = docs_indexed;
+        pool.next_run = next_run;
+        pool
+    }
+
     /// Documents actually indexed (doc-ID gaps reserved via
     /// [`Self::skip_docs`] are excluded).
     pub fn docs_indexed(&self) -> u32 {
         self.docs_indexed
+    }
+
+    /// The next global document-ID offset (indexed + skipped documents) —
+    /// the doc-ID high-water mark a checkpoint records.
+    pub fn next_doc(&self) -> u32 {
+        self.next_doc
+    }
+
+    /// Runs flushed so far (the next run id to be assigned).
+    pub fn runs_flushed(&self) -> u32 {
+        self.next_run
     }
 
     /// Reserve `n` doc IDs without indexing anything — the slot of a
@@ -251,6 +297,78 @@ mod tests {
         let l = set.fetch(e.postings);
         assert_eq!(l.len(), 2);
         assert_eq!(l.postings()[1].tf, 2);
+    }
+
+    /// The checkpoint/restore contract behind `build --resume`: flushing a
+    /// run, serializing every shard, restoring a fresh pool from those
+    /// bytes, and indexing the remaining batches must produce bit-identical
+    /// dictionaries and run files to the uninterrupted pool.
+    #[test]
+    fn restored_pool_continues_byte_identically() {
+        let batches = [
+            parse(&["zebra quilt xylophone", "the banana zebra"], 0),
+            parse(&["quilt again and again"], 1),
+            parse(&["xylophone zebra 954 zebra"], 2),
+        ];
+        for (n_cpu, n_gpu) in [(2, 0), (0, 1), (1, 1)] {
+            // Uninterrupted reference.
+            let mut full = pool(n_cpu, n_gpu, &batches[0]);
+            full.index_batch(&batches[0]);
+            let full_r0 = full.flush_run();
+            full.index_batch(&batches[1]);
+            full.index_batch(&batches[2]);
+            let full_r1 = full.flush_run();
+
+            // Checkpointed: flush, serialize shards, restore, continue.
+            let mut first = pool(n_cpu, n_gpu, &batches[0]);
+            first.index_batch(&batches[0]);
+            let ckpt_r0 = first.flush_run();
+            let next_doc = first.next_doc();
+            let docs = first.docs_indexed();
+            let runs = first.runs_flushed();
+            let shard_bytes: Vec<Vec<u8>> = first
+                .finish()
+                .iter()
+                .map(|p| {
+                    let mut b = Vec::new();
+                    p.write_to(&mut b).unwrap();
+                    b
+                })
+                .collect();
+            let parts: Vec<PartialDictionary> = shard_bytes
+                .iter()
+                .map(|b| PartialDictionary::read_from(&mut b.as_slice()).unwrap())
+                .collect();
+            let counts = sample_counts(std::slice::from_ref(&batches[0]));
+            let plan = make_plan(&counts, n_cpu, n_gpu, 2);
+            let mut resumed = IndexerPool::restore(
+                plan,
+                GpuIndexerConfig::small(),
+                Codec::VarByte,
+                parts,
+                next_doc,
+                docs,
+                runs,
+            );
+            resumed.index_batch(&batches[1]);
+            resumed.index_batch(&batches[2]);
+            let ckpt_r1 = resumed.flush_run();
+
+            let encode =
+                |runs: &[RunFile]| -> Vec<Vec<u8>> { runs.iter().map(|r| r.to_bytes()).collect() };
+            assert_eq!(encode(&full_r0), encode(&ckpt_r0), "cfg ({n_cpu},{n_gpu}) run 0");
+            assert_eq!(encode(&full_r1), encode(&ckpt_r1), "cfg ({n_cpu},{n_gpu}) run 1");
+            let dict_bytes = |parts: &[PartialDictionary]| {
+                let mut b = Vec::new();
+                GlobalDictionary::combine(parts).write_to(&mut b).unwrap();
+                b
+            };
+            assert_eq!(
+                dict_bytes(&full.finish()),
+                dict_bytes(&resumed.finish()),
+                "cfg ({n_cpu},{n_gpu}) dictionary"
+            );
+        }
     }
 
     #[test]

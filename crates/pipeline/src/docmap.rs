@@ -80,7 +80,10 @@ impl DocMap {
             .collect()
     }
 
-    /// Serialize.
+    /// Serialize. The record block is followed by a `next_first` trailer so
+    /// a quarantine gap after the last file survives the round-trip; old
+    /// readers consumed exactly `n` records and ignore trailing bytes, so
+    /// the extension is compatible in both directions.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         w.write_all(DOCMAP_MAGIC)?;
         w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
@@ -89,12 +92,13 @@ impl DocMap {
             w.write_all(&e.first_doc.to_le_bytes())?;
             w.write_all(&e.n_docs.to_le_bytes())?;
         }
+        w.write_all(&self.next_first.to_le_bytes())?;
         Ok(())
     }
 
-    /// Deserialize. A quarantine gap after the *last* file is not
-    /// recoverable from the record layout; the ID space ends at the last
-    /// entry, which is indistinguishable to lookups.
+    /// Deserialize. Files without the `next_first` trailer (the legacy
+    /// layout) derive it from the last entry, losing only a quarantine gap
+    /// after the final file — which lookups cannot distinguish anyway.
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<DocMap> {
         let mut head = [0u8; 8];
         r.read_exact(&mut head)?;
@@ -112,7 +116,14 @@ impl DocMap {
                 n_docs: u32::from_le_bytes(rec[8..12].try_into().unwrap()),
             });
         }
-        let next_first = entries.last().map_or(0, |e: &DocMapEntry| e.first_doc + e.n_docs);
+        let mut trailer = [0u8; 4];
+        let next_first = match r.read_exact(&mut trailer) {
+            Ok(()) => u32::from_le_bytes(trailer),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                entries.last().map_or(0, |e: &DocMapEntry| e.first_doc + e.n_docs)
+            }
+            Err(e) => return Err(e),
+        };
         Ok(DocMap { entries, next_first })
     }
 }
@@ -166,6 +177,24 @@ mod tests {
         assert_eq!(DocMap::read_from(&mut buf.as_slice()).unwrap(), m);
         buf[0] = b'X';
         assert!(DocMap::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn trailing_quarantine_gap_survives_roundtrip() {
+        let mut m = map(&[3, 2]);
+        m.push_quarantined(2, 4);
+        assert_eq!(m.total_docs(), 9);
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        let back = DocMap::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.total_docs(), 9, "gap after the last file preserved");
+        // Legacy layout (no trailer): the gap degrades to the last entry's
+        // end, everything else intact.
+        buf.truncate(buf.len() - 4);
+        let legacy = DocMap::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(legacy.entries(), m.entries());
+        assert_eq!(legacy.total_docs(), 5);
     }
 
     #[test]

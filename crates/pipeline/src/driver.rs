@@ -18,6 +18,10 @@
 //! survived is tallied in the report's [`FaultReport`].
 
 use crate::breakdown::StageBreakdown;
+use crate::checkpoint::{
+    collection_fingerprint, config_fingerprint, shard_artifact_name, BuildCheckpoint,
+    QuarantinedFile, CHECKPOINT_ARTIFACT, DICTIONARY_ARTIFACT, DOCMAP_ARTIFACT,
+};
 use crate::docmap::DocMap;
 use crate::fault::{
     FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,
@@ -25,12 +29,14 @@ use crate::fault::{
 use crate::parsers::{panic_message, ParserObs, ParserPool, RoundRobin};
 use ii_corpus::StoredCollection;
 use ii_obs::Registry;
-use ii_dict::GlobalDictionary;
+use ii_dict::{GlobalDictionary, PartialDictionary};
 use ii_indexer::{make_plan, sample_counts, BalancePlan, GpuIndexerConfig, IndexerPool, WorkloadStats};
-use ii_postings::{Codec, RunSet};
+use ii_postings::{parse_run_artifact_name, run_artifact_name, Codec, RunFile, RunSet};
+use ii_store::{ManifestKind, RealVfs, Store, StoreError, Txn, Vfs};
 use ii_text::parse_documents;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -275,6 +281,59 @@ pub fn sample_plan(
     Ok(SamplePlan { plan, seconds: t0.elapsed().as_secs_f64(), retries, recovered_files })
 }
 
+/// Durable-build options: where commits land, how often to checkpoint, and
+/// whether to resume from the directory's committed checkpoint.
+pub struct DurableOptions<'v> {
+    /// Index directory every commit lands in.
+    pub dir: PathBuf,
+    /// Commit a build checkpoint every N flushed runs (0 = only the final
+    /// index commit).
+    pub checkpoint_every_runs: usize,
+    /// Continue from a committed checkpoint in `dir` if one exists; a fresh
+    /// directory starts a fresh build, a completed index is refused.
+    pub resume: bool,
+    /// Storage VFS — crash tests inject
+    /// [`CrashVfs`](ii_store::CrashVfs) here.
+    pub vfs: &'v dyn Vfs,
+}
+
+impl DurableOptions<'static> {
+    /// Durable build into `dir` with the real filesystem, no periodic
+    /// checkpoints, no resume.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableOptions {
+            dir: dir.into(),
+            checkpoint_every_runs: 0,
+            resume: false,
+            vfs: &RealVfs,
+        }
+    }
+}
+
+impl<'v> DurableOptions<'v> {
+    /// Commit a checkpoint every `runs` flushed runs.
+    pub fn checkpoint_every(mut self, runs: usize) -> Self {
+        self.checkpoint_every_runs = runs;
+        self
+    }
+
+    /// Resume from the directory's committed checkpoint.
+    pub fn resume(mut self, yes: bool) -> Self {
+        self.resume = yes;
+        self
+    }
+
+    /// Route storage operations through `vfs` (fault injection).
+    pub fn with_vfs<'w>(self, vfs: &'w dyn Vfs) -> DurableOptions<'w> {
+        DurableOptions {
+            dir: self.dir,
+            checkpoint_every_runs: self.checkpoint_every_runs,
+            resume: self.resume,
+            vfs,
+        }
+    }
+}
+
 /// Build the full inverted index for a stored collection.
 ///
 /// Returns a typed [`PipelineError`] when a file fails unrecoverably under
@@ -288,9 +347,199 @@ pub fn build_index(
     collection: &Arc<StoredCollection>,
     cfg: &PipelineConfig,
 ) -> Result<IndexOutput, PipelineError> {
+    build_inner(collection, cfg, None)
+}
+
+/// [`build_index`] with crash-safe persistence: every flushed run, the doc
+/// map, the indexer dictionary shards, and finally the whole index are
+/// committed to `opts.dir` through the ii-store atomic-commit protocol.
+/// With `opts.resume`, a build interrupted after a checkpoint continues
+/// from it — skipping already-indexed container files — and produces a
+/// byte-identical dictionary and postings to an uninterrupted build.
+pub fn build_index_durable(
+    collection: &Arc<StoredCollection>,
+    cfg: &PipelineConfig,
+    opts: &DurableOptions<'_>,
+) -> Result<IndexOutput, PipelineError> {
+    build_inner(collection, cfg, Some(opts))
+}
+
+/// Mid-build state recovered from a committed checkpoint.
+struct ResumeState {
+    parts: Vec<PartialDictionary>,
+    run_sets: HashMap<u32, RunSet>,
+    doc_map: DocMap,
+    files_done: usize,
+    next_doc: u32,
+    docs_indexed: u32,
+    runs_flushed: u32,
+    retries: u32,
+    recovered_files: u32,
+    quarantined: Vec<FileFault>,
+}
+
+/// Load and validate the resumable state of `opts.dir`. `Ok(None)` means a
+/// fresh directory (start from scratch); a completed index or a checkpoint
+/// for a different collection/config is a typed refusal.
+fn load_resume_state(
+    collection: &StoredCollection,
+    cfg: &PipelineConfig,
+    opts: &DurableOptions<'_>,
+) -> Result<Option<ResumeState>, PipelineError> {
+    let store = match Store::open(&opts.dir) {
+        Ok(s) => s,
+        Err(StoreError::MissingManifest { .. }) => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if store.manifest().kind == ManifestKind::Index {
+        return Err(PipelineError::Resume(format!(
+            "{} already holds a completed index",
+            opts.dir.display()
+        )));
+    }
+    let ckpt: BuildCheckpoint = serde_json::from_slice(&store.read(CHECKPOINT_ARTIFACT)?)
+        .map_err(|e| PipelineError::Resume(format!("checkpoint descriptor unreadable: {e:?}")))?;
+    let want_coll = collection_fingerprint(collection);
+    if ckpt.collection != want_coll {
+        return Err(PipelineError::Resume(format!(
+            "checkpoint belongs to collection '{}', not '{want_coll}'",
+            ckpt.collection
+        )));
+    }
+    let want_cfg = config_fingerprint(cfg);
+    if ckpt.config != want_cfg {
+        return Err(PipelineError::Resume(format!(
+            "checkpoint was built with config '{}', current config is '{want_cfg}'",
+            ckpt.config
+        )));
+    }
+    let doc_map = DocMap::read_from(&mut store.read(DOCMAP_ARTIFACT)?.as_slice())?;
+    let mut run_names: Vec<(u32, u32, String)> = Vec::new();
+    for name in store.manifest().names() {
+        if let Some((indexer, run)) = parse_run_artifact_name(name) {
+            run_names.push((indexer, run, name.to_string()));
+        }
+    }
+    // Push runs in run-id order per indexer so postings concatenate in doc
+    // order.
+    run_names.sort();
+    let mut run_sets: HashMap<u32, RunSet> = HashMap::new();
+    for (indexer, _, name) in &run_names {
+        let rf = RunFile::from_bytes(&store.read(name)?).map_err(|e| {
+            StoreError::Corrupt { name: name.clone(), detail: e.to_string() }
+        })?;
+        run_sets.entry(*indexer).or_default().push(rf);
+    }
+    let mut parts = Vec::with_capacity(ckpt.indexers.len());
+    for &id in &ckpt.indexers {
+        let name = shard_artifact_name(id);
+        let p = PartialDictionary::read_from(&mut store.read(&name)?.as_slice())
+            .map_err(|e| StoreError::Corrupt { name, detail: e.to_string() })?;
+        parts.push(p);
+    }
+    let mut quarantined = Vec::with_capacity(ckpt.quarantined.len());
+    for q in &ckpt.quarantined {
+        quarantined.push(q.to_fault().ok_or_else(|| {
+            PipelineError::Resume(format!("unrecognized fault record '{}/{}'", q.class, q.stage))
+        })?);
+    }
+    Ok(Some(ResumeState {
+        parts,
+        run_sets,
+        doc_map,
+        files_done: ckpt.files_done as usize,
+        next_doc: ckpt.next_doc,
+        docs_indexed: ckpt.docs_indexed,
+        runs_flushed: ckpt.runs_flushed,
+        retries: ckpt.retries,
+        recovered_files: ckpt.recovered_files,
+        quarantined,
+    }))
+}
+
+/// Snapshot every indexer's dictionary shard without consuming the pool
+/// (CPU shards clone; GPU shards download non-destructively).
+fn snapshot_parts(pool: &mut IndexerPool) -> Vec<PartialDictionary> {
+    let mut parts: Vec<PartialDictionary> = pool.cpus.iter().map(|c| c.dict.clone()).collect();
+    for g in &mut pool.gpus {
+        parts.push(g.into_partial_dictionary());
+    }
+    parts
+}
+
+/// Stage every sealed run into `txn` (unchanged runs are reused, not
+/// rewritten) plus the doc map.
+fn stage_runs_and_docmap(
+    txn: &mut Txn<'_>,
+    run_sets: &HashMap<u32, RunSet>,
+    doc_map: &DocMap,
+) -> Result<(), StoreError> {
+    let mut indexers: Vec<u32> = run_sets.keys().copied().collect();
+    indexers.sort_unstable();
+    for indexer in indexers {
+        for run in run_sets[&indexer].runs() {
+            txn.put(&run_artifact_name(indexer, run.run_id), &run.to_bytes())?;
+        }
+    }
+    let mut dm = Vec::new();
+    doc_map.write_to(&mut dm).expect("vec write is infallible");
+    txn.put(DOCMAP_ARTIFACT, &dm)?;
+    Ok(())
+}
+
+/// Commit a mid-build checkpoint: sealed runs + doc map + dictionary
+/// shards + descriptor, as one atomic generation.
+#[allow(clippy::too_many_arguments)]
+fn commit_checkpoint(
+    opts: &DurableOptions<'_>,
+    registry: &Arc<Registry>,
+    collection: &StoredCollection,
+    cfg: &PipelineConfig,
+    pool: &mut IndexerPool,
+    run_sets: &HashMap<u32, RunSet>,
+    doc_map: &DocMap,
+    files_done: usize,
+    report: &PipelineReport,
+) -> Result<(), StoreError> {
+    let parts = snapshot_parts(pool);
+    let mut txn = Txn::begin(&opts.dir, opts.vfs)?.with_registry(Arc::clone(registry));
+    stage_runs_and_docmap(&mut txn, run_sets, doc_map)?;
+    let mut indexers = Vec::with_capacity(parts.len());
+    for p in &parts {
+        let mut bytes = Vec::new();
+        p.write_to(&mut bytes).expect("vec write is infallible");
+        txn.put(&shard_artifact_name(p.indexer_id), &bytes)?;
+        indexers.push(p.indexer_id);
+    }
+    let ckpt = BuildCheckpoint {
+        files_done: files_done as u64,
+        next_doc: pool.next_doc(),
+        docs_indexed: pool.docs_indexed(),
+        runs_flushed: pool.runs_flushed(),
+        indexers,
+        collection: collection_fingerprint(collection),
+        config: config_fingerprint(cfg),
+        retries: report.faults.retries,
+        recovered_files: report.faults.recovered_files,
+        quarantined: report.faults.quarantined.iter().map(QuarantinedFile::from_fault).collect(),
+    };
+    let bytes = serde_json::to_vec_pretty(&ckpt).expect("checkpoint serialization is infallible");
+    txn.put(CHECKPOINT_ARTIFACT, &bytes)?;
+    txn.commit(ManifestKind::Checkpoint)?;
+    Ok(())
+}
+
+fn build_inner(
+    collection: &Arc<StoredCollection>,
+    cfg: &PipelineConfig,
+    durable: Option<&DurableOptions<'_>>,
+) -> Result<IndexOutput, PipelineError> {
     let t_total = Instant::now();
+    let resume_state = match durable {
+        Some(opts) if opts.resume => load_resume_state(collection, cfg, opts)?,
+        _ => None,
+    };
     let sampled = sample_plan(collection, cfg)?;
-    let mut pool = IndexerPool::new(sampled.plan, cfg.gpu_config, cfg.codec);
     let mut report = PipelineReport {
         sampling_seconds: sampled.seconds,
         uncompressed_bytes: collection.manifest.stats.uncompressed_bytes,
@@ -299,26 +548,65 @@ pub fn build_index(
     report.faults.retries = sampled.retries;
     report.faults.recovered_files = sampled.recovered_files;
 
-    let mut run_sets: HashMap<u32, RunSet> = HashMap::new();
-    let mut doc_map = DocMap::new();
+    let (mut pool, mut run_sets, mut doc_map, start_file) = match resume_state {
+        Some(rs) => {
+            report.faults.retries += rs.retries;
+            report.faults.recovered_files += rs.recovered_files;
+            for fault in rs.quarantined {
+                report.uncompressed_bytes = report.uncompressed_bytes.saturating_sub(
+                    *collection
+                        .manifest
+                        .file_uncompressed_bytes
+                        .get(fault.file_idx)
+                        .unwrap_or(&0),
+                );
+                if fault.class == FaultClass::Panic {
+                    report.faults.parser_panics += 1;
+                }
+                report.faults.quarantined.push(fault);
+            }
+            let pool = IndexerPool::restore(
+                sampled.plan,
+                cfg.gpu_config,
+                cfg.codec,
+                rs.parts,
+                rs.next_doc,
+                rs.docs_indexed,
+                rs.runs_flushed,
+            );
+            (pool, rs.run_sets, rs.doc_map, rs.files_done)
+        }
+        None => (
+            IndexerPool::new(sampled.plan, cfg.gpu_config, cfg.codec),
+            HashMap::new(),
+            DocMap::new(),
+            0,
+        ),
+    };
+
     // One registry per build: concurrent builds (parallel tests, library
     // embedders) never interleave metrics.
-    let registry = Registry::new();
+    let registry = Arc::new(Registry::new());
     let index_stage = registry.stage("index");
     let post_stage = registry.stage("post_process");
     let t_stream = Instant::now();
-    let parser_pool = ParserPool::spawn_observed(
+    let parser_pool = ParserPool::spawn_observed_from(
         Arc::clone(collection),
         cfg.num_parsers,
         cfg.buffer_depth,
         cfg.fault_policy,
         ParserObs::from_registry(&registry),
+        start_file,
     );
     let mut batches_in_run = 0usize;
-    let round_robin = RoundRobin::new(&parser_pool.buffers, collection.num_files())
-        .with_queue_wait(Arc::clone(&index_stage));
+    let mut runs_since_checkpoint = 0usize;
+    let mut files_done;
+    let round_robin =
+        RoundRobin::starting_at(&parser_pool.buffers, collection.num_files(), start_file)
+            .with_queue_wait(Arc::clone(&index_stage));
     for msg in round_robin {
         let msg = msg?;
+        files_done = msg.file_idx() + 1;
         let batch = match msg.result {
             Ok(batch) => {
                 if msg.retries > 0 {
@@ -388,6 +676,18 @@ pub fn build_index(
             drop(span);
             report.post_processing_seconds += t0.elapsed().as_secs_f64();
             batches_in_run = 0;
+            runs_since_checkpoint += 1;
+            if let Some(opts) = durable {
+                if opts.checkpoint_every_runs > 0
+                    && runs_since_checkpoint >= opts.checkpoint_every_runs
+                {
+                    commit_checkpoint(
+                        opts, &registry, collection, cfg, &mut pool, &run_sets, &doc_map,
+                        files_done, &report,
+                    )?;
+                    runs_since_checkpoint = 0;
+                }
+            }
         }
     }
     if batches_in_run > 0 {
@@ -462,6 +762,16 @@ pub fn build_index(
     report.dict_write_seconds = t0.elapsed().as_secs_f64();
     registry.counter("pipeline.terms").add(dictionary.len() as u64);
 
+    if let Some(opts) = durable {
+        // The final commit flips the manifest kind to Index; the commit's
+        // garbage collection removes the checkpoint descriptor and shard
+        // artifacts the index no longer references.
+        let mut txn = Txn::begin(&opts.dir, opts.vfs)?.with_registry(Arc::clone(&registry));
+        stage_runs_and_docmap(&mut txn, &run_sets, &doc_map)?;
+        txn.put(DICTIONARY_ARTIFACT, &dict_bytes)?;
+        txn.commit(ManifestKind::Index)?;
+    }
+
     report.total_seconds = t_total.elapsed().as_secs_f64();
     report.stages = StageBreakdown::from_registry(&registry);
     Ok(IndexOutput { dictionary, run_sets, dict_bytes, doc_map, report })
@@ -471,6 +781,7 @@ pub fn build_index(
 mod tests {
     use super::*;
     use ii_corpus::{CollectionSpec, FaultKind, FaultPlan};
+    use ii_store::{CrashMode, CrashVfs};
     use std::path::{Path, PathBuf};
 
     fn stored(tag: &str, spec: CollectionSpec) -> (Arc<StoredCollection>, PathBuf) {
@@ -647,6 +958,103 @@ mod tests {
         assert!(out.report.faults.retries >= 3, "{}", out.report.faults.summary());
         assert!(out.report.faults.recovered_files >= 2);
         assert!(out.report.faults.quarantined.is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// (dictionary bytes, sorted run encodings, doc-map bytes).
+    type IndexBytes = (Vec<u8>, Vec<(u32, u32, Vec<u8>)>, Vec<u8>);
+
+    /// Everything that makes two index builds byte-comparable: the
+    /// dictionary encoding, every sealed run's encoding, and the doc map.
+    fn index_fingerprint(out: &IndexOutput) -> IndexBytes {
+        let mut runs: Vec<(u32, u32, Vec<u8>)> = out
+            .run_sets
+            .iter()
+            .flat_map(|(id, rs)| rs.runs().iter().map(|r| (*id, r.run_id, r.to_bytes())))
+            .collect();
+        runs.sort();
+        let mut dm = Vec::new();
+        out.doc_map.write_to(&mut dm).unwrap();
+        (out.dict_bytes.clone(), runs, dm)
+    }
+
+    #[test]
+    fn durable_build_commits_a_loadable_index() {
+        let mut spec = CollectionSpec::tiny(48);
+        spec.num_files = 4;
+        spec.docs_per_file = 8;
+        let (coll, dir) = stored("durable", spec);
+        let idx_dir = dir.join("index");
+        let cfg = PipelineConfig::small(2, 1, 1);
+        let opts = DurableOptions::new(&idx_dir).checkpoint_every(1);
+        let out = build_index_durable(&coll, &cfg, &opts).expect("durable build");
+
+        let store = Store::open(&idx_dir).expect("open committed index");
+        assert_eq!(store.manifest().kind, ManifestKind::Index);
+        assert_eq!(store.read(DICTIONARY_ARTIFACT).unwrap(), out.dict_bytes);
+        // The final commit garbage-collects the checkpoint scaffolding.
+        assert!(store.manifest().artifact(CHECKPOINT_ARTIFACT).is_none());
+        for (id, rs) in &out.run_sets {
+            for r in rs.runs() {
+                assert_eq!(
+                    store.read(&run_artifact_name(*id, r.run_id)).unwrap(),
+                    r.to_bytes()
+                );
+            }
+        }
+        for st in store.verify() {
+            assert!(st.ok, "{}: {:?}", st.name, st.detail);
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn resume_after_kill_is_byte_identical() {
+        let mut spec = CollectionSpec::tiny(49);
+        spec.num_files = 6;
+        spec.docs_per_file = 8;
+        let (coll, dir) = stored("resume", spec);
+        let cfg = PipelineConfig::small(2, 1, 1);
+        let baseline = build_index(&coll, &cfg).expect("baseline");
+
+        // Probe a full durable run to count its storage ops, then kill a
+        // second run halfway through them — after some checkpoints have
+        // committed, before the final index commit.
+        let probe = CrashVfs::probe();
+        let opts = DurableOptions::new(dir.join("probe")).checkpoint_every(1).with_vfs(&probe);
+        build_index_durable(&coll, &cfg, &opts).expect("probe build");
+        let total = probe.ops();
+        assert!(total > 0, "durable build must touch storage");
+
+        let idx_dir = dir.join("index");
+        let crash = CrashVfs::new(total / 2, CrashMode::PowerLoss, 11);
+        let opts = DurableOptions::new(&idx_dir).checkpoint_every(1).with_vfs(&crash);
+        assert!(
+            build_index_durable(&coll, &cfg, &opts).is_err(),
+            "killed build must error"
+        );
+        assert!(crash.crashed());
+
+        // Resuming under the wrong config is refused, not silently mixed.
+        let mut other_cfg = cfg.clone();
+        other_cfg.popular_count += 1;
+        let opts = DurableOptions::new(&idx_dir).checkpoint_every(1).resume(true);
+        match build_index_durable(&coll, &other_cfg, &opts) {
+            Err(PipelineError::Resume(why)) => assert!(why.contains("config"), "{why}"),
+            other => panic!("expected config refusal, got {:?}", other.map(|_| "index")),
+        }
+
+        let resumed = build_index_durable(&coll, &cfg, &opts).expect("resume");
+        assert_eq!(index_fingerprint(&resumed), index_fingerprint(&baseline));
+        assert_eq!(resumed.report.docs, baseline.report.docs);
+        let store = Store::open(&idx_dir).expect("resumed index committed");
+        assert_eq!(store.manifest().kind, ManifestKind::Index);
+
+        // Resuming a completed index is refused.
+        match build_index_durable(&coll, &cfg, &opts) {
+            Err(PipelineError::Resume(why)) => assert!(why.contains("completed"), "{why}"),
+            other => panic!("expected completed-index refusal, got {:?}", other.map(|_| "index")),
+        }
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

@@ -196,6 +196,13 @@ pub enum PipelineError {
     },
     /// Writing a build artifact failed.
     Io(std::io::Error),
+    /// The crash-safe store rejected an operation (typed: torn manifest,
+    /// checksum mismatch, version skew, ...).
+    Store(ii_store::StoreError),
+    /// A `--resume` request cannot be honoured against the directory's
+    /// checkpoint (config mismatch, different collection, or no resumable
+    /// state).
+    Resume(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -208,6 +215,8 @@ impl std::fmt::Display for PipelineError {
                  (crashed or exited early)"
             ),
             PipelineError::Io(e) => write!(f, "index artifact write failed: {e}"),
+            PipelineError::Store(e) => write!(f, "index store: {e}"),
+            PipelineError::Resume(why) => write!(f, "cannot resume: {why}"),
         }
     }
 }
@@ -216,6 +225,7 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::Io(e) => Some(e),
+            PipelineError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -224,6 +234,12 @@ impl std::error::Error for PipelineError {
 impl From<std::io::Error> for PipelineError {
     fn from(e: std::io::Error) -> Self {
         PipelineError::Io(e)
+    }
+}
+
+impl From<ii_store::StoreError> for PipelineError {
+    fn from(e: ii_store::StoreError) -> Self {
+        PipelineError::Store(e)
     }
 }
 

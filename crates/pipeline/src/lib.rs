@@ -9,20 +9,31 @@
 //! retries and whether corrupt files abort the build or are quarantined,
 //! and every build's [`PipelineReport`] carries a [`FaultReport`] of what
 //! was retried, recovered, quarantined, or contained.
+//!
+//! It is also crash-safe: [`build_index_durable`] commits sealed runs, the
+//! doc map, and per-indexer dictionary shards through the ii-store
+//! atomic-commit protocol at run-boundary checkpoints, and
+//! `DurableOptions::resume` continues an interrupted build byte-identically
+//! from its last committed checkpoint.
 
 #![warn(missing_docs)]
 
 pub mod breakdown;
+pub mod checkpoint;
 pub mod docmap;
 pub mod driver;
 pub mod fault;
 pub mod parsers;
 
 pub use breakdown::StageBreakdown;
+pub use checkpoint::{
+    collection_fingerprint, config_fingerprint, shard_artifact_name, BuildCheckpoint,
+    QuarantinedFile, CHECKPOINT_ARTIFACT, DICTIONARY_ARTIFACT, DOCMAP_ARTIFACT,
+};
 pub use docmap::{DocMap, DocMapEntry};
 pub use driver::{
-    build_index, sample_plan, FileTiming, IndexOutput, PipelineConfig, PipelineReport,
-    SamplePlan,
+    build_index, build_index_durable, sample_plan, DurableOptions, FileTiming, IndexOutput,
+    PipelineConfig, PipelineReport, SamplePlan,
 };
 pub use fault::{
     FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,

@@ -128,6 +128,23 @@ impl ParserPool {
         policy: FaultPolicy,
         obs: ParserObs,
     ) -> ParserPool {
+        Self::spawn_observed_from(collection, num_parsers, buffer_depth, policy, obs, 0)
+    }
+
+    /// [`Self::spawn_observed`] starting at container file `start_file`
+    /// instead of 0 — the resume path after a build checkpoint. Parser `p`
+    /// still owns every file whose index is `p` modulo `num_parsers`, so a
+    /// resumed build routes each remaining file through the same parser
+    /// slot (and thus the same round-robin consumption order) as an
+    /// uninterrupted build.
+    pub fn spawn_observed_from(
+        collection: Arc<StoredCollection>,
+        num_parsers: usize,
+        buffer_depth: usize,
+        policy: FaultPolicy,
+        obs: ParserObs,
+        start_file: usize,
+    ) -> ParserPool {
         assert!(num_parsers >= 1);
         let disk = Arc::new(Mutex::new(()));
         let html = collection.manifest.spec.html;
@@ -142,7 +159,10 @@ impl ParserPool {
             let obs = obs.clone();
             let handle = std::thread::spawn(move || {
                 let mut timing = ParserTiming::default();
-                let mut file_idx = p;
+                // First index >= start_file owned by this parser (idx ≡ p
+                // mod num_parsers).
+                let mut file_idx =
+                    start_file + (p + num_parsers - start_file % num_parsers) % num_parsers;
                 while file_idx < num_files {
                     // Crash containment: a panic anywhere in this file's
                     // ingest becomes a typed fault in its round-robin slot.
@@ -326,7 +346,17 @@ pub struct RoundRobin<'a> {
 impl<'a> RoundRobin<'a> {
     /// Iterate the messages of `num_files` files over `buffers`.
     pub fn new(buffers: &'a [Receiver<ParsedFile>], num_files: usize) -> Self {
-        RoundRobin { buffers, next_file: 0, num_files, queue_wait: None }
+        Self::starting_at(buffers, num_files, 0)
+    }
+
+    /// Iterate files `start_file..num_files` — pairs with
+    /// [`ParserPool::spawn_observed_from`] on the resume path.
+    pub fn starting_at(
+        buffers: &'a [Receiver<ParsedFile>],
+        num_files: usize,
+        start_file: usize,
+    ) -> Self {
+        RoundRobin { buffers, next_file: start_file, num_files, queue_wait: None }
     }
 
     /// Record time blocked waiting on parser buffers into `stage`'s

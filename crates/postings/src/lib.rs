@@ -20,4 +20,4 @@ pub use codec::{decode, encode, Codec};
 pub use merge::merge_runs;
 pub use positional::{phrase_matches, phrase_matches_with_offsets, PositionalList, PositionalPosting};
 pub use posting::{Posting, PostingsList};
-pub use run::{RunEntry, RunFile, RunSet};
+pub use run::{parse_run_artifact_name, run_artifact_name, RunEntry, RunFile, RunSet};

@@ -68,6 +68,28 @@ impl std::fmt::Display for RunFileError {
 
 impl std::error::Error for RunFileError {}
 
+/// Canonical on-disk artifact name of a run file: `run_IND_RUNID.iirf`,
+/// zero-padded so lexicographic and numeric orders agree. Shared by the
+/// pipeline's checkpoint commits and the index save/open paths.
+pub fn run_artifact_name(indexer_id: u32, run_id: u32) -> String {
+    format!("run_{indexer_id:03}_{run_id:05}.iirf")
+}
+
+/// Parse a name produced by [`run_artifact_name`] back into
+/// `(indexer_id, run_id)`. Strict: both fields must be non-empty ASCII
+/// digits and nothing may follow the run id — `run_000_00001_extra.iirf`
+/// or `run_000_00001.iirf.bak` are rejected, not silently truncated.
+pub fn parse_run_artifact_name(name: &str) -> Option<(u32, u32)> {
+    let rest = name.strip_prefix("run_")?.strip_suffix(".iirf")?;
+    let (indexer, run) = rest.split_once('_')?;
+    let digits =
+        |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    if !digits(indexer) || !digits(run) {
+        return None;
+    }
+    Some((indexer.parse().ok()?, run.parse().ok()?))
+}
+
 fn codec_tag(c: Codec) -> (u8, u64) {
     match c {
         Codec::VarByte => (0, 0),
@@ -277,6 +299,25 @@ impl RunSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn artifact_names_roundtrip_and_reject_garbage() {
+        assert_eq!(run_artifact_name(3, 41), "run_003_00041.iirf");
+        assert_eq!(parse_run_artifact_name("run_003_00041.iirf"), Some((3, 41)));
+        // Wide ids still parse (padding is a minimum, not a cap).
+        assert_eq!(parse_run_artifact_name("run_1234_123456.iirf"), Some((1234, 123456)));
+        for bad in [
+            "run_000_00001_extra.iirf", // trailing garbage in the id field
+            "run_000_00001.iirf.bak",   // trailing garbage after the suffix
+            "run_000_.iirf",            // empty run id
+            "run__00001.iirf",          // empty indexer id
+            "run_00a_00001.iirf",       // non-digit
+            "run_000.iirf",             // missing field
+            "dictionary.bin",
+        ] {
+            assert_eq!(parse_run_artifact_name(bad), None, "{bad} must be rejected");
+        }
+    }
 
     fn list(docs: &[(u32, u32)]) -> PostingsList {
         docs.iter().map(|&(d, tf)| Posting { doc: DocId(d), tf }).collect()

@@ -1,0 +1,195 @@
+//! The versioned `MANIFEST.json` codec.
+//!
+//! The manifest is the root of trust for an index directory: it lists every
+//! artifact by *logical* name (what the loader asks for) together with the
+//! *physical* file currently holding it, its byte length, and its CRC32.
+//! Logical and physical names differ only when a later generation rewrote
+//! an artifact — the new content gets a generation-suffixed file so the
+//! previous committed state stays intact until the new manifest lands.
+
+use crate::error::StoreError;
+use serde::{Deserialize, Serialize, Value};
+use std::path::Path;
+
+/// File name of the manifest inside an index directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+
+/// Manifest format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// What a committed manifest describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ManifestKind {
+    /// A finished, queryable index.
+    Index,
+    /// A mid-build checkpoint (docmap high-water mark + sealed runs +
+    /// indexer dictionary state) that `build --resume` continues from.
+    Checkpoint,
+}
+
+impl Serialize for ManifestKind {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                ManifestKind::Index => "index",
+                ManifestKind::Checkpoint => "checkpoint",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for ManifestKind {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        match v {
+            Value::Str(s) if s == "index" => Ok(ManifestKind::Index),
+            Value::Str(s) if s == "checkpoint" => Ok(ManifestKind::Checkpoint),
+            other => Err(serde::DeError(format!("bad manifest kind: {other:?}"))),
+        }
+    }
+}
+
+/// One artifact's manifest record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactMeta {
+    /// Logical name loaders ask for (e.g. `dictionary.bin`).
+    pub name: String,
+    /// Physical file currently holding the content (may carry a `.gN`
+    /// generation suffix).
+    pub file: String,
+    /// Byte length of the content.
+    pub len: u64,
+    /// CRC32 of the content.
+    pub crc32: u32,
+}
+
+/// The committed state of an index directory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Finished index or mid-build checkpoint.
+    pub kind: ManifestKind,
+    /// Monotonic commit counter for this directory.
+    pub generation: u64,
+    /// Every artifact, sorted by logical name.
+    pub artifacts: Vec<ArtifactMeta>,
+}
+
+impl Manifest {
+    /// Serialize to the JSON bytes written to `MANIFEST.json`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec_pretty(self).expect("manifest serialization is infallible")
+    }
+
+    /// Parse manifest bytes. Version skew and parse failures get their own
+    /// typed errors so an `open` can tell "future format" from "torn write".
+    pub fn from_bytes(bytes: &[u8]) -> Result<Manifest, StoreError> {
+        let m: Manifest = serde_json::from_slice(bytes)
+            .map_err(|e| StoreError::TornManifest { detail: e.to_string() })?;
+        if m.version != FORMAT_VERSION {
+            return Err(StoreError::VersionSkew {
+                found: m.version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        Ok(m)
+    }
+
+    /// Read and parse a directory's manifest.
+    pub fn load(dir: &Path) -> Result<Manifest, StoreError> {
+        let path = dir.join(MANIFEST_NAME);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingManifest { dir: dir.to_path_buf() })
+            }
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        Manifest::from_bytes(&bytes)
+    }
+
+    /// Look up an artifact by logical name.
+    pub fn artifact(&self, name: &str) -> Option<&ArtifactMeta> {
+        self.artifacts.iter().find(|a| a.name == name)
+    }
+
+    /// Logical names of all artifacts, in manifest order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.artifacts.iter().map(|a| a.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            version: FORMAT_VERSION,
+            kind: ManifestKind::Index,
+            generation: 3,
+            artifacts: vec![
+                ArtifactMeta {
+                    name: "dictionary.bin".into(),
+                    file: "dictionary.bin.g3".into(),
+                    len: 1234,
+                    crc32: 0xDEADBEEF,
+                },
+                ArtifactMeta {
+                    name: "run_000_00000.iirf".into(),
+                    file: "run_000_00000.iirf".into(),
+                    len: 88,
+                    crc32: 7,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        let back = Manifest::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.artifact("dictionary.bin").unwrap().file, "dictionary.bin.g3");
+        assert!(back.artifact("nope").is_none());
+    }
+
+    #[test]
+    fn checkpoint_kind_roundtrips() {
+        let mut m = sample();
+        m.kind = ManifestKind::Checkpoint;
+        assert_eq!(Manifest::from_bytes(&m.to_bytes()).unwrap().kind, ManifestKind::Checkpoint);
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let mut m = sample();
+        m.version = FORMAT_VERSION + 1;
+        match Manifest::from_bytes(&m.to_bytes()) {
+            Err(StoreError::VersionSkew { found, supported }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected VersionSkew, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_bytes_are_typed() {
+        let bytes = sample().to_bytes();
+        // Every truncation point must yield TornManifest, never a panic or
+        // a silently wrong manifest.
+        for cut in 0..bytes.len() {
+            match Manifest::from_bytes(&bytes[..cut]) {
+                Err(StoreError::TornManifest { .. }) => {}
+                other => panic!("cut at {cut}: expected TornManifest, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            Manifest::from_bytes(b"{\"not\": \"a manifest\"}"),
+            Err(StoreError::TornManifest { .. })
+        ));
+    }
+}

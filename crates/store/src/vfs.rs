@@ -1,0 +1,276 @@
+//! The storage VFS and the crash-point fault-injection harness.
+//!
+//! Every durable operation the store performs — write, fsync, rename,
+//! directory fsync — goes through the [`Vfs`] trait. [`RealVfs`] maps them
+//! onto the OS; [`CrashVfs`] counts operations and simulates power loss at
+//! a chosen boundary, in the deterministic seeded style of
+//! `ii_corpus::fault`: same seed + crash point → same torn prefix / flipped
+//! bit, so every failure found by the crash matrix replays exactly.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The durable-operation surface of the store.
+pub trait Vfs {
+    /// Create/overwrite `path` with `bytes`.
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flush `path`'s data and metadata to stable storage.
+    fn fsync_file(&self, path: &Path) -> io::Result<()>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Flush the directory entry table of `dir` (makes renames durable).
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn fsync_file(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Opening a directory read-only and syncing it is the portable
+        // POSIX idiom; on platforms where it is a no-op the rename is
+        // already durable enough for tests.
+        match fs::File::open(dir) {
+            Ok(d) => d.sync_all().or(Ok(())),
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+/// What the injected crash does to the in-flight operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Power loss *before* the operation takes effect: nothing is written,
+    /// the operation and every later one fail.
+    PowerLoss,
+    /// A torn write: a seeded prefix of the data reaches disk, then the
+    /// crash hits. Non-write operations at the crash point degrade to
+    /// [`CrashMode::PowerLoss`].
+    TornWrite,
+    /// A silent misdirected write: one seeded bit of the data is flipped,
+    /// the write "succeeds", and the process *continues* — the corruption
+    /// must be caught later by checksum verification, not by an error at
+    /// write time. Non-write operations degrade to [`CrashMode::PowerLoss`].
+    BitFlip,
+}
+
+/// Crash-point injecting [`Vfs`]: operations are numbered from 0 in
+/// execution order; the operation at `crash_at` is hit with `mode`, and —
+/// except for [`CrashMode::BitFlip`] — every subsequent operation fails
+/// like the process had lost power.
+pub struct CrashVfs {
+    inner: RealVfs,
+    crash_at: u64,
+    mode: CrashMode,
+    seed: u64,
+    ops: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl CrashVfs {
+    /// Crash at operation `crash_at` (0-based) with `mode`; `seed` picks
+    /// the torn-prefix length / flipped bit deterministically.
+    pub fn new(crash_at: u64, mode: CrashMode, seed: u64) -> CrashVfs {
+        CrashVfs {
+            inner: RealVfs,
+            crash_at,
+            mode,
+            seed,
+            ops: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// A counting probe that never crashes: run the save once through this
+    /// to learn how many operations it performs, then enumerate crash
+    /// points `0..ops()`.
+    pub fn probe() -> CrashVfs {
+        CrashVfs::new(u64::MAX, CrashMode::PowerLoss, 0)
+    }
+
+    /// Operations performed (or attempted) so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    fn crash_error(&self) -> io::Error {
+        io::Error::other(format!("injected crash at storage op {}", self.crash_at))
+    }
+
+    /// Advance the op counter; `Ok(false)` = proceed normally, `Ok(true)` =
+    /// this op is the crash point, `Err` = already dead.
+    fn tick(&self) -> io::Result<bool> {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(self.crash_error());
+        }
+        let n = self.ops.fetch_add(1, Ordering::SeqCst);
+        Ok(n == self.crash_at)
+    }
+
+    fn mix(&self, op: u64) -> u64 {
+        splitmix64(self.seed ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl Vfs for CrashVfs {
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if !self.tick()? {
+            return self.inner.write_file(path, bytes);
+        }
+        match self.mode {
+            CrashMode::PowerLoss => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Err(self.crash_error())
+            }
+            CrashMode::TornWrite => {
+                let keep = if bytes.is_empty() {
+                    0
+                } else {
+                    (self.mix(self.crash_at) % bytes.len() as u64) as usize
+                };
+                let _ = self.inner.write_file(path, &bytes[..keep]);
+                self.crashed.store(true, Ordering::SeqCst);
+                Err(self.crash_error())
+            }
+            CrashMode::BitFlip => {
+                let mut corrupted = bytes.to_vec();
+                if !corrupted.is_empty() {
+                    let bit = self.mix(self.crash_at) % (corrupted.len() as u64 * 8);
+                    corrupted[(bit / 8) as usize] ^= 1 << (bit % 8);
+                }
+                // The silent-corruption mode: the write reports success and
+                // the process keeps running.
+                self.inner.write_file(path, &corrupted)
+            }
+        }
+    }
+
+    fn fsync_file(&self, path: &Path) -> io::Result<()> {
+        if self.tick()? && self.mode != CrashMode::BitFlip {
+            self.crashed.store(true, Ordering::SeqCst);
+            return Err(self.crash_error());
+        }
+        self.inner.fsync_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.tick()? && self.mode != CrashMode::BitFlip {
+            self.crashed.store(true, Ordering::SeqCst);
+            return Err(self.crash_error());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
+        if self.tick()? && self.mode != CrashMode::BitFlip {
+            self.crashed.store(true, Ordering::SeqCst);
+            return Err(self.crash_error());
+        }
+        self.inner.fsync_dir(dir)
+    }
+}
+
+/// SplitMix64 — the same tiny deterministic mixer `ii_corpus::fault` seeds
+/// its injections with.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ii-vfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn probe_counts_ops() {
+        let d = tmp("probe");
+        let v = CrashVfs::probe();
+        let f = d.join("a");
+        v.write_file(&f, b"hello").unwrap();
+        v.fsync_file(&f).unwrap();
+        v.rename(&f, &d.join("b")).unwrap();
+        v.fsync_dir(&d).unwrap();
+        assert_eq!(v.ops(), 4);
+        assert!(!v.crashed());
+        fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn power_loss_kills_all_later_ops() {
+        let d = tmp("power");
+        let v = CrashVfs::new(1, CrashMode::PowerLoss, 7);
+        let f = d.join("a");
+        v.write_file(&f, b"hello").unwrap();
+        assert!(v.fsync_file(&f).is_err(), "crash point fires");
+        assert!(v.write_file(&d.join("b"), b"x").is_err(), "process is dead");
+        assert!(v.crashed());
+        assert!(!d.join("b").exists());
+        fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn torn_write_persists_a_prefix() {
+        let d = tmp("torn");
+        let v = CrashVfs::new(0, CrashMode::TornWrite, 3);
+        let f = d.join("a");
+        assert!(v.write_file(&f, b"hello world").is_err());
+        let on_disk = fs::read(&f).unwrap();
+        assert!(on_disk.len() < 11, "strict prefix");
+        assert_eq!(&on_disk[..], &b"hello world"[..on_disk.len()]);
+        // Deterministic: same seed, same prefix.
+        let v2 = CrashVfs::new(0, CrashMode::TornWrite, 3);
+        let f2 = d.join("a2");
+        assert!(v2.write_file(&f2, b"hello world").is_err());
+        assert_eq!(fs::read(&f2).unwrap(), on_disk);
+        fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_silent() {
+        let d = tmp("flip");
+        let v = CrashVfs::new(0, CrashMode::BitFlip, 11);
+        let f = d.join("a");
+        v.write_file(&f, b"hello").unwrap();
+        let on_disk = fs::read(&f).unwrap();
+        assert_eq!(on_disk.len(), 5);
+        let diff: u32 = on_disk
+            .iter()
+            .zip(b"hello")
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one bit flipped");
+        // The process lives on.
+        v.write_file(&d.join("b"), b"later").unwrap();
+        assert_eq!(fs::read(d.join("b")).unwrap(), b"later");
+        fs::remove_dir_all(d).unwrap();
+    }
+}

@@ -229,3 +229,43 @@ fn injected_panic_is_contained_and_reported() {
     assert_eq!(fingerprint(&out), restrict(&fingerprint(&clean), &clean, &[3]));
     std::fs::remove_dir_all(dir).unwrap();
 }
+
+#[test]
+fn kill_during_save_keeps_committed_index_intact() {
+    use ii_core::store::{CrashMode, CrashVfs};
+    use ii_core::Index;
+
+    let (coll_a, dir_a) = stored("kill-save-a", 3);
+    let first = Index::from_output(build_index(&coll_a, &skip_cfg(2)).expect("first build"));
+    let (coll_b, dir_b) = stored("kill-save-b", 4);
+    let second = Index::from_output(build_index(&coll_b, &skip_cfg(2)).expect("second build"));
+
+    let out_dir =
+        std::env::temp_dir().join(format!("ii-chaos-kill-save-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    first.save(&out_dir).expect("commit the first index");
+    let committed = Index::open(&out_dir).expect("committed index opens");
+    assert_eq!(committed.num_terms(), first.num_terms());
+
+    // Kill an overwriting save mid-way with a torn final write: the torn
+    // bytes must stay invisible behind the still-committed first manifest.
+    let crash = CrashVfs::new(7, CrashMode::TornWrite, 42);
+    assert!(second.save_with(&out_dir, &crash).is_err(), "torn save must error");
+    assert!(crash.crashed());
+    let survivor = Index::open(&out_dir).expect("first index must survive the kill");
+    assert_eq!(survivor.num_terms(), first.num_terms());
+    let probe = first.dictionary.entries().first().unwrap().full_term();
+    assert_eq!(
+        survivor.postings_stemmed(&probe),
+        first.postings_stemmed(&probe),
+        "postings unchanged after killed overwrite"
+    );
+
+    // A clean retry of the interrupted save then fully replaces it.
+    second.save(&out_dir).expect("retried save");
+    let replaced = Index::open(&out_dir).expect("second index committed");
+    assert_eq!(replaced.num_terms(), second.num_terms());
+    for d in [dir_a, dir_b, out_dir] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}
