@@ -1,0 +1,287 @@
+//! Parse hot-path benchmark: naive reference parser vs. the
+//! zero-allocation scratch parser, on the Table III synthetic corpora.
+//!
+//! Measures parse-stage throughput (MB/s of uncompressed input, tokens/s)
+//! for both implementations on in-memory document batches, asserting byte
+//! identity of every `ParsedBatch` along the way, and writes the result to
+//! a committed JSON baseline (`BENCH_parse.json` at the repo root).
+//!
+//! Modes:
+//!   parse_hotpath [--scale F] [--out PATH]   measure and write baseline
+//!   parse_hotpath --check PATH [--scale F]   regression gate against a
+//!       committed baseline: re-measures, normalizes for host speed via
+//!       the naive parser's ratio, and fails (exit 1) if the optimized
+//!       parser's throughput dropped more than 25% beyond that.
+
+use ii_core::corpus::{CollectionGenerator, CollectionSpec, RawDocument};
+use ii_core::text::{parse_documents_into, parse_documents_reference, ParseScratch};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Throughput for one implementation on one corpus.
+#[derive(Debug, Serialize, Deserialize)]
+struct Throughput {
+    mb_s: f64,
+    tokens_s: f64,
+    seconds: f64,
+}
+
+/// Measurement for one Table III corpus.
+#[derive(Debug, Serialize, Deserialize)]
+struct CorpusResult {
+    name: String,
+    files: usize,
+    docs: usize,
+    input_bytes: u64,
+    tokens: u64,
+    naive: Throughput,
+    optimized: Throughput,
+    speedup: f64,
+}
+
+/// The committed baseline document. No timestamps or host identifiers:
+/// the `--check` gate normalizes across hosts via the naive throughput,
+/// and a timestamp would churn the diff on every regeneration.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    scale: f64,
+    repetitions: usize,
+    corpora: Vec<CorpusResult>,
+    overall: Overall,
+}
+
+/// Aggregate across all corpora (total bytes / total best-rep seconds).
+#[derive(Debug, Serialize, Deserialize)]
+struct Overall {
+    naive_mb_s: f64,
+    optimized_mb_s: f64,
+    speedup: f64,
+}
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn table3_specs(scale: f64) -> Vec<CollectionSpec> {
+    vec![
+        CollectionSpec::clueweb_like(scale),
+        CollectionSpec::wikipedia_like(scale),
+        CollectionSpec::congress_like(scale),
+    ]
+}
+
+/// Time `reps` full passes over the batches, returning the best (minimum)
+/// wall seconds — the standard guard against scheduler noise.
+fn best_of<F: FnMut()>(reps: usize, mut pass: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        pass();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure_corpus(spec: &CollectionSpec, reps: usize) -> CorpusResult {
+    let generator = CollectionGenerator::new(spec.clone());
+    let batches: Vec<Vec<RawDocument>> =
+        (0..spec.num_files).map(|f| generator.generate_file(f)).collect();
+    let input_bytes: u64 = batches
+        .iter()
+        .flatten()
+        .map(|d| (d.url.len() + d.body.len()) as u64)
+        .sum();
+    let docs: usize = batches.iter().map(Vec::len).sum();
+    let html = spec.html;
+
+    // Correctness first: every batch must be byte-identical between the
+    // two implementations (with scratch reuse + recycling, as in the
+    // pipeline's steady state) before we trust the timings.
+    let mut scratch = ParseScratch::new();
+    let mut tokens = 0u64;
+    for (f, docs) in batches.iter().enumerate() {
+        let reference = parse_documents_reference(docs, html, f);
+        let optimized = parse_documents_into(&mut scratch, docs, html, f);
+        assert_eq!(
+            optimized, reference,
+            "parser divergence on {} file {f}",
+            spec.name
+        );
+        tokens += optimized.stats.tokens;
+        scratch.recycle(optimized);
+    }
+
+    let naive_s = best_of(reps, || {
+        for (f, docs) in batches.iter().enumerate() {
+            std::hint::black_box(parse_documents_reference(docs, html, f));
+        }
+    });
+    let optimized_s = best_of(reps, || {
+        for (f, docs) in batches.iter().enumerate() {
+            let batch =
+                std::hint::black_box(parse_documents_into(&mut scratch, docs, html, f));
+            scratch.recycle(batch);
+        }
+    });
+
+    let throughput = |s: f64| Throughput {
+        mb_s: input_bytes as f64 / MB / s,
+        tokens_s: tokens as f64 / s,
+        seconds: s,
+    };
+    CorpusResult {
+        name: spec.name.clone(),
+        files: spec.num_files,
+        docs,
+        input_bytes,
+        tokens,
+        naive: throughput(naive_s),
+        optimized: throughput(optimized_s),
+        speedup: naive_s / optimized_s,
+    }
+}
+
+fn measure(scale: f64, reps: usize) -> BenchReport {
+    let mut corpora = Vec::new();
+    for spec in table3_specs(scale) {
+        eprintln!("[parse_hotpath] measuring {} ...", spec.name);
+        corpora.push(measure_corpus(&spec, reps));
+    }
+    let total_bytes: u64 = corpora.iter().map(|c| c.input_bytes).sum();
+    let naive_s: f64 = corpora.iter().map(|c| c.naive.seconds).sum();
+    let optimized_s: f64 = corpora.iter().map(|c| c.optimized.seconds).sum();
+    let overall = Overall {
+        naive_mb_s: total_bytes as f64 / MB / naive_s,
+        optimized_mb_s: total_bytes as f64 / MB / optimized_s,
+        speedup: naive_s / optimized_s,
+    };
+    BenchReport { scale, repetitions: reps, corpora, overall }
+}
+
+fn print_report(report: &BenchReport) {
+    println!(
+        "{:<22} {:>9} {:>8} {:>12} {:>12} {:>8}",
+        "corpus", "MB", "tokens", "naive MB/s", "opt MB/s", "speedup"
+    );
+    ii_bench::rule(76);
+    for c in &report.corpora {
+        println!(
+            "{:<22} {:>9.2} {:>7}k {:>12.1} {:>12.1} {:>7.2}x",
+            c.name,
+            c.input_bytes as f64 / MB,
+            c.tokens / 1000,
+            c.naive.mb_s,
+            c.optimized.mb_s,
+            c.speedup
+        );
+    }
+    ii_bench::rule(76);
+    println!(
+        "{:<22} {:>9} {:>8} {:>12.1} {:>12.1} {:>7.2}x",
+        "overall",
+        "",
+        "",
+        report.overall.naive_mb_s,
+        report.overall.optimized_mb_s,
+        report.overall.speedup
+    );
+}
+
+/// Tolerated fraction of (host-normalized) baseline throughput. 25%
+/// headroom absorbs CI jitter; a real regression from undoing the
+/// zero-allocation work is far larger (the baseline speedup is >2x).
+const CHECK_TOLERANCE: f64 = 0.75;
+
+fn run_check(baseline_path: &str, scale_override: Option<f64>, reps: usize) -> i32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[parse_hotpath] cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let baseline: BenchReport = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("[parse_hotpath] cannot parse baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let scale = scale_override.unwrap_or(baseline.scale);
+    let now = measure(scale, reps);
+    print_report(&now);
+
+    // The naive parser is the host-speed yardstick: it shares the input,
+    // the output format, and the single-threaded setting, but none of the
+    // optimizations under test. Its ratio to the baseline host cancels
+    // out CPU-speed differences.
+    let host_factor = now.overall.naive_mb_s / baseline.overall.naive_mb_s;
+    let expected = baseline.overall.optimized_mb_s * host_factor;
+    let floor = expected * CHECK_TOLERANCE;
+    println!(
+        "\n[check] baseline opt {:.1} MB/s x host factor {:.2} => expected {:.1}, \
+         floor {:.1}, measured {:.1} MB/s",
+        baseline.overall.optimized_mb_s,
+        host_factor,
+        expected,
+        floor,
+        now.overall.optimized_mb_s
+    );
+    if now.overall.optimized_mb_s < floor {
+        eprintln!(
+            "[check] FAIL: optimized parse throughput regressed more than {:.0}% \
+             vs the committed baseline",
+            (1.0 - CHECK_TOLERANCE) * 100.0
+        );
+        1
+    } else {
+        println!("[check] OK");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale: Option<f64> = None;
+    let mut out = "BENCH_parse.json".to_string();
+    let mut check: Option<String> = None;
+    let mut reps = 5usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Some(args[i].parse().expect("--scale takes a number"));
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args[i].clone());
+            }
+            "--reps" => {
+                i += 1;
+                reps = args[i].parse().expect("--reps takes an integer");
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}\n\
+                     usage: parse_hotpath [--scale F] [--out PATH] [--reps N] [--check PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(baseline) = check {
+        std::process::exit(run_check(&baseline, scale, reps));
+    }
+
+    let report = measure(scale.unwrap_or(0.5), reps);
+    print_report(&report);
+    let mut json = serde_json::to_string_pretty(&report).expect("serialize report");
+    json.push('\n');
+    std::fs::write(&out, json).expect("write baseline");
+    println!("\n[parse_hotpath] baseline written to {out}");
+}

@@ -50,16 +50,21 @@ impl Index {
         let stage = self.obs.stage("query");
         let _span = stage.span();
         let scanned = self.obs.counter("query.postings_scanned");
-        // Collect normalized query terms (dedup keeps idf honest for
-        // repeated query words).
+        // Collect normalized query terms through the same scratch-based
+        // normalizer as the parse path: stem_into only allocates when a
+        // kept term is pushed. Sort + dedup keeps idf honest for repeated
+        // query words (per-term scores are summed, so order is free).
         let mut terms: Vec<String> = Vec::new();
+        let mut stem_buf = ii_text::StemBuf::new();
         let mut it = ii_text::tokenize::tokens(query);
         while let Some(tok) = it.next_token() {
-            let stemmed = ii_text::stem(tok).into_owned();
-            if !ii_text::is_stop_word(&stemmed) && !terms.contains(&stemmed) {
-                terms.push(stemmed);
+            let stemmed = ii_text::stem_into(tok, &mut stem_buf);
+            if !ii_text::is_stop_word(stemmed) {
+                terms.push(stemmed.to_string());
             }
         }
+        terms.sort_unstable();
+        terms.dedup();
         if terms.is_empty() {
             return Vec::new();
         }

@@ -26,14 +26,16 @@ use crate::docmap::DocMap;
 use crate::fault::{
     FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,
 };
-use crate::parsers::{panic_message, ParserObs, ParserPool, RoundRobin};
+use crate::parsers::{
+    panic_message, BatchRecycler, ParserObs, ParserPool, RoundRobin, SpawnOptions,
+};
 use ii_corpus::StoredCollection;
 use ii_obs::Registry;
 use ii_dict::{GlobalDictionary, PartialDictionary};
 use ii_indexer::{make_plan, sample_counts, BalancePlan, GpuIndexerConfig, IndexerPool, WorkloadStats};
 use ii_postings::{parse_run_artifact_name, run_artifact_name, Codec, RunFile, RunSet};
 use ii_store::{ManifestKind, RealVfs, Store, StoreError, Txn, Vfs};
-use ii_text::parse_documents;
+use ii_text::{parse_documents_into, ParseScratch};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -65,6 +67,11 @@ pub struct PipelineConfig {
     pub batches_per_run: usize,
     /// Retry and quarantine behaviour for faulty container files.
     pub fault_policy: FaultPolicy,
+    /// Parse with the retained naive reference path instead of the
+    /// scratch-based hot path. Outputs are byte-identical by invariant
+    /// (the differential suite builds the same collection both ways);
+    /// excluded from the checkpoint config fingerprint for that reason.
+    pub reference_parser: bool,
 }
 
 impl Default for PipelineConfig {
@@ -81,6 +88,7 @@ impl Default for PipelineConfig {
             buffer_depth: 2,
             batches_per_run: 1,
             fault_policy: FaultPolicy::default(),
+            reference_parser: false,
         }
     }
 }
@@ -222,6 +230,8 @@ pub fn sample_plan(
     let mut batches = Vec::new();
     let mut retries = 0u32;
     let mut recovered_files = 0u32;
+    // One scratch for the whole pass: sampled files share buffers.
+    let mut scratch = ParseScratch::new();
     let stride = cfg.sample_file_stride.max(1);
     let mut f = 0;
     while f < collection.num_files() {
@@ -272,7 +282,11 @@ pub fn sample_plan(
                 recovered_files += 1;
             }
             let take = cfg.sample_docs_per_file.min(docs.len());
-            batches.push(parse_documents(&docs[..take], html, f));
+            batches.push(if cfg.reference_parser {
+                ii_text::parse_documents_reference(&docs[..take], html, f)
+            } else {
+                parse_documents_into(&mut scratch, &docs[..take], html, f)
+            });
         }
         f += stride;
     }
@@ -590,13 +604,21 @@ fn build_inner(
     let index_stage = registry.stage("index");
     let post_stage = registry.stage("post_process");
     let t_stream = Instant::now();
-    let parser_pool = ParserPool::spawn_observed_from(
+    // Consumed batch buffers flow back to the parser threads through this
+    // pool; size it to the in-flight window (one slot per buffered batch
+    // per parser, plus the one being indexed).
+    let recycler = BatchRecycler::new(cfg.num_parsers * cfg.buffer_depth + 1);
+    let parser_pool = ParserPool::spawn_with(
         Arc::clone(collection),
         cfg.num_parsers,
         cfg.buffer_depth,
         cfg.fault_policy,
         ParserObs::from_registry(&registry),
-        start_file,
+        SpawnOptions {
+            start_file,
+            recycler: Some(recycler.clone()),
+            reference_parser: cfg.reference_parser,
+        },
     );
     let mut batches_in_run = 0usize;
     let mut runs_since_checkpoint = 0usize;
@@ -665,6 +687,8 @@ fn build_inner(
             modeled_seconds: modeled,
             tokens: batch.stats.terms_kept,
         });
+        // The batch is fully consumed; return its buffers to the parsers.
+        recycler.reclaim(batch);
         batches_in_run += 1;
         if batches_in_run >= cfg.batches_per_run {
             let t0 = Instant::now();

@@ -38,4 +38,6 @@ pub use driver::{
 pub use fault::{
     FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,
 };
-pub use parsers::{ParsedFile, ParserObs, ParserPool, ParserTiming, RoundRobin};
+pub use parsers::{
+    BatchRecycler, ParsedFile, ParserObs, ParserPool, ParserTiming, RoundRobin, SpawnOptions,
+};

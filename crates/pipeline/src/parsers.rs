@@ -22,7 +22,7 @@ use crate::fault::{FaultAction, FaultClass, FaultPolicy, FaultStage, FileFault, 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use ii_corpus::{compress, container, StoredCollection};
 use ii_obs::{Registry, Stage};
-use ii_text::{parse_documents, ParsedBatch};
+use ii_text::{parse_documents_into, parse_documents_reference, ParseScratch, ParsedBatch};
 use parking_lot::Mutex;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -53,6 +53,63 @@ impl ParserObs {
             parse: r.stage("parse"),
         }
     }
+}
+
+/// Returns consumed [`ParsedBatch`] buffers from the round-robin consumer
+/// to the parser threads, so output allocations circulate instead of being
+/// made fresh per container file.
+///
+/// A bounded mutex-guarded pool carries the husks; both ends use
+/// non-blocking `try_lock`, so contention — or a full pool — simply drops
+/// the batch (the allocator takes over) and an empty pool means parsers
+/// allocate normally. Correctness never depends on recycling.
+#[derive(Clone)]
+pub struct BatchRecycler {
+    pool: Arc<Mutex<Vec<ParsedBatch>>>,
+    capacity: usize,
+}
+
+impl BatchRecycler {
+    /// Pool holding at most `capacity` drained batches.
+    pub fn new(capacity: usize) -> BatchRecycler {
+        let capacity = capacity.max(1);
+        BatchRecycler {
+            pool: Arc::new(Mutex::new(Vec::with_capacity(capacity))),
+            capacity,
+        }
+    }
+
+    /// Consumer side: hand back a batch whose contents have been indexed.
+    /// Never blocks; the batch is dropped if the pool is full or busy.
+    pub fn reclaim(&self, batch: ParsedBatch) {
+        if let Some(mut pool) = self.pool.try_lock() {
+            if pool.len() < self.capacity {
+                pool.push(batch);
+            }
+        }
+    }
+
+    /// Parser side: move one available husk's buffers into `scratch`.
+    /// (One per file keeps the pool spread across parser threads.)
+    fn refill(&self, scratch: &mut ParseScratch) {
+        let husk = self.pool.try_lock().and_then(|mut pool| pool.pop());
+        if let Some(husk) = husk {
+            scratch.recycle(husk);
+        }
+    }
+}
+
+/// Extended spawn options (the plain `spawn*` constructors cover the
+/// common defaults).
+#[derive(Clone, Default)]
+pub struct SpawnOptions {
+    /// First container file to ingest (resume path).
+    pub start_file: usize,
+    /// Buffer pool fed by the consumer via [`BatchRecycler::reclaim`].
+    pub recycler: Option<BatchRecycler>,
+    /// Parse with the retained naive reference path instead of the
+    /// scratch-based hot path (differential testing).
+    pub reference_parser: bool,
 }
 
 /// Per-parser timing accumulators (read under the disk lock vs the rest).
@@ -145,6 +202,27 @@ impl ParserPool {
         obs: ParserObs,
         start_file: usize,
     ) -> ParserPool {
+        Self::spawn_with(
+            collection,
+            num_parsers,
+            buffer_depth,
+            policy,
+            obs,
+            SpawnOptions { start_file, ..SpawnOptions::default() },
+        )
+    }
+
+    /// [`Self::spawn_observed_from`] with the full option set: batch-buffer
+    /// recycling and the reference-parser differential knob.
+    pub fn spawn_with(
+        collection: Arc<StoredCollection>,
+        num_parsers: usize,
+        buffer_depth: usize,
+        policy: FaultPolicy,
+        obs: ParserObs,
+        options: SpawnOptions,
+    ) -> ParserPool {
+        let start_file = options.start_file;
         assert!(num_parsers >= 1);
         let disk = Arc::new(Mutex::new(()));
         let html = collection.manifest.spec.html;
@@ -157,8 +235,12 @@ impl ParserPool {
             let disk = Arc::clone(&disk);
             let coll = Arc::clone(&collection);
             let obs = obs.clone();
+            let options = options.clone();
             let handle = std::thread::spawn(move || {
                 let mut timing = ParserTiming::default();
+                // Thread-owned working memory, carried across files so
+                // steady-state parsing reuses every buffer.
+                let mut scratch = ParseScratch::new();
                 // First index >= start_file owned by this parser (idx ≡ p
                 // mod num_parsers).
                 let mut file_idx =
@@ -166,8 +248,19 @@ impl ParserPool {
                 while file_idx < num_files {
                     // Crash containment: a panic anywhere in this file's
                     // ingest becomes a typed fault in its round-robin slot.
+                    // (The scratch self-cleans any stale state on reuse.)
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        ingest_file(&coll, &disk, html, file_idx, &policy, &mut timing, &obs)
+                        ingest_file(
+                            &coll,
+                            &disk,
+                            html,
+                            file_idx,
+                            &policy,
+                            &mut timing,
+                            &obs,
+                            &mut scratch,
+                            &options,
+                        )
                     }));
                     let msg = match outcome {
                         Ok((retries, Ok(batch))) => ParsedFile { retries, result: Ok(batch) },
@@ -225,6 +318,7 @@ type IngestOutcome = (u32, Result<ParsedBatch, (FaultClass, String)>);
 /// Ingest one container file: serialized read (with transient-fault retry),
 /// decompress, container parse, and Steps 2-5 parsing. Returns the number
 /// of recovered retries plus the batch or the classified failure.
+#[allow(clippy::too_many_arguments)]
 fn ingest_file(
     coll: &StoredCollection,
     disk: &Mutex<()>,
@@ -233,6 +327,8 @@ fn ingest_file(
     policy: &FaultPolicy,
     timing: &mut ParserTiming,
     obs: &ParserObs,
+    scratch: &mut ParseScratch,
+    options: &SpawnOptions,
 ) -> IngestOutcome {
     let mut retries = 0u32;
     // Step 1a: serialized read of the compressed file, retried on
@@ -295,7 +391,16 @@ fn ingest_file(
             );
         }
     };
-    let batch = parse_documents(&docs, html, file_idx);
+    // Pull consumed batch buffers back from the consumer before parsing so
+    // their capacity is reused for this file's output.
+    if let Some(recycler) = &options.recycler {
+        recycler.refill(scratch);
+    }
+    let batch = if options.reference_parser {
+        parse_documents_reference(&docs, html, file_idx)
+    } else {
+        parse_documents_into(scratch, &docs, html, file_idx)
+    };
     timing.parse_seconds += t0.elapsed().as_secs_f64();
     timing.files += 1;
     span.add_bytes(bytes.len() as u64);

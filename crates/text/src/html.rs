@@ -5,11 +5,37 @@
 //! strips tags before tokenization for HTML collections: a small state
 //! machine that drops `<...>` markup, skips `<script>`/`<style>` content
 //! entirely, and decodes the handful of entities the generator emits.
+//!
+//! The hot path uses [`strip_tags_into`] with a caller-owned output buffer
+//! so per-document stripping performs no allocation in steady state; all
+//! comparisons are ASCII case-insensitive over bytes, never building
+//! lowercased copies.
 
 /// Strip HTML markup from `input`, returning the visible text. Tag
 /// boundaries are replaced by single spaces so adjacent words don't fuse.
 pub fn strip_tags(input: &str) -> String {
-    let mut out = String::with_capacity(input.len());
+    let mut out = String::new();
+    strip_tags_into(input, &mut out);
+    out
+}
+
+/// First position in `haystack` where the ASCII `needle` matches
+/// case-insensitively. A pure-ASCII match in valid UTF-8 always lands on a
+/// char boundary, so the returned index is safe to slice at.
+fn find_ascii_ci(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.len() > haystack.len() {
+        return None;
+    }
+    haystack
+        .windows(needle.len())
+        .position(|w| w.eq_ignore_ascii_case(needle))
+}
+
+/// [`strip_tags`] into a reusable buffer: `out` is cleared, then filled
+/// with the visible text. Capacity is retained across calls.
+pub fn strip_tags_into(input: &str, out: &mut String) {
+    out.clear();
+    out.reserve(input.len());
     let bytes = input.as_bytes();
     let mut i = 0usize;
     while i < bytes.len() {
@@ -21,17 +47,22 @@ pub fn strip_tags(input: &str) -> String {
                 j += 1;
             }
             let tag = input[tag_start..j.min(input.len())].trim();
-            let name: String = tag
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric())
-                .flat_map(|c| c.to_lowercase())
-                .collect();
+            // Leading ASCII-alphanumeric run = the element name.
+            let name_len = tag
+                .bytes()
+                .take_while(u8::is_ascii_alphanumeric)
+                .count();
+            let name = &tag.as_bytes()[..name_len];
             i = (j + 1).min(bytes.len());
             out.push(' ');
             // Skip raw-content elements wholesale.
-            if name == "script" || name == "style" {
-                let close = format!("</{name}");
-                if let Some(pos) = input[i..].to_ascii_lowercase().find(&close) {
+            if name.eq_ignore_ascii_case(b"script") || name.eq_ignore_ascii_case(b"style") {
+                let close = if name.eq_ignore_ascii_case(b"script") {
+                    b"</script".as_slice()
+                } else {
+                    b"</style".as_slice()
+                };
+                if let Some(pos) = find_ascii_ci(&bytes[i..], close) {
                     let after = i + pos;
                     // Move past the closing '>'.
                     let mut k = after;
@@ -73,7 +104,6 @@ pub fn strip_tags(input: &str) -> String {
             i += c.len_utf8();
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -130,5 +160,16 @@ mod tests {
                     <a href=\"u\">world</a></body></html>";
         let words: Vec<_> = strip_tags(page).split_whitespace().map(String::from).collect();
         assert_eq!(words, ["T", "hello", "world"]);
+    }
+
+    #[test]
+    fn into_buffer_clears_and_reuses() {
+        let mut buf = String::from("stale");
+        strip_tags_into("<b>fresh</b>", &mut buf);
+        assert_eq!(buf.split_whitespace().collect::<Vec<_>>(), ["fresh"]);
+        let cap = buf.capacity();
+        strip_tags_into("tiny", &mut buf);
+        assert_eq!(buf, "tiny");
+        assert!(buf.capacity() >= cap, "capacity must be retained");
     }
 }

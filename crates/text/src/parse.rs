@@ -11,13 +11,22 @@
 //! group's terms are a contiguous byte buffer of length-prefixed strings
 //! (one length byte, then the bytes), organized per document:
 //! `(Doc_ID1, term1, term2, ...), (Doc_ID2, ...)` with *local* doc IDs.
+//!
+//! The hot path runs through a per-thread [`ParseScratch`]: regrouping uses
+//! a flat direct-indexed table over the [`TRIE_ENTRIES`] slots (plus a
+//! touched-slot list for sparse drain) instead of a per-batch `HashMap`,
+//! and all buffers — group builders, stem scratch, the HTML text buffer,
+//! the output `Vec`s of recycled batches — are reused across container
+//! files so steady-state parsing performs no growth reallocation. Output is
+//! byte-identical to the retained [`parse_documents_reference`] path; the
+//! differential tests in `tests/parse_differential.rs` enforce this.
 
-use crate::html::strip_tags;
-use crate::porter::stem;
+use crate::html::{strip_tags, strip_tags_into};
+use crate::porter::{stem_into, StemBuf};
 use crate::stopwords::is_stop_word;
 use crate::tokenize::tokens;
 use ii_corpus::doc::{DocId, RawDocument};
-use ii_dict::trie::{classify, TrieIndex};
+use ii_dict::trie::{classify, TrieIndex, TRIE_ENTRIES};
 use std::collections::HashMap;
 
 /// Longest stored term suffix; the paper assumes one length byte suffices.
@@ -114,7 +123,7 @@ pub struct ParseStats {
 }
 
 /// One parser's output for one batch (container file) of documents.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ParsedBatch {
     /// Index of the source container file.
     pub file_idx: usize,
@@ -129,8 +138,8 @@ pub struct ParsedBatch {
 }
 
 impl ParsedBatch {
-    /// Total uncompressed input size this batch represents (for throughput
-    /// accounting).
+    /// Look up the group for one trie collection by its trie index
+    /// (binary search over the sorted `groups`).
     pub fn group(&self, trie_index: u32) -> Option<&TrieGroup> {
         self.groups
             .binary_search_by_key(&trie_index, |g| g.trie_index)
@@ -139,6 +148,7 @@ impl ParsedBatch {
     }
 }
 
+#[derive(Default)]
 struct GroupBuilder {
     docs: Vec<DocSpan>,
     term_bytes: Vec<u8>,
@@ -169,11 +179,226 @@ impl GroupBuilder {
     }
 }
 
-/// Run parser Steps 2-5 over one batch of documents.
+/// Sentinel in the slot table: trie index has no builder this batch.
+const NO_BUILDER: u32 = u32::MAX;
+
+/// Cap on recycled `TrieGroup` husks kept for reuse; bounds the capacity a
+/// long-lived parser thread can pin.
+const MAX_SPARE_GROUPS: usize = 32_768;
+
+/// Cap on recycled whole-batch containers (`groups` lists / doc tables).
+const MAX_SPARE_BATCHES: usize = 4;
+
+/// Reusable parser working memory, owned by one parser thread and carried
+/// across container files.
+///
+/// Regrouping state is a flat `slot` table mapping each of the
+/// [`TRIE_ENTRIES`] trie indices to a live [`GroupBuilder`], with the
+/// `touched` list recording which slots are in use so the drain after each
+/// batch is sparse (proportional to distinct groups, not table size).
+/// Builders are recycled behind an `active` watermark, and [`Self::recycle`]
+/// harvests the `Vec`s of already-consumed [`ParsedBatch`]es so output
+/// capacity circulates back instead of being reallocated per file.
+pub struct ParseScratch {
+    /// trie index -> index into `builders`, or [`NO_BUILDER`].
+    slot: Box<[u32]>,
+    /// Trie indices with a live builder this batch.
+    touched: Vec<u32>,
+    /// Builder pool; `builders[..active]` are live this batch, the rest are
+    /// drained husks whose capacity is ready for reuse.
+    builders: Vec<GroupBuilder>,
+    active: usize,
+    /// Stemmer copy-on-write scratch.
+    stem_buf: StemBuf,
+    /// HTML tag-stripping output buffer.
+    text_buf: String,
+    /// Recycled per-group buffers from consumed batches.
+    spare_groups: Vec<TrieGroup>,
+    /// Recycled `ParsedBatch::groups` containers.
+    spare_group_lists: Vec<Vec<TrieGroup>>,
+    /// Recycled `ParsedBatch::doc_table` containers.
+    spare_doc_tables: Vec<Vec<(DocId, String)>>,
+}
+
+impl Default for ParseScratch {
+    fn default() -> Self {
+        ParseScratch {
+            slot: vec![NO_BUILDER; TRIE_ENTRIES].into_boxed_slice(),
+            touched: Vec::new(),
+            builders: Vec::new(),
+            active: 0,
+            stem_buf: StemBuf::new(),
+            text_buf: String::new(),
+            spare_groups: Vec::new(),
+            spare_group_lists: Vec::new(),
+            spare_doc_tables: Vec::new(),
+        }
+    }
+}
+
+impl ParseScratch {
+    /// Fresh scratch with an empty slot table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return a consumed batch's buffers to the scratch so the next parse
+    /// reuses their capacity. Contents are discarded; only allocations are
+    /// kept (bounded by [`MAX_SPARE_GROUPS`] / [`MAX_SPARE_BATCHES`]).
+    pub fn recycle(&mut self, batch: ParsedBatch) {
+        let ParsedBatch { mut doc_table, mut groups, .. } = batch;
+        if self.spare_doc_tables.len() < MAX_SPARE_BATCHES {
+            doc_table.clear();
+            self.spare_doc_tables.push(doc_table);
+        }
+        for mut g in groups.drain(..) {
+            if self.spare_groups.len() >= MAX_SPARE_GROUPS {
+                break;
+            }
+            g.docs.clear();
+            g.term_bytes.clear();
+            g.positions.clear();
+            self.spare_groups.push(g);
+        }
+        if self.spare_group_lists.len() < MAX_SPARE_BATCHES {
+            groups.clear();
+            self.spare_group_lists.push(groups);
+        }
+    }
+
+    /// Recover from a previous parse that unwound mid-batch (the pipeline
+    /// contains parser panics with `catch_unwind`, after which the thread's
+    /// scratch would otherwise hold stale builders).
+    fn reset_stale(&mut self) {
+        self.slot.fill(NO_BUILDER);
+        self.touched.clear();
+        for b in &mut self.builders {
+            b.docs.clear();
+            b.term_bytes.clear();
+            b.positions.clear();
+        }
+        self.active = 0;
+    }
+
+    /// Move the regrouped terms out of the builders into a sorted
+    /// `groups` list, resetting the slot table sparsely.
+    fn drain_groups(&mut self) -> Vec<TrieGroup> {
+        self.touched.sort_unstable();
+        let mut groups = self.spare_group_lists.pop().unwrap_or_default();
+        groups.reserve(self.touched.len());
+        for &ti in &self.touched {
+            let bi = self.slot[ti as usize];
+            self.slot[ti as usize] = NO_BUILDER;
+            let b = &mut self.builders[bi as usize];
+            // Swap the filled buffers out against a recycled husk so the
+            // builder keeps (recycled) capacity for the next batch.
+            let mut g = self.spare_groups.pop().unwrap_or_default();
+            g.trie_index = ti;
+            std::mem::swap(&mut g.docs, &mut b.docs);
+            std::mem::swap(&mut g.term_bytes, &mut b.term_bytes);
+            std::mem::swap(&mut g.positions, &mut b.positions);
+            groups.push(g);
+        }
+        self.touched.clear();
+        self.active = 0;
+        groups
+    }
+}
+
+/// Run parser Steps 2-5 over one batch of documents, reusing `scratch`.
 ///
 /// `html` selects tag stripping (web-crawl collections). Local doc IDs are
 /// assigned in input order starting at 0, matching Step 1's doc table.
+/// Steady state allocates only when the batch outgrows every previously
+/// recycled buffer.
+pub fn parse_documents_into(
+    scratch: &mut ParseScratch,
+    docs: &[RawDocument],
+    html: bool,
+    file_idx: usize,
+) -> ParsedBatch {
+    if !scratch.touched.is_empty() || scratch.active != 0 {
+        scratch.reset_stale();
+    }
+    let mut stats = ParseStats::default();
+    let mut doc_table = scratch.spare_doc_tables.pop().unwrap_or_default();
+    doc_table.reserve(docs.len());
+    {
+        let ParseScratch { slot, touched, builders, active, stem_buf, text_buf, .. } =
+            scratch;
+        for (local, d) in docs.iter().enumerate() {
+            let doc_id = DocId(local as u32);
+            doc_table.push((doc_id, d.url.clone()));
+            let text: &str = if html {
+                strip_tags_into(&d.body, text_buf);
+                text_buf
+            } else {
+                &d.body
+            };
+            let mut it = tokens(text);
+            let mut token_pos = 0u32;
+            while let Some(tok) = it.next_token() {
+                stats.tokens += 1;
+                let position = token_pos;
+                token_pos += 1;
+                // Step 3: stemming (copy-on-write into the scratch buffer).
+                let stemmed = stem_into(tok, stem_buf);
+                // Step 4: stop-word removal (post-stem, as in the paper).
+                if is_stop_word(stemmed) {
+                    continue;
+                }
+                // Step 5 classification: trie index + prefix strip. The
+                // paper computes the index during tokenization as a
+                // byproduct; we classify the stemmed form for exactness
+                // (stemming a 4-letter word down to 3 letters would
+                // otherwise change its category).
+                let (idx, suffix) = classify(stemmed);
+                stats.terms_kept += 1;
+                stats.chars += suffix.len() as u64;
+                let mut bi = slot[idx.0 as usize];
+                if bi == NO_BUILDER {
+                    bi = *active as u32;
+                    if *active == builders.len() {
+                        builders.push(GroupBuilder::default());
+                    }
+                    slot[idx.0 as usize] = bi;
+                    touched.push(idx.0);
+                    *active += 1;
+                }
+                builders[bi as usize].push(doc_id, suffix.as_bytes(), position);
+            }
+        }
+    }
+    let groups = scratch.drain_groups();
+    ParsedBatch { file_idx, num_docs: docs.len() as u32, doc_table, groups, stats }
+}
+
+/// Run parser Steps 2-5 over one batch of documents.
+///
+/// Convenience wrapper over [`parse_documents_into`] with a throwaway
+/// [`ParseScratch`]; pipeline threads keep a persistent scratch instead.
 pub fn parse_documents(docs: &[RawDocument], html: bool, file_idx: usize) -> ParsedBatch {
+    let mut scratch = ParseScratch::new();
+    parse_documents_into(&mut scratch, docs, html, file_idx)
+}
+
+/// The pre-optimization parser, retained as the differential-testing and
+/// benchmark baseline: per-batch `HashMap` regrouping over the naive
+/// tokenizer ([`crate::tokenize::tokens_reference`]), allocating stemmer
+/// ([`crate::porter::reference::stem`]), full-table stop lookup
+/// ([`crate::stopwords::is_stop_word_reference`]) and char-counting
+/// classifier ([`ii_dict::trie::classify_reference`]) — every piece the
+/// hot-path rewrite touched, frozen at its pre-rewrite form. Must produce
+/// byte-identical [`ParsedBatch`]es to [`parse_documents_into`].
+pub fn parse_documents_reference(
+    docs: &[RawDocument],
+    html: bool,
+    file_idx: usize,
+) -> ParsedBatch {
+    use crate::porter::reference::stem;
+    use crate::stopwords::is_stop_word_reference;
+    use crate::tokenize::tokens_reference;
+    use ii_dict::trie::classify_reference;
     let mut builders: HashMap<u32, GroupBuilder> = HashMap::new();
     let mut stats = ParseStats::default();
     let mut doc_table = Vec::with_capacity(docs.len());
@@ -182,32 +407,22 @@ pub fn parse_documents(docs: &[RawDocument], html: bool, file_idx: usize) -> Par
         doc_table.push((doc_id, d.url.clone()));
         let text: std::borrow::Cow<'_, str> =
             if html { strip_tags(&d.body).into() } else { (&d.body).into() };
-        let mut it = tokens(&text);
+        let mut it = tokens_reference(&text);
         let mut token_pos = 0u32;
         while let Some(tok) = it.next_token() {
             stats.tokens += 1;
             let position = token_pos;
             token_pos += 1;
-            // Step 3: stemming.
             let stemmed = stem(tok);
-            // Step 4: stop-word removal (post-stem, as in the paper).
-            if is_stop_word(&stemmed) {
+            if is_stop_word_reference(&stemmed) {
                 continue;
             }
-            // Step 5 classification: trie index + prefix strip. The paper
-            // computes the index during tokenization as a byproduct; we
-            // classify the stemmed form for exactness (stemming a 4-letter
-            // word down to 3 letters would otherwise change its category).
-            let (idx, suffix) = classify(&stemmed);
+            let (idx, suffix) = classify_reference(&stemmed);
             stats.terms_kept += 1;
             stats.chars += suffix.len() as u64;
             builders
                 .entry(idx.0)
-                .or_insert_with(|| GroupBuilder {
-                    docs: Vec::new(),
-                    term_bytes: Vec::new(),
-                    positions: Vec::new(),
-                })
+                .or_default()
                 .push(doc_id, suffix.as_bytes(), position);
         }
     }
@@ -235,6 +450,7 @@ pub fn parse_documents_flat(
 ) -> (Vec<(DocId, TrieIndex, String)>, ParseStats) {
     let mut out = Vec::new();
     let mut stats = ParseStats::default();
+    let mut stem_buf = StemBuf::new();
     for (local, d) in docs.iter().enumerate() {
         let doc_id = DocId(local as u32);
         let text: std::borrow::Cow<'_, str> =
@@ -242,11 +458,11 @@ pub fn parse_documents_flat(
         let mut it = tokens(&text);
         while let Some(tok) = it.next_token() {
             stats.tokens += 1;
-            let stemmed = stem(tok);
-            if is_stop_word(&stemmed) {
+            let stemmed = stem_into(tok, &mut stem_buf);
+            if is_stop_word(stemmed) {
                 continue;
             }
-            let (idx, suffix) = classify(&stemmed);
+            let (idx, suffix) = classify(stemmed);
             stats.terms_kept += 1;
             stats.chars += suffix.len() as u64;
             out.push((doc_id, idx, suffix.to_string()));
@@ -388,5 +604,48 @@ mod tests {
         assert_eq!(b.num_docs, 0);
         assert!(b.groups.is_empty());
         assert_eq!(b.stats, ParseStats::default());
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical_and_recycles_capacity() {
+        let batch_a = vec![doc("apple banana -42 Zebra"), doc("gamma delta gamma")];
+        let batch_b = vec![doc("<b>other</b> words entirely"), doc("apple once more")];
+        let mut scratch = ParseScratch::new();
+        for (i, (docs, html)) in
+            [(&batch_a, false), (&batch_b, true), (&batch_a, false)].iter().enumerate()
+        {
+            let fresh = parse_documents(docs, *html, i);
+            let reused = parse_documents_into(&mut scratch, docs, *html, i);
+            assert_eq!(fresh, reused, "batch {i} differs under scratch reuse");
+            // Feed buffers back as the pipeline consumer does.
+            scratch.recycle(reused);
+        }
+        assert!(!scratch.spare_groups.is_empty(), "recycle must harvest group buffers");
+    }
+
+    #[test]
+    fn reference_parser_agrees() {
+        let docs = vec![
+            doc("The QUICK brown -80 fox caf\u{e9} jumped"),
+            doc("running RUNNERS ran; stra\u{df}e"),
+        ];
+        assert_eq!(parse_documents(&docs, false, 7), parse_documents_reference(&docs, false, 7));
+        assert_eq!(parse_documents(&docs, true, 7), parse_documents_reference(&docs, true, 7));
+    }
+
+    #[test]
+    fn scratch_recovers_from_poisoned_state() {
+        // Simulate a parse that unwound mid-batch leaving stale builders.
+        let mut scratch = ParseScratch::new();
+        let docs = vec![doc("alpha beta")];
+        let _ = parse_documents_into(&mut scratch, &docs, false, 0);
+        scratch.touched.push(3);
+        scratch.slot[3] = 0;
+        scratch.active = 1;
+        scratch.builders[0].positions.push(9);
+        let clean = parse_documents_into(&mut scratch, &docs, false, 1);
+        let mut expect = parse_documents(&docs, false, 1);
+        expect.file_idx = 1;
+        assert_eq!(clean, expect);
     }
 }

@@ -9,6 +9,20 @@
 //! Only pure lowercase ASCII alphabetic words are stemmed; anything else
 //! (numbers, hyphenated or accented tokens) passes through unchanged, which
 //! matches how such tokens land in the dictionary's "special" collections.
+//!
+//! Two entry points share one core:
+//!
+//! * [`stem_into`] — the hot-path API. The stemmer copies the word into
+//!   the caller's reusable [`StemBuf`] once (a short memcpy — far cheaper
+//!   than branching on buffer-vs-input for every byte the rules inspect)
+//!   and works contiguously. Words that only lose a suffix (or are
+//!   untouched) are still returned as a borrowed prefix of the *input*, so
+//!   downstream comparisons and stop-word probes read the original bytes.
+//! * [`stem`] — the original `Cow` API, retained for callers that need an
+//!   owned result; it delegates to the same core over a stack buffer.
+//!
+//! The pre-optimization `Vec`-per-word implementation is retained verbatim
+//! in [`reference`] as the differential-testing and benchmark baseline.
 
 // The step functions mirror Porter's reference C implementation
 // case-for-case; collapsing matches or merging identical arms would
@@ -17,39 +31,127 @@
 
 use std::borrow::Cow;
 
+/// Fixed scratch size covering every realistic word; longer words grow the
+/// buffer once and keep the larger capacity.
+pub const STEM_BUF_LEN: usize = 256;
+
+/// Reusable scratch for [`stem_into`]. One per thread (or per
+/// `ParseScratch`); steady-state stemming performs no allocation.
+pub struct StemBuf {
+    bytes: Vec<u8>,
+}
+
+impl Default for StemBuf {
+    fn default() -> Self {
+        StemBuf { bytes: vec![0; STEM_BUF_LEN] }
+    }
+}
+
+impl StemBuf {
+    /// A fresh buffer with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Stem a single token into caller-owned scratch. Tokens must already be
+/// lowercased. Returns a borrow of `word` (often a shortened prefix) when
+/// no rewrite rule edited any byte, and a borrow of `buf` otherwise —
+/// never allocating on the hot path.
+pub fn stem_into<'a>(word: &'a str, buf: &'a mut StemBuf) -> &'a str {
+    let b = word.as_bytes();
+    if b.len() <= 2 || !b.iter().all(u8::is_ascii_lowercase) {
+        return word;
+    }
+    if buf.bytes.len() < b.len() {
+        buf.bytes.resize(b.len(), 0);
+    }
+    let (k, dirty) = stem_run(b, &mut buf.bytes);
+    if dirty {
+        std::str::from_utf8(&buf.bytes[..=k]).expect("stemmer output is ascii")
+    } else {
+        &word[..=k]
+    }
+}
+
 /// Stem a single token. Tokens must already be lowercased.
+///
+/// Compatibility wrapper over the in-place core: borrowed when unchanged,
+/// owned otherwise.
 pub fn stem(word: &str) -> Cow<'_, str> {
     let b = word.as_bytes();
     if b.len() <= 2 || !b.iter().all(u8::is_ascii_lowercase) {
         return Cow::Borrowed(word);
     }
-    let mut s = Stemmer { b: b.to_vec(), k: b.len() - 1, j: 0 };
+    let mut stack = [0u8; STEM_BUF_LEN];
+    let mut heap;
+    let buf: &mut [u8] = if b.len() <= STEM_BUF_LEN {
+        &mut stack
+    } else {
+        heap = vec![0u8; b.len()];
+        &mut heap
+    };
+    let (k, dirty) = stem_run(b, buf);
+    if !dirty {
+        if k + 1 == b.len() {
+            Cow::Borrowed(word)
+        } else {
+            Cow::Owned(word[..=k].to_string())
+        }
+    } else {
+        Cow::Owned(
+            String::from_utf8(buf[..=k].to_vec()).expect("stemmer output is ascii"),
+        )
+    }
+}
+
+/// Run all five steps over `src` (lowercase ASCII, len >= 3) using `buf`
+/// (`buf.len() >= src.len()`) as working storage. `src` is copied into
+/// `buf` once up front and the rules run contiguously — one short memcpy
+/// beats a per-byte-access branch across the thousands of byte inspections
+/// the rules perform. Returns the final end index `k` and whether any rule
+/// *edited* a byte; while clean, `src[..=k]` equals `buf[..=k]`, so the
+/// caller can hand out a borrow of the original input.
+///
+/// Porter's rules never grow a word past its original length (every
+/// `setto` replaces a longer or equal suffix, and step 1b's restorations
+/// re-add at most one of the >= 2 bytes just removed), so `src.len()`
+/// bytes of scratch always suffice.
+fn stem_run(src: &[u8], buf: &mut [u8]) -> (usize, bool) {
+    let n = src.len();
+    buf[..n].copy_from_slice(src);
+    let mut s = Stemmer { b: &mut buf[..n], mutated: false, k: n - 1, j: 0 };
     s.step1ab();
     s.step1c();
     s.step2();
     s.step3();
     s.step4();
     s.step5();
-    if s.k + 1 == b.len() && s.b[..=s.k] == *b {
-        Cow::Borrowed(word)
-    } else {
-        Cow::Owned(String::from_utf8(s.b[..=s.k].to_vec()).expect("stemmer output is ascii"))
-    }
+    (s.k, s.mutated)
 }
 
-/// Working state mirroring the reference C implementation: `b[0..=k]` is
-/// the live word, `j` (signed, may be -1) is the stem end set by `ends`.
-struct Stemmer {
-    b: Vec<u8>,
+/// Working state mirroring the reference C implementation: the live word
+/// is `b[0..=k]`; `j` (signed, may be -1) is the stem end set by `ends`;
+/// `mutated` records whether any rewrite rule edited a byte (pure
+/// truncations leave `b[..=k]` equal to the input prefix).
+struct Stemmer<'b> {
+    b: &'b mut [u8],
+    mutated: bool,
     k: usize,
     j: isize,
 }
 
-impl Stemmer {
+impl Stemmer<'_> {
+    /// Byte `i` of the live word.
+    #[inline]
+    fn at(&self, i: usize) -> u8 {
+        self.b[i]
+    }
+
     /// Is `b[i]` a consonant? 'y' is a consonant at position 0 or after a
     /// vowel, and a vowel after a consonant.
     fn cons(&self, i: usize) -> bool {
-        match self.b[i] {
+        match self.at(i) {
             b'a' | b'e' | b'i' | b'o' | b'u' => false,
             b'y' => i == 0 || !self.cons(i - 1),
             _ => true,
@@ -103,7 +205,7 @@ impl Stemmer {
 
     /// Is there a double consonant ending at `i`?
     fn doublec(&self, i: usize) -> bool {
-        i >= 1 && self.b[i] == self.b[i - 1] && self.cons(i)
+        i >= 1 && self.at(i) == self.at(i - 1) && self.cons(i)
     }
 
     /// consonant-vowel-consonant ending at `i`, final consonant not w/x/y.
@@ -116,13 +218,13 @@ impl Stemmer {
         if !self.cons(i) || self.cons(i - 1) || !self.cons(i - 2) {
             return false;
         }
-        !matches!(self.b[i], b'w' | b'x' | b'y')
+        !matches!(self.at(i), b'w' | b'x' | b'y')
     }
 
     /// Does `b[0..=k]` end with `s`? Sets `j` to the stem end on success.
     fn ends(&mut self, s: &[u8]) -> bool {
         let l = s.len();
-        if l > self.k + 1 || &self.b[self.k + 1 - l..=self.k] != s {
+        if l > self.k + 1 || self.b[self.k + 1 - l..=self.k] != *s {
             return false;
         }
         self.j = self.k as isize - l as isize;
@@ -131,8 +233,9 @@ impl Stemmer {
 
     /// Replace `b[j+1..=k]` with `s` and fix up `k`.
     fn setto(&mut self, s: &[u8]) {
-        self.b.truncate((self.j + 1) as usize);
-        self.b.extend_from_slice(s);
+        self.mutated = true;
+        let start = (self.j + 1) as usize;
+        self.b[start..start + s.len()].copy_from_slice(s);
         self.k = (self.j + s.len() as isize) as usize;
     }
 
@@ -145,12 +248,12 @@ impl Stemmer {
 
     /// Step 1a (plurals) and 1b (-eed / -ed / -ing with cleanup).
     fn step1ab(&mut self) {
-        if self.b[self.k] == b's' {
+        if self.at(self.k) == b's' {
             if self.ends(b"sses") {
                 self.k -= 2;
             } else if self.ends(b"ies") {
                 self.setto(b"i");
-            } else if self.b[self.k - 1] != b's' {
+            } else if self.at(self.k - 1) != b's' {
                 self.k -= 1;
             }
         }
@@ -169,7 +272,7 @@ impl Stemmer {
             } else if self.doublec(self.k) {
                 // hopp -> hop, but fall/hiss/fizz keep the double letter.
                 self.k -= 1;
-                if matches!(self.b[self.k], b'l' | b's' | b'z') {
+                if matches!(self.at(self.k), b'l' | b's' | b'z') {
                     self.k += 1;
                 }
             } else if self.m() == 1 && self.cvc(self.k as isize) {
@@ -177,14 +280,14 @@ impl Stemmer {
                 self.setto(b"e");
             }
         }
-        self.b.truncate(self.k + 1);
     }
 
     /// Step 1c: terminal y -> i when the stem contains a vowel.
     fn step1c(&mut self) {
-        if self.b[self.k] == b'y' {
+        if self.at(self.k) == b'y' {
             self.j = self.k as isize - 1;
             if self.vowel_in_stem() {
+                self.mutated = true;
                 self.b[self.k] = b'i';
             }
         }
@@ -195,7 +298,7 @@ impl Stemmer {
         if self.k < 1 {
             return;
         }
-        match self.b[self.k - 1] {
+        match self.at(self.k - 1) {
             b'a' => {
                 if self.ends(b"ational") {
                     self.r(b"ate");
@@ -263,7 +366,7 @@ impl Stemmer {
 
     /// Step 3: -icate/-ative/-alize/-iciti/-ical/-ful/-ness, when m > 0.
     fn step3(&mut self) {
-        match self.b[self.k] {
+        match self.at(self.k) {
             b'e' => {
                 if self.ends(b"icate") {
                     self.r(b"ic");
@@ -299,7 +402,7 @@ impl Stemmer {
         if self.k < 1 {
             return;
         }
-        let matched = match self.b[self.k - 1] {
+        let matched = match self.at(self.k - 1) {
             b'a' => self.ends(b"al"),
             b'c' => self.ends(b"ance") || self.ends(b"ence"),
             b'e' => self.ends(b"er"),
@@ -314,7 +417,7 @@ impl Stemmer {
             b'o' => {
                 (self.ends(b"ion")
                     && self.j >= 0
-                    && matches!(self.b[self.j as usize], b's' | b't'))
+                    && matches!(self.at(self.j as usize), b's' | b't'))
                     || self.ends(b"ou")
             }
             b's' => self.ends(b"ism"),
@@ -326,7 +429,6 @@ impl Stemmer {
         };
         if matched && self.m() > 1 {
             self.k = self.j as usize;
-            self.b.truncate(self.k + 1);
         }
     }
 
@@ -335,16 +437,334 @@ impl Stemmer {
     /// is set once at entry.
     fn step5(&mut self) {
         self.j = self.k as isize;
-        if self.b[self.k] == b'e' {
+        if self.at(self.k) == b'e' {
             let a = self.m();
             if a > 1 || (a == 1 && !self.cvc(self.k as isize - 1)) {
                 self.k -= 1;
             }
         }
-        if self.b[self.k] == b'l' && self.doublec(self.k) && self.m() > 1 {
+        if self.at(self.k) == b'l' && self.doublec(self.k) && self.m() > 1 {
             self.k -= 1;
         }
-        self.b.truncate(self.k + 1);
+    }
+}
+
+/// The pre-optimization stemmer, retained verbatim as the differential
+/// baseline: it heap-copies every candidate word into a `Vec` before
+/// applying the exact same rules. Tests assert [`stem_into`] agrees with
+/// it byte-for-byte; the `parse_hotpath` benchmark measures against it.
+pub mod reference {
+    use std::borrow::Cow;
+
+    /// Stem a single token (naive allocating implementation).
+    pub fn stem(word: &str) -> Cow<'_, str> {
+        let b = word.as_bytes();
+        if b.len() <= 2 || !b.iter().all(u8::is_ascii_lowercase) {
+            return Cow::Borrowed(word);
+        }
+        let mut s = Stemmer { b: b.to_vec(), k: b.len() - 1, j: 0 };
+        s.step1ab();
+        s.step1c();
+        s.step2();
+        s.step3();
+        s.step4();
+        s.step5();
+        if s.k + 1 == b.len() && s.b[..=s.k] == *b {
+            Cow::Borrowed(word)
+        } else {
+            Cow::Owned(
+                String::from_utf8(s.b[..=s.k].to_vec()).expect("stemmer output is ascii"),
+            )
+        }
+    }
+
+    struct Stemmer {
+        b: Vec<u8>,
+        k: usize,
+        j: isize,
+    }
+
+    impl Stemmer {
+        fn cons(&self, i: usize) -> bool {
+            match self.b[i] {
+                b'a' | b'e' | b'i' | b'o' | b'u' => false,
+                b'y' => i == 0 || !self.cons(i - 1),
+                _ => true,
+            }
+        }
+
+        fn m(&self) -> usize {
+            let mut n = 0usize;
+            let mut i: isize = 0;
+            loop {
+                if i > self.j {
+                    return n;
+                }
+                if !self.cons(i as usize) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            loop {
+                loop {
+                    if i > self.j {
+                        return n;
+                    }
+                    if self.cons(i as usize) {
+                        break;
+                    }
+                    i += 1;
+                }
+                i += 1;
+                n += 1;
+                loop {
+                    if i > self.j {
+                        return n;
+                    }
+                    if !self.cons(i as usize) {
+                        break;
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+        }
+
+        fn vowel_in_stem(&self) -> bool {
+            (0..=self.j).any(|i| !self.cons(i as usize))
+        }
+
+        fn doublec(&self, i: usize) -> bool {
+            i >= 1 && self.b[i] == self.b[i - 1] && self.cons(i)
+        }
+
+        fn cvc(&self, i: isize) -> bool {
+            if i < 2 {
+                return false;
+            }
+            let i = i as usize;
+            if !self.cons(i) || self.cons(i - 1) || !self.cons(i - 2) {
+                return false;
+            }
+            !matches!(self.b[i], b'w' | b'x' | b'y')
+        }
+
+        fn ends(&mut self, s: &[u8]) -> bool {
+            let l = s.len();
+            if l > self.k + 1 || &self.b[self.k + 1 - l..=self.k] != s {
+                return false;
+            }
+            self.j = self.k as isize - l as isize;
+            true
+        }
+
+        fn setto(&mut self, s: &[u8]) {
+            self.b.truncate((self.j + 1) as usize);
+            self.b.extend_from_slice(s);
+            self.k = (self.j + s.len() as isize) as usize;
+        }
+
+        fn r(&mut self, s: &[u8]) {
+            if self.m() > 0 {
+                self.setto(s);
+            }
+        }
+
+        fn step1ab(&mut self) {
+            if self.b[self.k] == b's' {
+                if self.ends(b"sses") {
+                    self.k -= 2;
+                } else if self.ends(b"ies") {
+                    self.setto(b"i");
+                } else if self.b[self.k - 1] != b's' {
+                    self.k -= 1;
+                }
+            }
+            if self.ends(b"eed") {
+                if self.m() > 0 {
+                    self.k -= 1;
+                }
+            } else if (self.ends(b"ed") || self.ends(b"ing")) && self.vowel_in_stem() {
+                self.k = self.j as usize;
+                if self.ends(b"at") {
+                    self.setto(b"ate");
+                } else if self.ends(b"bl") {
+                    self.setto(b"ble");
+                } else if self.ends(b"iz") {
+                    self.setto(b"ize");
+                } else if self.doublec(self.k) {
+                    self.k -= 1;
+                    if matches!(self.b[self.k], b'l' | b's' | b'z') {
+                        self.k += 1;
+                    }
+                } else if self.m() == 1 && self.cvc(self.k as isize) {
+                    self.j = self.k as isize;
+                    self.setto(b"e");
+                }
+            }
+            self.b.truncate(self.k + 1);
+        }
+
+        fn step1c(&mut self) {
+            if self.b[self.k] == b'y' {
+                self.j = self.k as isize - 1;
+                if self.vowel_in_stem() {
+                    self.b[self.k] = b'i';
+                }
+            }
+        }
+
+        fn step2(&mut self) {
+            if self.k < 1 {
+                return;
+            }
+            match self.b[self.k - 1] {
+                b'a' => {
+                    if self.ends(b"ational") {
+                        self.r(b"ate");
+                    } else if self.ends(b"tional") {
+                        self.r(b"tion");
+                    }
+                }
+                b'c' => {
+                    if self.ends(b"enci") {
+                        self.r(b"ence");
+                    } else if self.ends(b"anci") {
+                        self.r(b"ance");
+                    }
+                }
+                b'e' => {
+                    if self.ends(b"izer") {
+                        self.r(b"ize");
+                    }
+                }
+                b'l' => {
+                    if self.ends(b"abli") {
+                        self.r(b"able");
+                    } else if self.ends(b"alli") {
+                        self.r(b"al");
+                    } else if self.ends(b"entli") {
+                        self.r(b"ent");
+                    } else if self.ends(b"eli") {
+                        self.r(b"e");
+                    } else if self.ends(b"ousli") {
+                        self.r(b"ous");
+                    }
+                }
+                b'o' => {
+                    if self.ends(b"ization") {
+                        self.r(b"ize");
+                    } else if self.ends(b"ation") {
+                        self.r(b"ate");
+                    } else if self.ends(b"ator") {
+                        self.r(b"ate");
+                    }
+                }
+                b's' => {
+                    if self.ends(b"alism") {
+                        self.r(b"al");
+                    } else if self.ends(b"iveness") {
+                        self.r(b"ive");
+                    } else if self.ends(b"fulness") {
+                        self.r(b"ful");
+                    } else if self.ends(b"ousness") {
+                        self.r(b"ous");
+                    }
+                }
+                b't' => {
+                    if self.ends(b"aliti") {
+                        self.r(b"al");
+                    } else if self.ends(b"iviti") {
+                        self.r(b"ive");
+                    } else if self.ends(b"biliti") {
+                        self.r(b"ble");
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn step3(&mut self) {
+            match self.b[self.k] {
+                b'e' => {
+                    if self.ends(b"icate") {
+                        self.r(b"ic");
+                    } else if self.ends(b"ative") {
+                        self.r(b"");
+                    } else if self.ends(b"alize") {
+                        self.r(b"al");
+                    }
+                }
+                b'i' => {
+                    if self.ends(b"iciti") {
+                        self.r(b"ic");
+                    }
+                }
+                b'l' => {
+                    if self.ends(b"ical") {
+                        self.r(b"ic");
+                    } else if self.ends(b"ful") {
+                        self.r(b"");
+                    }
+                }
+                b's' => {
+                    if self.ends(b"ness") {
+                        self.r(b"");
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn step4(&mut self) {
+            if self.k < 1 {
+                return;
+            }
+            let matched = match self.b[self.k - 1] {
+                b'a' => self.ends(b"al"),
+                b'c' => self.ends(b"ance") || self.ends(b"ence"),
+                b'e' => self.ends(b"er"),
+                b'i' => self.ends(b"ic"),
+                b'l' => self.ends(b"able") || self.ends(b"ible"),
+                b'n' => {
+                    self.ends(b"ant")
+                        || self.ends(b"ement")
+                        || self.ends(b"ment")
+                        || self.ends(b"ent")
+                }
+                b'o' => {
+                    (self.ends(b"ion")
+                        && self.j >= 0
+                        && matches!(self.b[self.j as usize], b's' | b't'))
+                        || self.ends(b"ou")
+                }
+                b's' => self.ends(b"ism"),
+                b't' => self.ends(b"ate") || self.ends(b"iti"),
+                b'u' => self.ends(b"ous"),
+                b'v' => self.ends(b"ive"),
+                b'z' => self.ends(b"ize"),
+                _ => false,
+            };
+            if matched && self.m() > 1 {
+                self.k = self.j as usize;
+                self.b.truncate(self.k + 1);
+            }
+        }
+
+        fn step5(&mut self) {
+            self.j = self.k as isize;
+            if self.b[self.k] == b'e' {
+                let a = self.m();
+                if a > 1 || (a == 1 && !self.cvc(self.k as isize - 1)) {
+                    self.k -= 1;
+                }
+            }
+            if self.b[self.k] == b'l' && self.doublec(self.k) && self.m() > 1 {
+                self.k -= 1;
+            }
+            self.b.truncate(self.k + 1);
+        }
     }
 }
 
@@ -501,5 +921,42 @@ mod tests {
             let n = st.len().min(3).min(w.len());
             assert_eq!(&st[..n], &w[..n]);
         }
+    }
+
+    #[test]
+    fn stem_into_agrees_with_reference() {
+        let mut buf = StemBuf::new();
+        for w in [
+            "caresses", "ponies", "ties", "cats", "feed", "agreed", "hopping", "happy",
+            "relational", "vietnamization", "parallelize", "sky", "the", "zo\u{e9}",
+            "-80", "a", "", "controll", "sensibiliti", "filing",
+        ] {
+            assert_eq!(stem_into(w, &mut buf), reference::stem(w).as_ref(), "word {w:?}");
+            assert_eq!(stem(w), reference::stem(w), "cow api, word {w:?}");
+        }
+    }
+
+    #[test]
+    fn stem_into_truncation_borrows_from_input() {
+        // Suffix-only stemming must return a prefix of the input without
+        // touching the buffer (the zero-copy fast path).
+        let mut buf = StemBuf::new();
+        let w = "plastered";
+        let out = stem_into(w, &mut buf);
+        assert_eq!(out, "plaster");
+        assert_eq!(out.as_ptr(), w.as_ptr(), "truncation must borrow the input");
+        // Unchanged words borrow wholesale.
+        let w = "zebra";
+        let out = stem_into(w, &mut buf);
+        assert_eq!(out.as_ptr(), w.as_ptr());
+    }
+
+    #[test]
+    fn stem_into_handles_words_longer_than_default_buffer() {
+        let mut buf = StemBuf::new();
+        let long = "z".repeat(STEM_BUF_LEN * 2);
+        assert_eq!(stem_into(&long, &mut buf), reference::stem(&long).as_ref());
+        let long_ing = format!("{}ing", "ab".repeat(STEM_BUF_LEN));
+        assert_eq!(stem_into(&long_ing, &mut buf), reference::stem(&long_ing).as_ref());
     }
 }

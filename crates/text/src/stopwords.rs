@@ -5,6 +5,12 @@
 //! their stems ("thi"). We build one sorted table containing the classic
 //! stop list plus the Porter stem of every entry, and answer membership by
 //! binary search.
+//!
+//! Because this runs once per kept token, the lookup front-loads two cheap
+//! rejects — a length cap (no stop word exceeds [`max_stop_len`]) and a
+//! (first letter, length) bucket — so the common case (a content word)
+//! usually exits before any string comparison, and a hit scans at most a
+//! handful of same-length candidates.
 
 use crate::porter;
 use std::sync::OnceLock;
@@ -25,8 +31,24 @@ pub const STOP_WORDS: &[&str] = &[
     "yours", "yourself", "yourselves",
 ];
 
-fn table() -> &'static Vec<&'static str> {
-    static TABLE: OnceLock<Vec<&'static str>> = OnceLock::new();
+struct StopTable {
+    /// All surface forms plus their stems, deduped and sorted by
+    /// (first letter, length, bytes) so each bucket is a contiguous run.
+    words: Vec<&'static str>,
+    /// Half-open `words` range per (first letter, length) pair, indexed by
+    /// `(letter - 'a') * (max_len + 1) + len`. Every entry starts with a
+    /// lowercase letter, so one byte plus the length picks a slice of at
+    /// most a handful of candidates.
+    buckets: Vec<(u16, u16)>,
+    /// Length of the longest entry — anything longer is never a stop word.
+    max_len: usize,
+    /// The same entries sorted lexicographically, for the retained
+    /// pre-optimization lookup ([`is_stop_word_reference`]).
+    sorted: Vec<&'static str>,
+}
+
+fn table() -> &'static StopTable {
+    static TABLE: OnceLock<StopTable> = OnceLock::new();
     TABLE.get_or_init(|| {
         let mut v: Vec<&'static str> = Vec::with_capacity(STOP_WORDS.len() * 2);
         v.extend_from_slice(STOP_WORDS);
@@ -37,20 +59,72 @@ fn table() -> &'static Vec<&'static str> {
                 v.push(Box::leak(stemmed.into_owned().into_boxed_str()));
             }
         }
-        v.sort_unstable();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        v.sort_unstable_by_key(|w| (w.as_bytes()[0], w.len(), *w));
         v.dedup();
-        v
+        let max_len = v.iter().map(|w| w.len()).max().unwrap_or(0);
+        let mut buckets = vec![(0u16, 0u16); 26 * (max_len + 1)];
+        let mut i = 0;
+        while i < v.len() {
+            let key = bucket_index(v[i].as_bytes()[0], v[i].len(), max_len);
+            let start = i;
+            while i < v.len()
+                && bucket_index(v[i].as_bytes()[0], v[i].len(), max_len) == key
+            {
+                i += 1;
+            }
+            buckets[key] = (start as u16, i as u16);
+        }
+        StopTable { words: v, buckets, max_len, sorted }
     })
+}
+
+#[inline]
+fn bucket_index(first: u8, len: usize, max_len: usize) -> usize {
+    (first - b'a') as usize * (max_len + 1) + len
+}
+
+/// Longest stop word (surface or stemmed) in the table.
+pub fn max_stop_len() -> usize {
+    table().max_len
 }
 
 /// Is `term` (surface or stemmed form) a stop word?
 pub fn is_stop_word(term: &str) -> bool {
-    table().binary_search(&term).is_ok()
+    let t = table();
+    let b = term.as_bytes();
+    if b.is_empty() || b.len() > t.max_len || !b[0].is_ascii_lowercase() {
+        return false;
+    }
+    let (start, end) = t.buckets[bucket_index(b[0], b.len(), t.max_len)];
+    t.words[start as usize..end as usize]
+        .iter()
+        .any(|w| w.as_bytes() == b)
+}
+
+/// The pre-optimization lookup, retained verbatim as the differential and
+/// benchmark baseline: a plain binary search over the full sorted table,
+/// with no length or first-letter rejects. Must agree with
+/// [`is_stop_word`] on every input.
+pub fn is_stop_word_reference(term: &str) -> bool {
+    table().sorted.binary_search(&term).is_ok()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reference_lookup_agrees() {
+        let t = table();
+        for w in t.words.iter().chain(
+            ["computer", "index", "the", "thi", "954", "", "-80", "zzzz"].iter(),
+        ) {
+            assert_eq!(is_stop_word(w), is_stop_word_reference(w), "word {w:?}");
+        }
+    }
 
     #[test]
     fn classic_stop_words_match() {
@@ -70,7 +144,7 @@ mod tests {
 
     #[test]
     fn content_words_pass() {
-        for w in ["computer", "index", "parallel", "gpu", "zebra", "954"] {
+        for w in ["computer", "index", "parallel", "gpu", "zebra", "954", "", "-80", "\u{e9}"] {
             assert!(!is_stop_word(w), "{w} should not be a stop word");
         }
     }
@@ -78,8 +152,21 @@ mod tests {
     #[test]
     fn table_is_sorted_and_deduped() {
         let t = table();
-        for w in t.windows(2) {
-            assert!(w[0] < w[1], "table must be strictly sorted: {w:?}");
+        for w in t.words.windows(2) {
+            let ka = (w[0].as_bytes()[0], w[0].len(), w[0]);
+            let kb = (w[1].as_bytes()[0], w[1].len(), w[1]);
+            assert!(ka < kb, "table must be strictly sorted by bucket key: {w:?}");
         }
+    }
+
+    #[test]
+    fn buckets_cover_whole_table() {
+        // Every table entry must be reachable through its bucket, i.e. the
+        // fast-path lookup agrees with a plain full-table binary search.
+        let t = table();
+        for w in &t.words {
+            assert!(is_stop_word(w), "{w} lost by bucketed lookup");
+        }
+        assert!(t.max_len >= 10, "ourselves/themselves are 9-10 chars");
     }
 }

@@ -118,3 +118,41 @@ fn pipeline_agrees_with_sort_based_baseline() {
     );
     std::fs::remove_dir_all(dir).unwrap();
 }
+
+/// Serialized run files keyed by (indexer, run id).
+type RunBytes = Vec<(u32, u32, Vec<u8>)>;
+
+/// Serialized index bytes: dictionary, every run file, and the doc map.
+fn index_bytes(out: &IndexOutput) -> (Vec<u8>, RunBytes, Vec<u8>) {
+    let mut runs: RunBytes = out
+        .run_sets
+        .iter()
+        .flat_map(|(id, rs)| rs.runs().iter().map(|r| (*id, r.run_id, r.to_bytes())))
+        .collect();
+    runs.sort();
+    let mut dm = Vec::new();
+    out.doc_map.write_to(&mut dm).unwrap();
+    (out.dict_bytes.clone(), runs, dm)
+}
+
+/// The PR-4 hot-path contract: a full `build_index` through the
+/// zero-allocation parser is byte-identical — dictionary bytes, every run
+/// file, doc map, and the logical term → postings view — to one through
+/// the retained naive reference parser.
+#[test]
+fn optimized_and_reference_parsers_build_identical_indexes() {
+    let (coll, dir) = stored("ref-parser");
+    let optimized = build_index(&coll, &PipelineConfig::small(2, 1, 1)).expect("hot-path build");
+    let reference = build_index(
+        &coll,
+        &PipelineConfig { reference_parser: true, ..PipelineConfig::small(2, 1, 1) },
+    )
+    .expect("reference build");
+    assert_eq!(
+        index_bytes(&optimized),
+        index_bytes(&reference),
+        "hot-path parser changed the serialized index"
+    );
+    assert_eq!(pipeline_fingerprint(&optimized), pipeline_fingerprint(&reference));
+    std::fs::remove_dir_all(dir).unwrap();
+}
