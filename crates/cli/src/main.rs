@@ -4,7 +4,8 @@
 //! ii generate <dir> [--preset clueweb|wikipedia|congress|tiny] [--scale F] [--seed N]
 //! ii build    <collection-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]
 //!             [--max-retries N] [--on-fault fail|skip] [--checkpoint-every N] [--resume]
-//!             [--stats] [--stats-json]
+//!             [--stats] [--stats-json] [--trace trace.json]
+//! ii trace    report <trace.json> [--check]
 //! ii verify   <index-dir>
 //! ii repair   <index-dir>
 //! ii query    <index-dir> <terms...>
@@ -17,6 +18,7 @@ use ii_core::corpus::{CollectionSpec, DocId, StoredCollection};
 use ii_core::pipeline::FaultAction;
 use ii_core::platsim::{simulate, CollectionModel, PlatformModel, Scenario};
 use ii_core::{Index, IndexBuilder};
+use ii_obs::{Trace, TraceReport};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("repair") => cmd_repair(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
@@ -65,7 +68,12 @@ fn usage() {
          skip quarantines it and indexes the rest\n        \
          [--checkpoint-every N] commits a resumable checkpoint every N runs (default 8)\n        \
          [--resume] continues an interrupted build from its last checkpoint\n        \
-         [--stats] prints the per-stage breakdown; [--stats-json] the raw snapshot\n  \
+         [--stats] prints the per-stage breakdown; [--stats-json] the raw snapshot\n        \
+         [--trace trace.json] records per-worker event timelines\n        \
+         (Chrome/Perfetto format; inspect with 'ii trace report')\n  \
+         trace report <trace.json> [--check]                  per-worker utilization, stall\n        \
+         attribution, and an ASCII timeline from a recorded trace; --check\n        \
+         additionally enforces the trace invariants and exits non-zero on failure\n  \
          verify <index-dir>                                   checksum + dictionary invariants\n  \
          repair <index-dir>                                   salvage intact artifacts, report losses\n  \
          query <index-dir> <terms...>                         conjunctive search\n  \
@@ -88,10 +96,30 @@ fn flag_usize(args: &[String], name: &str, default: usize) -> Result<usize, Stri
 }
 
 /// Flags that take no value (everything else consumes the next argument).
-const BOOL_FLAGS: &[&str] = &["--stats", "--stats-json", "--resume"];
+const BOOL_FLAGS: &[&str] = &["--stats", "--stats-json", "--resume", "--check"];
 
 fn bool_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Reject any `--flag` the command does not understand. Silently ignoring
+/// unknown flags hid typos like `--parser 8` (which ran a 2-parser build
+/// and skewed every number derived from it), so each command declares its
+/// flag set and anything else is an error.
+fn check_flags(args: &[String], allowed: &[&str]) -> Result<(), String> {
+    for a in args {
+        if a.starts_with("--") && !allowed.contains(&a.as_str()) {
+            return Err(format!(
+                "unknown flag '{a}'{}",
+                if allowed.is_empty() {
+                    " (this command takes no flags)".to_string()
+                } else {
+                    format!(" (expected one of: {})", allowed.join(", "))
+                }
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn positional(args: &[String]) -> Vec<&String> {
@@ -112,6 +140,7 @@ fn positional(args: &[String]) -> Vec<&String> {
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--preset", "--scale", "--seed"])?;
     let pos = positional(args);
     let dir = pos.first().ok_or("generate: missing <dir>")?;
     let scale: f64 = flag(args, "--scale").map_or(Ok(0.5), |v| {
@@ -142,6 +171,22 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
+    check_flags(
+        args,
+        &[
+            "--parsers",
+            "--cpu",
+            "--gpus",
+            "--popular",
+            "--max-retries",
+            "--on-fault",
+            "--checkpoint-every",
+            "--resume",
+            "--stats",
+            "--stats-json",
+            "--trace",
+        ],
+    )?;
     let pos = positional(args);
     let [coll_dir, index_dir] = pos.as_slice() else {
         return Err("build: need <collection-dir> <index-dir>".into());
@@ -158,6 +203,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     };
     let checkpoint_every = flag_usize(args, "--checkpoint-every", 8)?;
     let resume = bool_flag(args, "--resume");
+    let trace_path = flag(args, "--trace");
     // The build itself is durable: sealed runs, the doc map, and indexer
     // dictionary shards are committed atomically every `checkpoint_every`
     // runs, and the final index commit replaces the checkpoint — so a
@@ -169,6 +215,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         .popular_count(popular)
         .max_retries(max_retries)
         .on_fault(on_fault)
+        .tracing(trace_path.is_some())
         .build_dir_durable(Path::new(coll_dir), Path::new(index_dir), checkpoint_every, resume)
         .map_err(|e| format!("build failed: {e}"))?;
     let r = &index.report;
@@ -195,11 +242,51 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     if bool_flag(args, "--stats") {
         println!("\nper-stage breakdown (Table V / Fig 9):");
         print!("{}", r.stages.render_table());
+        let queue_wait: f64 = r.per_file.iter().map(|f| f.queue_wait_seconds).sum();
+        println!(
+            "indexer queue wait: {queue_wait:.3}s across {} files (driver idle on parsers)",
+            r.per_file.len()
+        );
     }
     if bool_flag(args, "--stats-json") {
         println!("{}", r.stages.snapshot.to_json());
     }
+    if let Some(path) = &trace_path {
+        let tr = r.trace.as_ref().ok_or("build finished without a trace (internal error)")?;
+        std::fs::write(path, tr.to_chrome_json())
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        println!(
+            "trace: {} events from {} workers written to {path} ({} dropped)",
+            tr.num_events(),
+            tr.workers.len(),
+            tr.dropped
+        );
+    }
     println!("index written to {index_dir}");
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("report") => cmd_trace_report(&args[1..]),
+        Some(other) => Err(format!("unknown trace subcommand '{other}' (try 'ii trace report')")),
+        None => Err("trace: need a subcommand — ii trace report <trace.json> [--check]".into()),
+    }
+}
+
+fn cmd_trace_report(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--check"])?;
+    let pos = positional(args);
+    let path = pos.first().ok_or("trace report: missing <trace.json>")?;
+    let text = std::fs::read_to_string(path.as_str())
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = Trace::from_chrome_json(&text)?;
+    let report = TraceReport::from_trace(&trace);
+    print!("{}", report.render(&trace, 100));
+    if bool_flag(args, "--check") {
+        report.check(&trace).map_err(|e| format!("trace check failed: {e}"))?;
+        println!("trace check passed: spans well-formed, attribution sums to wall");
+    }
     Ok(())
 }
 
@@ -208,6 +295,7 @@ fn open_index(dir: &str) -> Result<Index, String> {
 }
 
 fn cmd_verify(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[])?;
     let pos = positional(args);
     let dir = pos.first().ok_or("verify: missing <index-dir>")?;
     let statuses = Index::verify_dir(Path::new(dir.as_str()))
@@ -244,6 +332,7 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_repair(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[])?;
     let pos = positional(args);
     let dir = pos.first().ok_or("repair: missing <index-dir>")?;
     let report = Index::repair(Path::new(dir.as_str()))
@@ -270,6 +359,7 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[])?;
     let pos = positional(args);
     let (dir, terms) = pos.split_first().ok_or("query: need <index-dir> <terms...>")?;
     if terms.is_empty() {
@@ -286,6 +376,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_postings(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--range"])?;
     let pos = positional(args);
     let [dir, term] = pos.as_slice() else {
         return Err("postings: need <index-dir> <term>".into());
@@ -319,6 +410,7 @@ fn cmd_postings(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[])?;
     let pos = positional(args);
     let dir = pos.first().ok_or("stats: missing <dir>")?;
     let path = Path::new(dir.as_str());
@@ -355,6 +447,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--parsers", "--cpu", "--gpus", "--collection"])?;
     let parsers = flag_usize(args, "--parsers", 6)?;
     let cpu = flag_usize(args, "--cpu", 2)?;
     let gpus = flag_usize(args, "--gpus", 2)?;

@@ -109,6 +109,14 @@ impl IndexBuilder {
         self
     }
 
+    /// Record an event-level trace of the build (per-worker timelines,
+    /// stall spans, queue-depth samples). The merged trace lands in the
+    /// report's `trace` field; export with `Trace::to_chrome_json`.
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.config.trace.enabled = enabled;
+        self
+    }
+
     /// The underlying pipeline configuration.
     pub fn pipeline_config(&self) -> &PipelineConfig {
         &self.config

@@ -44,6 +44,25 @@ impl Metrics {
         self.d2h_bytes += other.d2h_bytes;
     }
 
+    /// Counters accumulated since `since` (per-batch deltas for trace
+    /// spans). Saturating: a reset between the two snapshots yields zeros
+    /// rather than wrap-around garbage.
+    pub fn delta(&self, since: &Metrics) -> Metrics {
+        Metrics {
+            global_transactions: self.global_transactions.saturating_sub(since.global_transactions),
+            global_bytes: self.global_bytes.saturating_sub(since.global_bytes),
+            shared_accesses: self.shared_accesses.saturating_sub(since.shared_accesses),
+            bank_conflict_cycles: self
+                .bank_conflict_cycles
+                .saturating_sub(since.bank_conflict_cycles),
+            instructions: self.instructions.saturating_sub(since.instructions),
+            divergent_branches: self.divergent_branches.saturating_sub(since.divergent_branches),
+            warp_comparisons: self.warp_comparisons.saturating_sub(since.warp_comparisons),
+            h2d_bytes: self.h2d_bytes.saturating_sub(since.h2d_bytes),
+            d2h_bytes: self.d2h_bytes.saturating_sub(since.d2h_bytes),
+        }
+    }
+
     /// Fraction of global traffic that was fully coalesced is not directly
     /// recoverable from totals; expose transactions per 64B of traffic as a
     /// coalescing-quality proxy (1.0 == perfect).
@@ -73,6 +92,17 @@ mod tests {
         assert_eq!(a.instructions, 10);
         assert_eq!(a.h2d_bytes, 5);
         assert_eq!(a.warp_comparisons, 31);
+    }
+
+    #[test]
+    fn delta_subtracts_and_saturates() {
+        let before = Metrics { instructions: 10, warp_comparisons: 62, ..Default::default() };
+        let after = Metrics { instructions: 25, warp_comparisons: 93, ..Default::default() };
+        let d = after.delta(&before);
+        assert_eq!(d.instructions, 15);
+        assert_eq!(d.warp_comparisons, 31);
+        // A counter reset between snapshots yields zero, not wrap-around.
+        assert_eq!(before.delta(&after).instructions, 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::stats::WorkloadStats;
 use ii_dict::PartialDictionary;
+use ii_obs::{TraceKind, TraceSink};
 use ii_postings::{Codec, PostingsList, RunFile};
 use ii_text::TrieGroup;
 
@@ -63,6 +64,31 @@ impl CpuIndexer {
                 self.lists.resize_with(slot + 1, PostingsList::new);
             }
             self.lists[slot].add_occurrence(doc);
+        }
+    }
+
+    /// Index a batch's routed group slice under one `index` trace span on
+    /// this worker's timeline (`sink` disabled → identical to looping
+    /// [`Self::index_group`]). The span carries the batch id, the trie-slot
+    /// range touched, and the term payload bytes.
+    pub fn index_groups(
+        &mut self,
+        groups: &[&TrieGroup],
+        doc_offset: u32,
+        sink: &TraceSink,
+        batch_id: u32,
+    ) {
+        let mut span = sink.span(TraceKind::Index);
+        span.set_batch(batch_id);
+        if let (Some(lo), Some(hi)) = (
+            groups.iter().map(|g| g.trie_index).min(),
+            groups.iter().map(|g| g.trie_index).max(),
+        ) {
+            span.set_tries(lo, hi);
+        }
+        span.add_bytes(groups.iter().map(|g| g.term_bytes.len() as u64).sum());
+        for g in groups {
+            self.index_group(g, doc_offset);
         }
     }
 

@@ -29,6 +29,7 @@ use ii_dict::node::{
 };
 use ii_dict::{arena, BTree, BTreeStore, PartialDictionary, TRIE_ENTRIES};
 use ii_gpusim::{launch_dynamic, BlockCtx, DevPtr, DeviceMemory, GpuConfig, LaunchReport};
+use ii_obs::{GpuSpanArgs, TraceKind, TraceSink};
 use ii_postings::{Codec, Posting, PostingsList, RunFile};
 use ii_text::TrieGroup;
 use std::collections::HashMap;
@@ -278,6 +279,39 @@ impl GpuIndexer {
             transfer_seconds,
             utilization: report.utilization(),
         }
+    }
+
+    /// [`Self::index_batch`] under an `index` trace span on this worker's
+    /// timeline, with the span's kernel-counter deltas attached (`sink`
+    /// disabled → identical to the untraced call).
+    pub fn index_batch_traced(
+        &mut self,
+        groups: &[&TrieGroup],
+        doc_offset: u32,
+        sink: &TraceSink,
+        batch_id: u32,
+    ) -> GpuBatchReport {
+        let metrics_before = self.kernel_metrics;
+        let mut span = sink.span(TraceKind::Index);
+        span.set_batch(batch_id);
+        if let (Some(lo), Some(hi)) = (
+            groups.iter().map(|g| g.trie_index).min(),
+            groups.iter().map(|g| g.trie_index).max(),
+        ) {
+            span.set_tries(lo, hi);
+        }
+        span.add_bytes(groups.iter().map(|g| g.term_bytes.len() as u64).sum());
+        let report = self.index_batch(groups, doc_offset);
+        let d = self.kernel_metrics.delta(&metrics_before);
+        span.set_gpu(GpuSpanArgs {
+            device_ns: (report.device_seconds * 1e9) as u64,
+            transfer_ns: (report.transfer_seconds * 1e9) as u64,
+            warp_comparisons: d.warp_comparisons,
+            global_transactions: d.global_transactions,
+            global_bytes: d.global_bytes,
+            instructions: d.instructions,
+        });
+        report
     }
 
     fn input_alloc(&mut self, len: usize) -> DevPtr {

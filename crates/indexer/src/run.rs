@@ -13,6 +13,7 @@ use crate::cpu::CpuIndexer;
 use crate::gpu::{GpuBatchReport, GpuIndexer, GpuIndexerConfig};
 use crate::stats::WorkloadStats;
 use ii_dict::PartialDictionary;
+use ii_obs::{TraceKind, TraceSink, Tracer};
 use ii_postings::{Codec, RunFile};
 use ii_text::ParsedBatch;
 use std::time::Instant;
@@ -53,6 +54,12 @@ pub struct IndexerPool {
     next_doc: u32,
     docs_indexed: u32,
     next_run: u32,
+    /// Per-CPU-indexer trace timelines (disabled unless
+    /// [`Self::attach_tracer`] ran). `cpu-N`/`gpu-N` are *logical* workers:
+    /// the pool executes them serially on the calling thread, so their
+    /// spans never overlap within a batch by construction.
+    cpu_sinks: Vec<TraceSink>,
+    gpu_sinks: Vec<TraceSink>,
 }
 
 impl IndexerPool {
@@ -62,7 +69,29 @@ impl IndexerPool {
         let gpus: Vec<GpuIndexer> = (0..plan.n_gpu())
             .map(|i| GpuIndexer::new((plan.n_cpu() + i) as u32, gpu_config))
             .collect();
-        IndexerPool { cpus, gpus, plan, codec, next_doc: 0, docs_indexed: 0, next_run: 0 }
+        let cpu_sinks = vec![TraceSink::disabled(); cpus.len()];
+        let gpu_sinks = vec![TraceSink::disabled(); gpus.len()];
+        IndexerPool {
+            cpus,
+            gpus,
+            plan,
+            codec,
+            next_doc: 0,
+            docs_indexed: 0,
+            next_run: 0,
+            cpu_sinks,
+            gpu_sinks,
+        }
+    }
+
+    /// Register one timeline per indexer (`cpu-0..`, `gpu-0..`) on
+    /// `tracer`; subsequent [`Self::index_batch`] and [`Self::flush_run`]
+    /// calls record per-indexer spans. No-op for a disabled tracer.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.cpu_sinks =
+            (0..self.cpus.len()).map(|i| tracer.sink(&format!("cpu-{i}"))).collect();
+        self.gpu_sinks =
+            (0..self.gpus.len()).map(|i| tracer.sink(&format!("gpu-{i}"))).collect();
     }
 
     /// Rebuild a pool from checkpointed dictionary shards plus the scalar
@@ -143,16 +172,20 @@ impl IndexerPool {
             }
         }
 
+        let batch_id = batch.file_idx as u32;
         let mut timing = BatchTiming::default();
         for (i, groups) in cpu_groups.iter().enumerate() {
             let t0 = Instant::now();
-            for g in groups {
-                self.cpus[i].index_group(g, offset);
-            }
+            self.cpus[i].index_groups(groups, offset, &self.cpu_sinks[i], batch_id);
             timing.cpu_seconds.push(t0.elapsed().as_secs_f64());
         }
         for (i, groups) in gpu_groups.iter().enumerate() {
-            timing.gpu.push(self.gpus[i].index_batch(groups, offset));
+            timing.gpu.push(self.gpus[i].index_batch_traced(
+                groups,
+                offset,
+                &self.gpu_sinks[i],
+                batch_id,
+            ));
         }
         timing
     }
@@ -163,11 +196,17 @@ impl IndexerPool {
         let run_id = self.next_run;
         self.next_run += 1;
         let mut out = Vec::with_capacity(self.cpus.len() + self.gpus.len());
-        for c in &mut self.cpus {
-            out.push(c.flush_run(run_id, self.codec));
+        for (c, sink) in self.cpus.iter_mut().zip(&self.cpu_sinks) {
+            let mut span = sink.span(TraceKind::Flush);
+            let run = c.flush_run(run_id, self.codec);
+            span.add_bytes(run.payload.len() as u64);
+            out.push(run);
         }
-        for g in &mut self.gpus {
-            out.push(g.flush_run(run_id, self.codec));
+        for (g, sink) in self.gpus.iter_mut().zip(&self.gpu_sinks) {
+            let mut span = sink.span(TraceKind::Flush);
+            let run = g.flush_run(run_id, self.codec);
+            span.add_bytes(run.payload.len() as u64);
+            out.push(run);
         }
         out
     }

@@ -26,10 +26,24 @@
 //!   [`Snapshot::write_json`]) shared by `--stats-json` and the bench
 //!   binaries.
 
+pub mod json;
+pub mod report;
+pub mod trace;
+
+pub use report::{TraceReport, WorkerReport};
+pub use trace::{
+    GaugeSeries, GpuSpanArgs, Trace, TraceConfig, TraceEvent, TraceKind, TraceSink, TraceSpan,
+    Tracer, WorkerTrace,
+};
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Version of the snapshot JSON layout (`--stats-json`, bench snapshots).
+/// Bump when keys change shape so downstream tooling can branch.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
 
 /// Monotonic event counter (relaxed atomic; safe to bump from any thread).
 #[derive(Debug, Default)]
@@ -172,6 +186,34 @@ impl Histogram {
     pub fn total(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Relaxed)).sum()
     }
+
+    /// Upper-bound estimate (ns) of the `q`-quantile, `q ∈ [0, 1]`.
+    ///
+    /// Returns the upper boundary of the bucket containing the quantile
+    /// (the histogram stores counts, not samples, so this is conservative
+    /// by at most one bucket width); `u64::MAX` when the quantile lands in
+    /// the overflow bucket; `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        quantile_from_counts(&self.counts(), q)
+    }
+}
+
+/// [`Histogram::quantile`] over a detached bucket-count array (snapshots).
+pub fn quantile_from_counts(counts: &[u64], q: f64) -> Option<u64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    // Rank of the quantile observation, 1-based, clamped to [1, total].
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(Histogram::BOUNDS.get(i).copied().unwrap_or(u64::MAX));
+        }
+    }
+    None
 }
 
 /// Per-stage accounting: wall time, queue wait, bytes, and items.
@@ -434,9 +476,15 @@ fn push_json_str(out: &mut String, s: &str) {
 
 impl Snapshot {
     /// Render as a stable, self-contained JSON object (the format shared
-    /// by `--stats-json` and the bench snapshot files).
+    /// by `--stats-json` and the bench snapshot files). The layout is
+    /// versioned via [`SNAPSHOT_SCHEMA_VERSION`].
     pub fn to_json(&self) -> String {
-        let mut o = String::from("{\n  \"counters\": {");
+        let q = |counts: &[u64], q: f64| {
+            quantile_from_counts(counts, q).map_or_else(|| "null".to_string(), |v| v.to_string())
+        };
+        let mut o = format!(
+            "{{\n  \"schema_version\": {SNAPSHOT_SCHEMA_VERSION},\n  \"counters\": {{"
+        );
         for (i, (k, v)) in self.counters.iter().enumerate() {
             o.push_str(if i == 0 { "\n    " } else { ",\n    " });
             push_json_str(&mut o, k);
@@ -452,22 +500,33 @@ impl Snapshot {
         for (i, (k, v)) in self.histograms.iter().enumerate() {
             o.push_str(if i == 0 { "\n    " } else { ",\n    " });
             push_json_str(&mut o, k);
-            o.push_str(": [");
+            o.push_str(": {\"counts\": [");
             for (j, c) in v.iter().enumerate() {
                 if j > 0 {
                     o.push(',');
                 }
                 o.push_str(&c.to_string());
             }
-            o.push(']');
+            o.push_str(&format!(
+                "], \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                q(v, 0.50),
+                q(v, 0.95),
+                q(v, 0.99)
+            ));
         }
         o.push_str("\n  },\n  \"stages\": {");
         for (i, (k, s)) in self.stages.iter().enumerate() {
             o.push_str(if i == 0 { "\n    " } else { ",\n    " });
             push_json_str(&mut o, k);
             o.push_str(&format!(
-                ": {{\"wall_seconds\": {:.9}, \"queue_wait_seconds\": {:.9}, \"bytes\": {}, \"items\": {}}}",
-                s.wall_seconds, s.queue_wait_seconds, s.bytes, s.items
+                ": {{\"wall_seconds\": {:.9}, \"queue_wait_seconds\": {:.9}, \"bytes\": {}, \"items\": {}, \"latency_p50_ns\": {}, \"latency_p95_ns\": {}, \"latency_p99_ns\": {}}}",
+                s.wall_seconds,
+                s.queue_wait_seconds,
+                s.bytes,
+                s.items,
+                q(&s.latency, 0.50),
+                q(&s.latency, 0.95),
+                q(&s.latency, 0.99)
             ));
         }
         o.push_str("\n  }\n}\n");
@@ -529,6 +588,26 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for _ in 0..90 {
+            h.record_ns(100); // bucket 0 (≤256 ns)
+        }
+        for _ in 0..9 {
+            h.record_ns(2_000); // bucket 2 (≤4096 ns)
+        }
+        h.record_ns(u64::MAX); // overflow bucket
+        assert_eq!(h.quantile(0.0), Some(256));
+        assert_eq!(h.quantile(0.50), Some(256));
+        assert_eq!(h.quantile(0.90), Some(256));
+        assert_eq!(h.quantile(0.95), Some(4096));
+        assert_eq!(h.quantile(0.99), Some(4096));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX), "overflow bucket saturates");
+        assert_eq!(quantile_from_counts(&[0, 3], 0.5), Some(1 << 10));
+    }
+
+    #[test]
     fn span_records_time_items_bytes() {
         let s = Stage::new();
         {
@@ -587,11 +666,14 @@ mod tests {
         }
         let json = r.snapshot().to_json();
         for needle in [
+            "\"schema_version\": 2",
             "\"pipeline.docs\": 48",
             "\"queue.depth\": -2",
             "\"read\"",
             "\"bytes\": 1024",
             "\"items\": 1",
+            "\"p50_ns\": 256",
+            "\"latency_p50_ns\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

@@ -30,7 +30,7 @@ use crate::parsers::{
     panic_message, BatchRecycler, ParserObs, ParserPool, RoundRobin, SpawnOptions,
 };
 use ii_corpus::StoredCollection;
-use ii_obs::Registry;
+use ii_obs::{Registry, Trace, TraceConfig, TraceKind, Tracer};
 use ii_dict::{GlobalDictionary, PartialDictionary};
 use ii_indexer::{make_plan, sample_counts, BalancePlan, GpuIndexerConfig, IndexerPool, WorkloadStats};
 use ii_postings::{parse_run_artifact_name, run_artifact_name, Codec, RunFile, RunSet};
@@ -72,6 +72,10 @@ pub struct PipelineConfig {
     /// (the differential suite builds the same collection both ways);
     /// excluded from the checkpoint config fingerprint for that reason.
     pub reference_parser: bool,
+    /// Event tracing (disabled by default). Excluded from the checkpoint
+    /// config fingerprint: tracing never changes index bytes, so a traced
+    /// build may resume an untraced one and vice versa.
+    pub trace: TraceConfig,
 }
 
 impl Default for PipelineConfig {
@@ -89,6 +93,7 @@ impl Default for PipelineConfig {
             batches_per_run: 1,
             fault_policy: FaultPolicy::default(),
             reference_parser: false,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -120,6 +125,11 @@ pub struct FileTiming {
     /// Modeled stage seconds: max over indexers of (CPU wall, GPU device +
     /// transfer simulated).
     pub modeled_seconds: f64,
+    /// Seconds the consumer blocked waiting for this file's parsed batch —
+    /// separates "the parser pipeline was behind" (large value) from "the
+    /// file itself was expensive to index" (small value, large
+    /// `wall_seconds`).
+    pub queue_wait_seconds: f64,
     /// Terms handed to indexers.
     pub tokens: u64,
 }
@@ -163,6 +173,10 @@ pub struct PipelineReport {
     /// Per-stage observability breakdown (wall, queue-wait, bytes, items)
     /// plus deep counters — the Table V / Fig 9 view of this build.
     pub stages: StageBreakdown,
+    /// Merged event trace (`Some` only when the build ran with
+    /// [`TraceConfig::enabled`]); export with
+    /// [`Trace::to_chrome_json`].
+    pub trace: Option<Trace>,
 }
 
 impl PipelineReport {
@@ -549,11 +563,18 @@ fn build_inner(
     durable: Option<&DurableOptions<'_>>,
 ) -> Result<IndexOutput, PipelineError> {
     let t_total = Instant::now();
+    let tracer = Tracer::from_config(&cfg.trace);
+    // The driver's own timeline: sampling, round-robin waits, per-batch
+    // dispatch, flushes, checkpoints, and the dictionary endgame.
+    let driver_sink = tracer.sink("driver");
     let resume_state = match durable {
         Some(opts) if opts.resume => load_resume_state(collection, cfg, opts)?,
         _ => None,
     };
-    let sampled = sample_plan(collection, cfg)?;
+    let sampled = {
+        let _span = driver_sink.span(TraceKind::Sample);
+        sample_plan(collection, cfg)?
+    };
     let mut report = PipelineReport {
         sampling_seconds: sampled.seconds,
         uncompressed_bytes: collection.manifest.stats.uncompressed_bytes,
@@ -597,6 +618,9 @@ fn build_inner(
             0,
         ),
     };
+    // Register cpu-N / gpu-N timelines so indexer slices appear as their
+    // own workers in the trace even though they execute on this thread.
+    pool.attach_tracer(&tracer);
 
     // One registry per build: concurrent builds (parallel tests, library
     // embedders) never interleave metrics.
@@ -618,17 +642,41 @@ fn build_inner(
             start_file,
             recycler: Some(recycler.clone()),
             reference_parser: cfg.reference_parser,
+            tracer: tracer.clone(),
         },
     );
+    // Sampled queue-depth gauges on every inter-stage channel: one per
+    // parser output buffer plus the recycler return pool, mirrored into
+    // the registry (last value) and the trace (full time series).
+    let queue_gauges: Vec<_> = (0..cfg.num_parsers)
+        .map(|p| {
+            (
+                registry.gauge(&format!("queue.parser-{p}.depth")),
+                tracer.gauge(&format!("queue.parser-{p}")),
+            )
+        })
+        .collect();
+    let recycler_gauge =
+        (registry.gauge("recycler.pool.depth"), tracer.gauge("recycler.pool"));
     let mut batches_in_run = 0usize;
     let mut runs_since_checkpoint = 0usize;
     let mut files_done;
     let round_robin =
         RoundRobin::starting_at(&parser_pool.buffers, collection.num_files(), start_file)
-            .with_queue_wait(Arc::clone(&index_stage));
+            .with_queue_wait(Arc::clone(&index_stage))
+            .with_trace(driver_sink.clone());
     for msg in round_robin {
         let msg = msg?;
         files_done = msg.file_idx() + 1;
+        let queue_wait_seconds = msg.queue_wait_seconds;
+        for ((gauge, series), rx) in queue_gauges.iter().zip(&parser_pool.buffers) {
+            let depth = rx.len() as i64;
+            gauge.set(depth);
+            series.sample(depth);
+        }
+        let pool_depth = recycler.depth() as i64;
+        recycler_gauge.0.set(pool_depth);
+        recycler_gauge.1.sample(pool_depth);
         let batch = match msg.result {
             Ok(batch) => {
                 if msg.retries > 0 {
@@ -673,6 +721,9 @@ fn build_inner(
         let timing = {
             let mut span = index_stage.span();
             span.add_bytes(file_bytes);
+            let mut tspan = driver_sink.span(TraceKind::Index);
+            tspan.set_batch(batch.file_idx as u32);
+            tspan.add_bytes(file_bytes);
             pool.index_batch(&batch)
         };
         let wall = t0.elapsed().as_secs_f64();
@@ -685,6 +736,7 @@ fn build_inner(
             uncompressed_bytes: file_bytes,
             wall_seconds: wall,
             modeled_seconds: modeled,
+            queue_wait_seconds,
             tokens: batch.stats.terms_kept,
         });
         // The batch is fully consumed; return its buffers to the parsers.
@@ -693,10 +745,12 @@ fn build_inner(
         if batches_in_run >= cfg.batches_per_run {
             let t0 = Instant::now();
             let mut span = post_stage.span();
+            let tspan = driver_sink.span(TraceKind::Flush);
             for run in pool.flush_run() {
                 span.add_bytes(run.payload.len() as u64);
                 run_sets.entry(run.indexer_id).or_default().push(run);
             }
+            drop(tspan);
             drop(span);
             report.post_processing_seconds += t0.elapsed().as_secs_f64();
             batches_in_run = 0;
@@ -705,6 +759,7 @@ fn build_inner(
                 if opts.checkpoint_every_runs > 0
                     && runs_since_checkpoint >= opts.checkpoint_every_runs
                 {
+                    let _ckpt_span = driver_sink.span(TraceKind::Checkpoint);
                     commit_checkpoint(
                         opts, &registry, collection, cfg, &mut pool, &run_sets, &doc_map,
                         files_done, &report,
@@ -717,10 +772,12 @@ fn build_inner(
     if batches_in_run > 0 {
         let t0 = Instant::now();
         let mut span = post_stage.span();
+        let tspan = driver_sink.span(TraceKind::Flush);
         for run in pool.flush_run() {
             span.add_bytes(run.payload.len() as u64);
             run_sets.entry(run.indexer_id).or_default().push(run);
         }
+        drop(tspan);
         drop(span);
         report.post_processing_seconds += t0.elapsed().as_secs_f64();
     }
@@ -765,6 +822,7 @@ fn build_inner(
 
     let t0 = Instant::now();
     let combine_stage = registry.stage("dict_combine");
+    let tspan = driver_sink.span(TraceKind::DictCombine);
     let parts = {
         let _span = combine_stage.span();
         pool.finish()
@@ -773,6 +831,7 @@ fn build_inner(
         let _span = combine_stage.span();
         GlobalDictionary::combine(&parts)
     };
+    drop(tspan);
     report.dict_combine_seconds = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
@@ -780,8 +839,10 @@ fn build_inner(
     {
         let write_stage = registry.stage("dict_write");
         let mut span = write_stage.span();
+        let mut tspan = driver_sink.span(TraceKind::DictWrite);
         dictionary.write_to(&mut dict_bytes)?;
         span.add_bytes(dict_bytes.len() as u64);
+        tspan.add_bytes(dict_bytes.len() as u64);
     }
     report.dict_write_seconds = t0.elapsed().as_secs_f64();
     registry.counter("pipeline.terms").add(dictionary.len() as u64);
@@ -798,6 +859,7 @@ fn build_inner(
 
     report.total_seconds = t_total.elapsed().as_secs_f64();
     report.stages = StageBreakdown::from_registry(&registry);
+    report.trace = tracer.finish();
     Ok(IndexOutput { dictionary, run_sets, dict_bytes, doc_map, report })
 }
 

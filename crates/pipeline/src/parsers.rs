@@ -21,7 +21,7 @@
 use crate::fault::{FaultAction, FaultClass, FaultPolicy, FaultStage, FileFault, PipelineError};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use ii_corpus::{compress, container, StoredCollection};
-use ii_obs::{Registry, Stage};
+use ii_obs::{Registry, Stage, TraceKind, TraceSink, Tracer};
 use ii_text::{parse_documents_into, parse_documents_reference, ParseScratch, ParsedBatch};
 use parking_lot::Mutex;
 use std::io;
@@ -97,6 +97,12 @@ impl BatchRecycler {
             scratch.recycle(husk);
         }
     }
+
+    /// Number of husks currently pooled (0 when the pool is busy) — a
+    /// gauge-sampling probe, approximate by design.
+    pub fn depth(&self) -> usize {
+        self.pool.try_lock().map_or(0, |pool| pool.len())
+    }
 }
 
 /// Extended spawn options (the plain `spawn*` constructors cover the
@@ -110,6 +116,9 @@ pub struct SpawnOptions {
     /// Parse with the retained naive reference path instead of the
     /// scratch-based hot path (differential testing).
     pub reference_parser: bool,
+    /// Event tracer; each parser registers a `parser-{p}` timeline. The
+    /// default (disabled) tracer records nothing.
+    pub tracer: Tracer,
 }
 
 /// Per-parser timing accumulators (read under the disk lock vs the rest).
@@ -132,6 +141,11 @@ pub struct ParsedFile {
     /// Failed read attempts recovered from before success (0 on the error
     /// path — the fault itself carries its retry count).
     pub retries: u32,
+    /// Seconds the *consumer* blocked waiting for this message (set by
+    /// [`RoundRobin`]; 0 until the message is consumed). Distinguishes
+    /// "the parser was slow" from "the file itself was slow" in per-file
+    /// reports.
+    pub queue_wait_seconds: f64,
     /// The batch, or the fault occupying this file's slot.
     pub result: Result<ParsedBatch, FileFault>,
 }
@@ -236,6 +250,8 @@ impl ParserPool {
             let coll = Arc::clone(&collection);
             let obs = obs.clone();
             let options = options.clone();
+            // Register timelines in parser order (before the threads race).
+            let sink = options.tracer.sink(&format!("parser-{p}"));
             let handle = std::thread::spawn(move || {
                 let mut timing = ParserTiming::default();
                 // Thread-owned working memory, carried across files so
@@ -260,12 +276,16 @@ impl ParserPool {
                             &obs,
                             &mut scratch,
                             &options,
+                            &sink,
                         )
                     }));
                     let msg = match outcome {
-                        Ok((retries, Ok(batch))) => ParsedFile { retries, result: Ok(batch) },
+                        Ok((retries, Ok(batch))) => {
+                            ParsedFile { retries, queue_wait_seconds: 0.0, result: Ok(batch) }
+                        }
                         Ok((retries, Err((class, error)))) => ParsedFile {
                             retries: 0,
+                            queue_wait_seconds: 0.0,
                             result: Err(FileFault {
                                 file_idx,
                                 class,
@@ -276,6 +296,7 @@ impl ParserPool {
                         },
                         Err(payload) => ParsedFile {
                             retries: 0,
+                            queue_wait_seconds: 0.0,
                             result: Err(FileFault {
                                 file_idx,
                                 class: FaultClass::Panic,
@@ -288,8 +309,12 @@ impl ParserPool {
                     let failed = msg.result.is_err();
                     // Producer back-pressure: time blocked on a full buffer.
                     let t_send = Instant::now();
-                    if tx.send(msg).is_err() {
-                        break; // consumer gone
+                    {
+                        let mut qspan = sink.span(TraceKind::QueueFull);
+                        qspan.set_batch(file_idx as u32);
+                        if tx.send(msg).is_err() {
+                            break; // consumer gone
+                        }
                     }
                     obs.parse.queue_wait_ns.add(t_send.elapsed().as_nanos() as u64);
                     if failed && policy.action == FaultAction::FailFast {
@@ -329,6 +354,7 @@ fn ingest_file(
     obs: &ParserObs,
     scratch: &mut ParseScratch,
     options: &SpawnOptions,
+    sink: &TraceSink,
 ) -> IngestOutcome {
     let mut retries = 0u32;
     // Step 1a: serialized read of the compressed file, retried on
@@ -336,13 +362,20 @@ fn ingest_file(
     // disk lock so other parsers proceed).
     let raw = loop {
         let read = {
+            let wait_span = sink.span(TraceKind::DiskWait);
             let _disk_token = disk.lock();
+            drop(wait_span); // lock acquired: the read-wait stall ends here
+            let mut rspan = sink.span(TraceKind::Read);
+            rspan.set_batch(file_idx as u32);
             let t0 = Instant::now();
             let r = coll.read_file_raw(file_idx);
             let dt = t0.elapsed();
             timing.read_seconds += dt.as_secs_f64();
             obs.read.wall_ns.add(dt.as_nanos() as u64);
             obs.read.latency.record_ns(dt.as_nanos() as u64);
+            if let Ok(raw) = &r {
+                rspan.add_bytes(raw.len() as u64);
+            }
             r
         };
         match read {
@@ -367,6 +400,8 @@ fn ingest_file(
     // Step 1b: in-memory decompression (outside the lock — the
     // separate-step scheme of §IV.A).
     let mut span = obs.decompress.span();
+    let mut tspan = sink.span(TraceKind::Decompress);
+    tspan.set_batch(file_idx as u32);
     let t0 = Instant::now();
     let bytes = match compress::decompress(&raw) {
         Ok(b) => b,
@@ -377,9 +412,13 @@ fn ingest_file(
     };
     timing.decompress_seconds += t0.elapsed().as_secs_f64();
     span.add_bytes(bytes.len() as u64);
+    tspan.add_bytes(bytes.len() as u64);
     drop(span);
+    drop(tspan);
     // Steps 1c-5: container parse + tokenize/stem/stop/regroup.
     let mut span = obs.parse.span();
+    let mut tspan = sink.span(TraceKind::Parse);
+    tspan.set_batch(file_idx as u32);
     let t0 = Instant::now();
     let docs = match container::parse_container(&bytes) {
         Ok(d) => d,
@@ -404,7 +443,9 @@ fn ingest_file(
     timing.parse_seconds += t0.elapsed().as_secs_f64();
     timing.files += 1;
     span.add_bytes(bytes.len() as u64);
+    tspan.add_bytes(bytes.len() as u64);
     drop(span);
+    drop(tspan);
     (retries, Ok(batch))
 }
 
@@ -446,6 +487,9 @@ pub struct RoundRobin<'a> {
     /// Consumer queue-wait accounting: time blocked in `recv` lands in
     /// this stage's `queue_wait_ns` (the driver passes its index stage).
     queue_wait: Option<Arc<Stage>>,
+    /// Consumer timeline: each blocking `recv` records a `parser_wait`
+    /// stall span (disabled by default).
+    trace: TraceSink,
 }
 
 impl<'a> RoundRobin<'a> {
@@ -461,13 +505,26 @@ impl<'a> RoundRobin<'a> {
         num_files: usize,
         start_file: usize,
     ) -> Self {
-        RoundRobin { buffers, next_file: start_file, num_files, queue_wait: None }
+        RoundRobin {
+            buffers,
+            next_file: start_file,
+            num_files,
+            queue_wait: None,
+            trace: TraceSink::disabled(),
+        }
     }
 
     /// Record time blocked waiting on parser buffers into `stage`'s
     /// `queue_wait_ns`.
     pub fn with_queue_wait(mut self, stage: Arc<Stage>) -> Self {
         self.queue_wait = Some(stage);
+        self
+    }
+
+    /// Record each blocking `recv` as a `parser_wait` stall span on
+    /// `sink` (the driver passes its own timeline).
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
         self
     }
 }
@@ -480,13 +537,19 @@ impl Iterator for RoundRobin<'_> {
         }
         let parser = self.next_file % self.buffers.len();
         let t_recv = Instant::now();
-        let received = self.buffers[parser].recv();
+        let received = {
+            let mut wspan = self.trace.span(TraceKind::ParserWait);
+            wspan.set_batch(self.next_file as u32);
+            self.buffers[parser].recv()
+        };
+        let waited = t_recv.elapsed();
         if let Some(stage) = &self.queue_wait {
-            stage.queue_wait_ns.add(t_recv.elapsed().as_nanos() as u64);
+            stage.queue_wait_ns.add(waited.as_nanos() as u64);
         }
         match received {
-            Ok(msg) => {
+            Ok(mut msg) => {
                 debug_assert_eq!(msg.file_idx(), self.next_file, "round-robin order violated");
+                msg.queue_wait_seconds = waited.as_secs_f64();
                 self.next_file += 1;
                 Some(Ok(msg))
             }

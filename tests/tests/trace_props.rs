@@ -1,0 +1,117 @@
+//! Property tests for the event tracer: arbitrary multi-threaded span
+//! workloads pushed through the real `Tracer` must come out the other
+//! side well-formed — per-worker events sorted and non-overlapping,
+//! every span inside its worker's lifetime, the Chrome JSON export
+//! parsing back to an identical trace, and the derived report's stall
+//! attribution summing to wall time.
+
+use ii_core::obs::trace::ALL_KINDS;
+use ii_core::obs::{TraceReport, Tracer};
+use proptest::prelude::*;
+
+/// One worker's scripted workload: a span list of (kind index, payload
+/// bytes, spin iterations). The first span is forced onto a work kind so
+/// the report's per-worker busy-time invariant (`busy > 0`) holds.
+fn workload_strategy() -> impl Strategy<Value = Vec<Vec<(usize, u64, u32)>>> {
+    let span = (0..ALL_KINDS.len(), 0u64..1_000_000, 0u32..200);
+    let worker = proptest::collection::vec(span, 1..12).prop_map(|mut spans| {
+        spans[0].0 %= 9; // indices 0..9 are work kinds, 9..12 are stalls
+        spans
+    });
+    proptest::collection::vec(worker, 1..5)
+}
+
+/// Run a scripted workload through a real tracer, one thread per worker.
+fn record(workloads: &[Vec<(usize, u64, u32)>], capacity: usize) -> ii_core::obs::Trace {
+    let tracer = Tracer::new(capacity);
+    // Register sinks before spawning so worker order is deterministic.
+    let sinks: Vec<_> =
+        (0..workloads.len()).map(|w| tracer.sink(&format!("worker-{w}"))).collect();
+    std::thread::scope(|scope| {
+        for (sink, spans) in sinks.into_iter().zip(workloads) {
+            scope.spawn(move || {
+                for (batch, &(kind, bytes, spin)) in spans.iter().enumerate() {
+                    let mut s = sink.span(ALL_KINDS[kind]);
+                    s.set_batch(batch as u32);
+                    s.add_bytes(bytes);
+                    for _ in 0..spin {
+                        std::hint::black_box(batch);
+                    }
+                }
+            });
+        }
+    });
+    tracer.finish().expect("enabled tracer yields a trace")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the workload, the merged trace satisfies its invariants:
+    /// sorted per-worker events, no overlap between spans on one worker,
+    /// every span within the worker's lifetime window.
+    #[test]
+    fn recorded_traces_are_well_formed(workloads in workload_strategy()) {
+        let trace = record(&workloads, 4096);
+        prop_assert!(trace.validate().is_ok(), "{:?}", trace.validate());
+        prop_assert_eq!(trace.workers.len(), workloads.len());
+        for (w, spans) in trace.workers.iter().zip(&workloads) {
+            prop_assert_eq!(w.events.len(), spans.len());
+            prop_assert_eq!(w.dropped, 0);
+        }
+    }
+
+    /// The Chrome JSON export round-trips exactly: every timestamp,
+    /// payload and counter sample is preserved at nanosecond precision.
+    #[test]
+    fn chrome_export_round_trips(workloads in workload_strategy()) {
+        let trace = record(&workloads, 4096);
+        let json = trace.to_chrome_json();
+        let back = ii_core::obs::Trace::from_chrome_json(&json)
+            .expect("exported trace parses back");
+        prop_assert_eq!(&back, &trace);
+    }
+
+    /// Stall attribution is an exact partition: busy + stall + idle equals
+    /// wall on every worker, and the report's own consistency check holds.
+    #[test]
+    fn report_attribution_sums_to_wall(workloads in workload_strategy()) {
+        let trace = record(&workloads, 4096);
+        let report = TraceReport::from_trace(&trace);
+        prop_assert!(report.check(&trace).is_ok(), "{:?}", report.check(&trace));
+        for w in &report.workers {
+            prop_assert_eq!(w.busy_ns + w.stall_ns + w.idle_ns, w.wall_ns);
+        }
+    }
+
+    /// A deliberately tiny ring (16 events, the tracer's floor) still
+    /// yields a valid trace: the newest spans survive, the overwritten
+    /// ones are counted, and the kept events remain sorted and
+    /// non-overlapping.
+    #[test]
+    fn tiny_rings_drop_oldest_but_stay_valid(
+        lens in proptest::collection::vec(1usize..48, 1..4),
+    ) {
+        const CAP: usize = 16;
+        let workloads: Vec<Vec<(usize, u64, u32)>> = lens
+            .iter()
+            .map(|&n| (0..n).map(|i| (i % 9, i as u64 * 10, 0u32)).collect())
+            .collect();
+        let trace = record(&workloads, CAP);
+        prop_assert!(trace.validate().is_ok(), "{:?}", trace.validate());
+        for (w, spans) in trace.workers.iter().zip(&workloads) {
+            let kept = spans.len().min(CAP);
+            prop_assert_eq!(w.events.len(), kept);
+            prop_assert_eq!(w.dropped, (spans.len() - kept) as u64);
+            // The ring keeps the *newest* spans: batch ids form the tail.
+            let first_kept = (spans.len() - kept) as u32;
+            for (i, e) in w.events.iter().enumerate() {
+                prop_assert_eq!(e.batch_id, first_kept + i as u32);
+            }
+        }
+        prop_assert_eq!(
+            trace.dropped,
+            workloads.iter().map(|s| s.len().saturating_sub(CAP) as u64).sum::<u64>()
+        );
+    }
+}

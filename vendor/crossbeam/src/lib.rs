@@ -8,14 +8,19 @@
 
 /// Multi-producer channels (the `crossbeam-channel` API slice).
 pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
     use std::sync::mpsc;
+    use std::sync::Arc;
 
     /// Sending half of a bounded channel; `send` blocks when full.
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    pub struct Sender<T> {
+        tx: mpsc::SyncSender<T>,
+        depth: Arc<AtomicUsize>,
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender { tx: self.tx.clone(), depth: Arc::clone(&self.depth) }
         }
     }
 
@@ -52,37 +57,73 @@ pub mod channel {
         /// Send `msg`, blocking while the channel is full. Errors if the
         /// receiver is gone.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+            match self.tx.send(msg) {
+                Ok(()) => {
+                    self.depth.fetch_add(1, Relaxed);
+                    Ok(())
+                }
+                Err(mpsc::SendError(v)) => Err(SendError(v)),
+            }
+        }
+
+        /// Approximate number of queued messages (relaxed counter; may lag
+        /// concurrent sends/receives by a message — fine for gauges).
+        pub fn len(&self) -> usize {
+            self.depth.load(Relaxed)
+        }
+
+        /// Whether the channel currently looks empty (see [`Self::len`]).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     /// Receiving half of a bounded channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
+    }
 
     impl<T> Receiver<T> {
         /// Block until a message arrives or every sender disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let v = self.rx.recv().map_err(|_| RecvError)?;
+            self.depth.fetch_sub(1, Relaxed);
+            Ok(v)
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv().map_err(|e| match e {
+            let v = self.rx.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            })?;
+            self.depth.fetch_sub(1, Relaxed);
+            Ok(v)
         }
 
         /// Blocking iterator over received messages until disconnect.
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.iter()
+            std::iter::from_fn(move || self.recv().ok())
+        }
+
+        /// Approximate number of queued messages (relaxed counter; may lag
+        /// concurrent sends/receives by a message — fine for gauges).
+        pub fn len(&self) -> usize {
+            self.depth.load(Relaxed)
+        }
+
+        /// Whether the channel currently looks empty (see [`Self::len`]).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     /// Create a bounded channel with capacity `cap`.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        let depth = Arc::new(AtomicUsize::new(0));
+        (Sender { tx, depth: Arc::clone(&depth) }, Receiver { rx, depth })
     }
 }
 
@@ -106,6 +147,21 @@ mod tests {
         let (tx, rx) = bounded::<u32>(1);
         drop(rx);
         assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn len_tracks_queue_depth() {
+        let (tx, rx) = bounded::<u32>(4);
+        assert_eq!(tx.len(), 0);
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
+        rx.try_recv().unwrap();
+        assert_eq!(tx.len(), 0);
     }
 
     #[test]
