@@ -4,7 +4,7 @@
 //! ii generate <dir> [--preset clueweb|wikipedia|congress|tiny] [--scale F] [--seed N]
 //! ii build    <collection-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]
 //!             [--max-retries N] [--on-fault fail|skip] [--checkpoint-every N] [--resume]
-//!             [--stats] [--stats-json] [--trace trace.json]
+//!             [--stats] [--stats-json] [--trace trace.json] [--strict]
 //! ii trace    report <trace.json> [--check]
 //! ii verify   <index-dir>
 //! ii repair   <index-dir>
@@ -69,6 +69,7 @@ fn usage() {
          [--checkpoint-every N] commits a resumable checkpoint every N runs (default 8)\n        \
          [--resume] continues an interrupted build from its last checkpoint\n        \
          [--stats] prints the per-stage breakdown; [--stats-json] the raw snapshot\n        \
+         [--strict] exits non-zero if any document was quarantined or any worker died\n        \
          [--trace trace.json] records per-worker event timelines\n        \
          (Chrome/Perfetto format; inspect with 'ii trace report')\n  \
          trace report <trace.json> [--check]                  per-worker utilization, stall\n        \
@@ -96,7 +97,7 @@ fn flag_usize(args: &[String], name: &str, default: usize) -> Result<usize, Stri
 }
 
 /// Flags that take no value (everything else consumes the next argument).
-const BOOL_FLAGS: &[&str] = &["--stats", "--stats-json", "--resume", "--check"];
+const BOOL_FLAGS: &[&str] = &["--stats", "--stats-json", "--resume", "--check", "--strict"];
 
 fn bool_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -185,6 +186,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
             "--stats",
             "--stats-json",
             "--trace",
+            "--strict",
         ],
     )?;
     let pos = positional(args);
@@ -239,6 +241,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     for q in &r.faults.quarantined {
         println!("  quarantined {q}");
     }
+    println!("workers: {}", r.supervision.summary());
+    for d in &r.supervision.deaths {
+        println!("  {d}");
+    }
+    for l in &r.supervision.lossy_incidents {
+        println!("  LOSSY {l}");
+    }
     if bool_flag(args, "--stats") {
         println!("\nper-stage breakdown (Table V / Fig 9):");
         print!("{}", r.stages.render_table());
@@ -263,6 +272,20 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         );
     }
     println!("index written to {index_dir}");
+    // Strict builds refuse degradation: the index above is complete and
+    // committed, but any quarantined document or dead worker means it was
+    // produced in a degraded mode — exit non-zero so CI notices.
+    if bool_flag(args, "--strict") {
+        let deaths = r.supervision.deaths.len();
+        let quarantined = r.faults.quarantined.len();
+        if deaths > 0 || quarantined > 0 {
+            return Err(format!(
+                "--strict: build degraded ({deaths} worker deaths, \
+                 {quarantined} quarantined files) — {}",
+                r.supervision.summary()
+            ));
+        }
+    }
     Ok(())
 }
 

@@ -5,7 +5,7 @@ use ii_corpus::StoredCollection;
 use ii_indexer::GpuIndexerConfig;
 use ii_pipeline::{
     build_index, build_index_durable, DurableOptions, FaultAction, FaultPolicy, PipelineConfig,
-    PipelineError,
+    PipelineError, SupervisorPolicy, WorkerFaultPlan,
 };
 use ii_postings::Codec;
 use std::io;
@@ -109,6 +109,34 @@ impl IndexBuilder {
         self
     }
 
+    /// Enable or disable worker-death supervision (on by default). Off,
+    /// a dead parser is a fatal `ParserDisconnected` error — the
+    /// pre-supervisor pipeline semantics.
+    pub fn supervised(mut self, enabled: bool) -> Self {
+        self.config.supervision.enabled = enabled;
+        self
+    }
+
+    /// Heartbeat silence after which the watchdog declares a worker dead
+    /// and reassigns its partitions (default 30s).
+    pub fn stall_timeout(mut self, d: std::time::Duration) -> Self {
+        self.config.supervision = self.config.supervision.with_stall_timeout(d);
+        self
+    }
+
+    /// Replace the whole supervision policy at once.
+    pub fn supervision(mut self, policy: SupervisorPolicy) -> Self {
+        self.config.supervision = policy;
+        self
+    }
+
+    /// Inject a seeded worker-fault schedule (chaos testing): kills and
+    /// stalls at chosen pipeline points. Inert when supervision is off.
+    pub fn worker_faults(mut self, plan: WorkerFaultPlan) -> Self {
+        self.config.worker_faults = plan;
+        self
+    }
+
     /// Record an event-level trace of the build (per-worker timelines,
     /// stall spans, queue-depth samples). The merged trace lands in the
     /// report's `trace` field; export with `Trace::to_chrome_json`.
@@ -197,13 +225,25 @@ mod tests {
             .gpus(0)
             .popular_count(5)
             .max_retries(5)
-            .on_fault(FaultAction::SkipFile);
+            .on_fault(FaultAction::SkipFile)
+            .stall_timeout(std::time::Duration::from_secs(5))
+            .supervised(false);
         assert_eq!(b.pipeline_config().num_parsers, 3);
         assert_eq!(b.pipeline_config().num_cpu_indexers, 1);
         assert_eq!(b.pipeline_config().num_gpus, 0);
         assert_eq!(b.pipeline_config().popular_count, 5);
         assert_eq!(b.pipeline_config().fault_policy.max_retries, 5);
         assert_eq!(b.pipeline_config().fault_policy.action, FaultAction::SkipFile);
+        assert_eq!(
+            b.pipeline_config().supervision.stall_timeout,
+            std::time::Duration::from_secs(5)
+        );
+        assert!(!b.pipeline_config().supervision.enabled);
+        let b = b.supervised(true).worker_faults(
+            WorkerFaultPlan::none().kill(ii_pipeline::WorkerClass::GpuIndexer, 0, 1),
+        );
+        assert!(b.pipeline_config().supervision.enabled);
+        assert!(!b.pipeline_config().worker_faults.is_empty());
     }
 
     #[test]

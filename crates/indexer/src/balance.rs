@@ -21,6 +21,11 @@ pub enum Owner {
 }
 
 /// The lifetime-fixed assignment of trie collections to indexers.
+///
+/// The *shard* assignment (trie collection → indexer slot) never changes;
+/// what may change mid-build is which executor *hosts* a slot after its
+/// original worker dies. [`BalancePlan::takeover_host`] picks the new host
+/// from the same sampled loads the plan was built from.
 #[derive(Clone, Debug)]
 pub struct BalancePlan {
     owners: HashMap<u32, Owner>,
@@ -28,6 +33,10 @@ pub struct BalancePlan {
     pub popular: Vec<u32>,
     n_cpu: usize,
     n_gpu: usize,
+    /// Sampled token load per CPU set (same order as `Owner::Cpu(i)`).
+    cpu_load: Vec<u64>,
+    /// Sampled token load per GPU (same order as `Owner::Gpu(i)`).
+    gpu_load: Vec<u64>,
 }
 
 impl BalancePlan {
@@ -39,6 +48,29 @@ impl BalancePlan {
     /// Number of GPU indexers planned for.
     pub fn n_gpu(&self) -> usize {
         self.n_gpu
+    }
+
+    /// Sampled token load assigned to `owner` when the plan was built.
+    pub fn sampled_load(&self, owner: Owner) -> u64 {
+        match owner {
+            Owner::Cpu(i) => self.cpu_load.get(i).copied().unwrap_or(0),
+            Owner::Gpu(i) => self.gpu_load.get(i).copied().unwrap_or(0),
+        }
+    }
+
+    /// Pick the CPU executor that should absorb a dead worker's shard: the
+    /// alive survivor carrying the least load, counting both its sampled
+    /// plan load and any load already adopted from earlier deaths
+    /// (`adopted_load`, indexed like `alive`). Ties break toward the lower
+    /// executor index for determinism. `None` when no CPU executor is
+    /// alive (the caller degrades to its own thread).
+    pub fn takeover_host(&self, alive: &[bool], adopted_load: &[u64]) -> Option<usize> {
+        (0..self.n_cpu)
+            .filter(|&i| alive.get(i).copied().unwrap_or(false))
+            .min_by_key(|&i| {
+                self.cpu_load.get(i).copied().unwrap_or(0)
+                    + adopted_load.get(i).copied().unwrap_or(0)
+            })
     }
 
     /// Owner of a trie collection. Collections absent from the sample are
@@ -103,18 +135,19 @@ pub fn make_plan(
         (&by_tokens[..cut], &by_tokens[cut..])
     };
 
+    let mut cpu_load = vec![0u64; n_cpu];
     if n_cpu > 0 {
         // Greedy balanced partition into N1 sets by token count (items
         // arrive heaviest-first, go to the lightest set).
-        let mut set_tokens = vec![0u64; n_cpu];
         for &(ti, tok) in popular_slice {
             let lightest =
-                (0..n_cpu).min_by_key(|&s| set_tokens[s]).expect("n_cpu > 0");
-            set_tokens[lightest] += tok;
+                (0..n_cpu).min_by_key(|&s| cpu_load[s]).expect("n_cpu > 0");
+            cpu_load[lightest] += tok;
             owners.insert(ti, Owner::Cpu(lightest));
             popular.push(ti);
         }
     }
+    let mut gpu_load = vec![0u64; n_gpu];
     if n_gpu > 0 {
         // Paper's scheme: i-th unpopular collection (by trie index order)
         // goes to GPU index position mod N2.
@@ -122,13 +155,14 @@ pub fn make_plan(
         unpop.sort_unstable();
         for (i, ti) in unpop.into_iter().enumerate() {
             owners.insert(ti, Owner::Gpu(i % n_gpu));
+            gpu_load[i % n_gpu] += counts.get(&ti).copied().unwrap_or(0);
         }
     } else {
         // CPU-only: the "rest" is empty by construction above.
         debug_assert!(rest.is_empty());
     }
 
-    BalancePlan { owners, popular, n_cpu, n_gpu }
+    BalancePlan { owners, popular, n_cpu, n_gpu, cpu_load, gpu_load }
 }
 
 #[cfg(test)]
@@ -207,6 +241,33 @@ mod tests {
     #[should_panic(expected = "at least one indexer")]
     fn zero_indexers_rejected() {
         make_plan(&HashMap::new(), 0, 0, 100);
+    }
+
+    #[test]
+    fn sampled_loads_match_the_assignment() {
+        let c = counts(&[(10, 1000), (20, 900), (30, 800), (40, 10), (50, 5)]);
+        let plan = make_plan(&c, 2, 1, 3);
+        // Greedy: 1000→cpu0, 900→cpu1, 800→cpu1.
+        assert_eq!(plan.sampled_load(Owner::Cpu(0)), 1000);
+        assert_eq!(plan.sampled_load(Owner::Cpu(1)), 1700);
+        assert_eq!(plan.sampled_load(Owner::Gpu(0)), 15);
+        assert_eq!(plan.sampled_load(Owner::Cpu(9)), 0, "out-of-range owner carries nothing");
+    }
+
+    #[test]
+    fn takeover_prefers_lightest_alive_survivor() {
+        let c = counts(&[(10, 1000), (20, 900), (30, 800), (40, 10)]);
+        let plan = make_plan(&c, 3, 1, 3);
+        // Loads: cpu0 = 1000, cpu1 = 900, cpu2 = 800.
+        assert_eq!(plan.takeover_host(&[true, true, true], &[0, 0, 0]), Some(2));
+        // Adopted load counts against a survivor: cpu2 already absorbed 500.
+        assert_eq!(plan.takeover_host(&[true, true, true], &[0, 0, 500]), Some(1));
+        // Dead executors are never hosts.
+        assert_eq!(plan.takeover_host(&[true, false, false], &[0, 0, 0]), Some(0));
+        assert_eq!(plan.takeover_host(&[false, false, false], &[0, 0, 0]), None);
+        // Ties break toward the lower index.
+        let even = make_plan(&counts(&[(1, 10), (2, 10)]), 2, 0, 2);
+        assert_eq!(even.takeover_host(&[true, true], &[0, 0]), Some(0));
     }
 
     #[test]

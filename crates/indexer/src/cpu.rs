@@ -48,6 +48,21 @@ impl CpuIndexer {
         CpuIndexer { id: dict.indexer_id, dict, lists, stats: WorkloadStats::default() }
     }
 
+    /// Take over a dead worker's shard mid-run: adopt its dictionary
+    /// *and* its pending (un-flushed) postings lists, so indexing continues
+    /// exactly where the dead worker stopped. Unlike [`Self::restore`]
+    /// (which assumes a run-boundary checkpoint with empty lists), this is
+    /// the mid-run takeover path — the GPU salvage drain hands over lists
+    /// in the same doc order the CPU path maintains, so the continued
+    /// build's run files stay byte-identical. Lists are padded so every
+    /// dictionary handle is addressable.
+    pub fn adopt(dict: PartialDictionary, mut lists: Vec<PostingsList>) -> Self {
+        if lists.len() < dict.term_count() as usize {
+            lists.resize_with(dict.term_count() as usize, PostingsList::new);
+        }
+        CpuIndexer { id: dict.indexer_id, dict, lists, stats: WorkloadStats::default() }
+    }
+
     /// Index one parsed trie group. `doc_offset` is the global document-ID
     /// offset of the batch (the parser assigned local IDs from 0).
     pub fn index_group(&mut self, group: &TrieGroup, doc_offset: u32) {

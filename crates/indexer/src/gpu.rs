@@ -372,6 +372,36 @@ impl GpuIndexer {
         RunFile::build(run_id, self.id, &mut it, codec)
     }
 
+    /// Failure-domain salvage: read the device postings log +
+    /// current-posting table into per-handle host lists *without* clearing
+    /// any device state — the same reconstruction [`Self::flush_run`]
+    /// performs, minus the drain. Used when this GPU is declared dead
+    /// mid-run: together with [`Self::into_partial_dictionary`] it gives a
+    /// CPU successor the exact pending state (lists end up in the same
+    /// doc order the CPU path would have appended), so a takeover at a
+    /// batch boundary continues byte-identically.
+    pub fn salvage_pending_lists(&mut self) -> Vec<PostingsList> {
+        let n_log = self.read_ctr(self.ctr_log) as usize;
+        let log_bytes = self.mem.host_read(self.log_area, n_log * 12);
+        let n_terms = self.term_count() as usize;
+        let table_bytes = self.mem.host_read(self.table, n_terms * 8);
+        let mut lists: Vec<PostingsList> = vec![PostingsList::new(); n_terms];
+        for rec in log_bytes.chunks_exact(12) {
+            let handle = u32::from_le_bytes(rec[0..4].try_into().unwrap()) as usize;
+            let doc = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+            let tf = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+            lists[handle].push(Posting { doc: DocId(doc), tf });
+        }
+        for (handle, rec) in table_bytes.chunks_exact(8).enumerate() {
+            let doc = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+            if doc != EMPTY_DOC {
+                let tf = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+                lists[handle].push(Posting { doc: DocId(doc), tf });
+            }
+        }
+        lists
+    }
+
     /// End of program: download the device arenas and reinterpret them as
     /// a host dictionary shard (identical layouts).
     pub fn into_partial_dictionary(&mut self) -> PartialDictionary {

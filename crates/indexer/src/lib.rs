@@ -20,5 +20,5 @@ pub use balance::{make_plan, sample_counts, BalancePlan, Owner};
 pub use cpu::CpuIndexer;
 pub use gpu::{GpuBatchReport, GpuIndexer, GpuIndexerConfig};
 pub use positional::{PositionalIndex, PositionalIndexer};
-pub use run::{BatchTiming, IndexerPool};
+pub use run::{BatchTiming, Host, IndexerPool, Takeover};
 pub use stats::WorkloadStats;

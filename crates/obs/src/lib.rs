@@ -39,7 +39,7 @@ pub use trace::{
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Version of the snapshot JSON layout (`--stats-json`, bench snapshots).
 /// Bump when keys change shape so downstream tooling can branch.
@@ -77,6 +77,60 @@ impl Counter {
     /// Reset to zero (between benchmark iterations).
     pub fn reset(&self) {
         self.0.store(0, Relaxed);
+    }
+}
+
+/// A worker liveness beacon: the worker bumps it on every unit of
+/// progress, a watchdog on another thread reads how long it has been
+/// silent.
+///
+/// The beacon is fed from the existing trace-span instrumentation — every
+/// [`trace::TraceSink::span`] on a sink carrying a heartbeat bumps it, so
+/// workers need no extra instrumentation and a worker that stops opening
+/// spans (stalled read, wedged kernel, dead thread) goes visibly silent.
+/// Self-contained: it carries its own `Instant` origin, so beats and
+/// idleness reads never depend on any tracer state.
+#[derive(Debug)]
+pub struct Heartbeat {
+    origin: Instant,
+    last_beat_ns: AtomicU64,
+    beats: AtomicU64,
+}
+
+impl Default for Heartbeat {
+    fn default() -> Self {
+        Heartbeat::new()
+    }
+}
+
+impl Heartbeat {
+    /// A fresh beacon; creation counts as the first sign of life.
+    pub fn new() -> Heartbeat {
+        Heartbeat {
+            origin: Instant::now(),
+            last_beat_ns: AtomicU64::new(0),
+            beats: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one unit of progress (relaxed store + add; ~ns cost).
+    #[inline]
+    pub fn beat(&self) {
+        let ns = self.origin.elapsed().as_nanos() as u64;
+        self.last_beat_ns.store(ns, Relaxed);
+        self.beats.fetch_add(1, Relaxed);
+    }
+
+    /// How long the worker has been silent (time since the last beat, or
+    /// since creation if it never beat).
+    pub fn idle(&self) -> Duration {
+        let now = self.origin.elapsed().as_nanos() as u64;
+        Duration::from_nanos(now.saturating_sub(self.last_beat_ns.load(Relaxed)))
+    }
+
+    /// Total beats recorded.
+    pub fn beats(&self) -> u64 {
+        self.beats.load(Relaxed)
     }
 }
 
@@ -680,6 +734,17 @@ mod tests {
         // Balanced braces/brackets — cheap structural validity check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn heartbeat_tracks_silence() {
+        let hb = Heartbeat::new();
+        assert_eq!(hb.beats(), 0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(hb.idle() >= Duration::from_millis(2), "never-beaten = idle since birth");
+        hb.beat();
+        assert_eq!(hb.beats(), 1);
+        assert!(hb.idle() < Duration::from_millis(2), "beat resets the idle clock");
     }
 
     #[test]

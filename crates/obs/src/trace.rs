@@ -295,7 +295,7 @@ impl Tracer {
                     dropped: AtomicU64::new(0),
                 });
                 inner.buffers.lock().unwrap().push(Arc::clone(&buf));
-                TraceSink { shared: Some(SinkShared { epoch: inner.epoch, buf }) }
+                TraceSink { shared: Some(SinkShared { epoch: inner.epoch, buf }), heartbeat: None }
             }
         }
     }
@@ -350,6 +350,7 @@ struct SinkShared {
 /// logical timeline).
 pub struct TraceSink {
     shared: Option<SinkShared>,
+    heartbeat: Option<Arc<crate::Heartbeat>>,
 }
 
 impl Clone for TraceSink {
@@ -359,6 +360,7 @@ impl Clone for TraceSink {
                 .shared
                 .as_ref()
                 .map(|s| SinkShared { epoch: s.epoch, buf: Arc::clone(&s.buf) }),
+            heartbeat: self.heartbeat.clone(),
         }
     }
 }
@@ -372,7 +374,7 @@ impl Default for TraceSink {
 impl TraceSink {
     /// A sink that records nothing.
     pub fn disabled() -> TraceSink {
-        TraceSink { shared: None }
+        TraceSink { shared: None, heartbeat: None }
     }
 
     /// Whether spans on this sink are recorded.
@@ -381,10 +383,23 @@ impl TraceSink {
         self.shared.is_some()
     }
 
+    /// Attach a liveness beacon: every span opened on the sink (recorded
+    /// or not) bumps `hb`, so the existing span instrumentation doubles as
+    /// the worker's heartbeat feed. Independent of whether tracing is
+    /// enabled.
+    pub fn with_heartbeat(mut self, hb: Arc<crate::Heartbeat>) -> TraceSink {
+        self.heartbeat = Some(hb);
+        self
+    }
+
     /// Open a span of `kind`; recorded into the worker's ring on drop.
-    /// Disabled sinks read no clock and record nothing.
+    /// Disabled sinks read no clock and record nothing (a sink with no
+    /// heartbeat pays only one `Option` check).
     #[inline]
     pub fn span(&self, kind: TraceKind) -> TraceSpan<'_> {
+        if let Some(hb) = &self.heartbeat {
+            hb.beat();
+        }
         let t_start_ns = match &self.shared {
             Some(s) => s.epoch.elapsed().as_nanos() as u64,
             None => 0,
@@ -759,6 +774,16 @@ mod tests {
         }
         t.gauge("q").sample(3);
         assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn spans_feed_an_attached_heartbeat() {
+        let hb = Arc::new(crate::Heartbeat::new());
+        let sink = TraceSink::disabled().with_heartbeat(Arc::clone(&hb));
+        assert_eq!(hb.beats(), 0);
+        drop(sink.span(TraceKind::Parse));
+        drop(sink.span(TraceKind::Read));
+        assert_eq!(hb.beats(), 2, "heartbeats flow even with tracing disabled");
     }
 
     #[test]

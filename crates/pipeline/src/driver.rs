@@ -25,10 +25,12 @@ use crate::checkpoint::{
 use crate::docmap::DocMap;
 use crate::fault::{
     FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,
+    WorkerClass, WorkerFaultKind, WorkerFaultPlan,
 };
 use crate::parsers::{
-    panic_message, BatchRecycler, ParserObs, ParserPool, RoundRobin, SpawnOptions,
+    panic_message, BatchRecycler, ParserObs, ParserPool, SpawnOptions, SupervisedRoundRobin,
 };
+use crate::supervisor::{DeathCause, Supervisor, SupervisorPolicy};
 use ii_corpus::StoredCollection;
 use ii_obs::{Registry, Trace, TraceConfig, TraceKind, Tracer};
 use ii_dict::{GlobalDictionary, PartialDictionary};
@@ -76,6 +78,15 @@ pub struct PipelineConfig {
     /// config fingerprint: tracing never changes index bytes, so a traced
     /// build may resume an untraced one and vice versa.
     pub trace: TraceConfig,
+    /// Failure-domain supervision: per-worker heartbeats, the stall
+    /// watchdog, and shard reassignment on worker death. Excluded from the
+    /// checkpoint config fingerprint — supervision changes how a build
+    /// executes, never what it produces.
+    pub supervision: SupervisorPolicy,
+    /// Seeded worker-kill/stall schedule (chaos testing; empty by
+    /// default). Also fingerprint-excluded: a degraded build's output is
+    /// byte-identical to a healthy one.
+    pub worker_faults: WorkerFaultPlan,
 }
 
 impl Default for PipelineConfig {
@@ -94,6 +105,8 @@ impl Default for PipelineConfig {
             fault_policy: FaultPolicy::default(),
             reference_parser: false,
             trace: TraceConfig::default(),
+            supervision: SupervisorPolicy::default(),
+            worker_faults: WorkerFaultPlan::none(),
         }
     }
 }
@@ -170,6 +183,9 @@ pub struct PipelineReport {
     pub uncompressed_bytes: u64,
     /// Faults retried, recovered, and quarantined during the build.
     pub faults: FaultReport,
+    /// Worker deaths, shard reassignments, and degraded modes the
+    /// supervisor carried the build through.
+    pub supervision: crate::supervisor::SupervisionReport,
     /// Per-stage observability breakdown (wall, queue-wait, bytes, items)
     /// plus deep counters — the Table V / Fig 9 view of this build.
     pub stages: StageBreakdown,
@@ -257,7 +273,7 @@ pub fn sample_plan(
                 Ok(Ok(docs)) => break Some(docs),
                 Ok(Err(e)) if e.is_transient() && attempts < policy.max_retries => {
                     attempts += 1;
-                    std::thread::sleep(policy.backoff_for(attempts));
+                    std::thread::sleep(policy.jittered_backoff(attempts, f as u64));
                 }
                 Ok(Err(e)) => {
                     if policy.action == FaultAction::FailFast {
@@ -485,16 +501,6 @@ fn load_resume_state(
     }))
 }
 
-/// Snapshot every indexer's dictionary shard without consuming the pool
-/// (CPU shards clone; GPU shards download non-destructively).
-fn snapshot_parts(pool: &mut IndexerPool) -> Vec<PartialDictionary> {
-    let mut parts: Vec<PartialDictionary> = pool.cpus.iter().map(|c| c.dict.clone()).collect();
-    for g in &mut pool.gpus {
-        parts.push(g.into_partial_dictionary());
-    }
-    parts
-}
-
 /// Stage every sealed run into `txn` (unchanged runs are reused, not
 /// rewritten) plus the doc map.
 fn stage_runs_and_docmap(
@@ -529,7 +535,7 @@ fn commit_checkpoint(
     files_done: usize,
     report: &PipelineReport,
 ) -> Result<(), StoreError> {
-    let parts = snapshot_parts(pool);
+    let parts = pool.snapshot_shards();
     let mut txn = Txn::begin(&opts.dir, opts.vfs)?.with_registry(Arc::clone(registry));
     stage_runs_and_docmap(&mut txn, run_sets, doc_map)?;
     let mut indexers = Vec::with_capacity(parts.len());
@@ -555,6 +561,51 @@ fn commit_checkpoint(
     txn.put(CHECKPOINT_ARTIFACT, &bytes)?;
     txn.commit(ManifestKind::Checkpoint)?;
     Ok(())
+}
+
+/// Fire any scheduled indexer kills/stalls for this batch ordinal. A kill
+/// marks the executor dead and reassigns its shards to the lightest
+/// survivors; a stall sleeps on the spot (indexer executors run on the
+/// driver thread) and is treated as a death only when the silence would
+/// exceed the watchdog timeout. Inert when supervision is disabled.
+fn inject_indexer_faults(
+    cfg: &PipelineConfig,
+    pool: &mut IndexerPool,
+    supervisor: &mut Supervisor,
+    batch_ordinal: usize,
+) {
+    if !cfg.supervision.enabled {
+        return;
+    }
+    for (class, count) in [
+        (WorkerClass::CpuIndexer, cfg.num_cpu_indexers),
+        (WorkerClass::GpuIndexer, cfg.num_gpus),
+    ] {
+        for idx in 0..count {
+            let Some(kind) = cfg.worker_faults.fault_at(class, idx, batch_ordinal) else {
+                continue;
+            };
+            let cause = match kind {
+                WorkerFaultKind::Kill => DeathCause::Injected,
+                WorkerFaultKind::Stall(d) if d < cfg.supervision.stall_timeout => {
+                    // A hiccup the watchdog tolerates: the executor pauses
+                    // and resumes; nothing is reassigned.
+                    std::thread::sleep(d);
+                    continue;
+                }
+                WorkerFaultKind::Stall(d) => DeathCause::Stall(d),
+            };
+            let takeovers = match class {
+                WorkerClass::CpuIndexer => pool.kill_cpu(idx),
+                WorkerClass::GpuIndexer => pool.kill_gpu(idx),
+                WorkerClass::Parser => unreachable!("parser faults fire in the parser threads"),
+            };
+            if supervisor.declare_dead(class, idx, cause) {
+                let gpu = takeovers.iter().filter(|t| t.gpu_takeover).count() as u32;
+                supervisor.record_reassignments(takeovers.len() as u32, gpu);
+            }
+        }
+    }
 }
 
 fn build_inner(
@@ -622,6 +673,19 @@ fn build_inner(
     // own workers in the trace even though they execute on this thread.
     pool.attach_tracer(&tracer);
 
+    // Failure-domain supervision: one heartbeat per worker, bumped by that
+    // worker's trace spans (liveness without new instrumentation). The
+    // driver thread is the watchdog.
+    let mut supervisor = Supervisor::new();
+    let parser_beats: Vec<_> =
+        (0..cfg.num_parsers).map(|p| supervisor.register(WorkerClass::Parser, p)).collect();
+    let cpu_beats: Vec<_> = (0..cfg.num_cpu_indexers)
+        .map(|i| supervisor.register(WorkerClass::CpuIndexer, i))
+        .collect();
+    let gpu_beats: Vec<_> =
+        (0..cfg.num_gpus).map(|g| supervisor.register(WorkerClass::GpuIndexer, g)).collect();
+    pool.attach_heartbeats(&cpu_beats, &gpu_beats);
+
     // One registry per build: concurrent builds (parallel tests, library
     // embedders) never interleave metrics.
     let registry = Arc::new(Registry::new());
@@ -632,18 +696,21 @@ fn build_inner(
     // pool; size it to the in-flight window (one slot per buffered batch
     // per parser, plus the one being indexed).
     let recycler = BatchRecycler::new(cfg.num_parsers * cfg.buffer_depth + 1);
-    let parser_pool = ParserPool::spawn_with(
+    let spawn_options = SpawnOptions {
+        start_file,
+        recycler: Some(recycler.clone()),
+        reference_parser: cfg.reference_parser,
+        tracer: tracer.clone(),
+        heartbeats: parser_beats,
+        worker_faults: cfg.worker_faults.clone(),
+    };
+    let mut parser_pool = ParserPool::spawn_with(
         Arc::clone(collection),
         cfg.num_parsers,
         cfg.buffer_depth,
         cfg.fault_policy,
         ParserObs::from_registry(&registry),
-        SpawnOptions {
-            start_file,
-            recycler: Some(recycler.clone()),
-            reference_parser: cfg.reference_parser,
-            tracer: tracer.clone(),
-        },
+        spawn_options.clone(),
     );
     // Sampled queue-depth gauges on every inter-stage channel: one per
     // parser output buffer plus the recycler return pool, mirrored into
@@ -660,17 +727,30 @@ fn build_inner(
         (registry.gauge("recycler.pool.depth"), tracer.gauge("recycler.pool"));
     let mut batches_in_run = 0usize;
     let mut runs_since_checkpoint = 0usize;
+    let mut batch_ordinal = 0usize;
     let mut files_done;
-    let round_robin =
-        RoundRobin::starting_at(&parser_pool.buffers, collection.num_files(), start_file)
-            .with_queue_wait(Arc::clone(&index_stage))
-            .with_trace(driver_sink.clone());
-    for msg in round_robin {
+    // The supervised consumer owns the parser buffers: it watches for
+    // disconnects and heartbeat stalls, and re-ingests a dead parser's
+    // files inline. With supervision disabled it degrades to the strict
+    // fail-on-disconnect consumer.
+    let mut round_robin = SupervisedRoundRobin::new(
+        &mut parser_pool,
+        Arc::clone(collection),
+        collection.num_files(),
+        start_file,
+        cfg.fault_policy,
+        ParserObs::from_registry(&registry),
+        spawn_options,
+        cfg.supervision,
+    )
+    .with_queue_wait(Arc::clone(&index_stage))
+    .with_trace(driver_sink.clone());
+    while let Some(msg) = round_robin.next() {
         let msg = msg?;
         files_done = msg.file_idx() + 1;
         let queue_wait_seconds = msg.queue_wait_seconds;
-        for ((gauge, series), rx) in queue_gauges.iter().zip(&parser_pool.buffers) {
-            let depth = rx.len() as i64;
+        for (p, (gauge, series)) in queue_gauges.iter().enumerate() {
+            let depth = round_robin.queue_depth(p) as i64;
             gauge.set(depth);
             series.sample(depth);
         }
@@ -717,6 +797,18 @@ fn build_inner(
             .file_uncompressed_bytes
             .get(batch.file_idx)
             .unwrap_or(&0);
+        // Chaos injection for the indexer classes, at the batch boundary —
+        // a clean point where every shard's state is whole, mirroring the
+        // granularity at which the supervisor reassigns work.
+        if !cfg.worker_faults.is_empty() {
+            inject_indexer_faults(cfg, &mut pool, &mut supervisor, batch_ordinal);
+        }
+        // Aliveness before the batch: any executor dead afterwards was
+        // killed by an in-batch panic, which the watchdog records.
+        let cpu_alive_before: Vec<bool> =
+            (0..cfg.num_cpu_indexers).map(|i| pool.cpu_is_alive(i)).collect();
+        let gpu_alive_before: Vec<bool> =
+            (0..cfg.num_gpus).map(|g| pool.gpu_is_alive(g)).collect();
         let t0 = Instant::now();
         let timing = {
             let mut span = index_stage.span();
@@ -726,6 +818,42 @@ fn build_inner(
             tspan.add_bytes(file_bytes);
             pool.index_batch(&batch)
         };
+        batch_ordinal += 1;
+        if !timing.panics.is_empty() {
+            // A genuine mid-batch panic is contained and the shard
+            // reassigned, but the shard's partial work for this batch has
+            // unknown extent — the build completes, without the
+            // byte-identity guarantee. Record who died and why.
+            let first_panic = timing.panics[0].1.clone();
+            for (shard, msg) in &timing.panics {
+                supervisor
+                    .record_lossy(format!("shard {shard} panicked mid-batch: {msg}"));
+            }
+            for (i, was_alive) in cpu_alive_before.iter().enumerate() {
+                if *was_alive && !pool.cpu_is_alive(i) {
+                    supervisor.declare_dead(
+                        WorkerClass::CpuIndexer,
+                        i,
+                        DeathCause::Panic(first_panic.clone()),
+                    );
+                }
+            }
+            for (g, was_alive) in gpu_alive_before.iter().enumerate() {
+                if *was_alive && !pool.gpu_is_alive(g) {
+                    supervisor.declare_dead(
+                        WorkerClass::GpuIndexer,
+                        g,
+                        DeathCause::Panic(first_panic.clone()),
+                    );
+                }
+            }
+        }
+        if !timing.takeovers.is_empty() {
+            let gpu_takeovers =
+                timing.takeovers.iter().filter(|t| t.gpu_takeover).count() as u32;
+            supervisor.record_reassignments(timing.takeovers.len() as u32, gpu_takeovers);
+        }
+        supervisor.report.fallback_seconds += timing.fallback_seconds;
         let wall = t0.elapsed().as_secs_f64();
         let modeled = timing.stage_seconds();
         report.pre_processing_seconds +=
@@ -782,12 +910,25 @@ fn build_inner(
         report.post_processing_seconds += t0.elapsed().as_secs_f64();
     }
     report.streaming_seconds = t_stream.elapsed().as_secs_f64();
+    // Fold the consumer-side supervision ledger: parser deaths the
+    // watchdog declared, and the files the driver re-ingested inline.
+    for d in round_robin.deaths() {
+        supervisor.declare_dead(d.class, d.index, d.cause.clone());
+    }
+    supervisor.report.inline_parsed_files += round_robin.inline_parsed_files();
+    let inline_timing = round_robin.inline_timing();
+    // Release the receivers so a parser parked on a full buffer exits.
+    drop(round_robin);
     let parser_timings = parser_pool.join();
     report.parser_busy_seconds = parser_timings
         .iter()
         .map(|t| t.read_seconds + t.decompress_seconds + t.parse_seconds)
-        .sum();
-    report.read_seconds = parser_timings.iter().map(|t| t.read_seconds).sum();
+        .sum::<f64>()
+        + inline_timing.read_seconds
+        + inline_timing.decompress_seconds
+        + inline_timing.parse_seconds;
+    report.read_seconds =
+        parser_timings.iter().map(|t| t.read_seconds).sum::<f64>() + inline_timing.read_seconds;
 
     report.docs = pool.docs_indexed();
     let (cpu_stats, gpu_stats) = pool.workload_split();
@@ -805,6 +946,13 @@ fn build_inner(
         registry.counter("dict.cache_hits").add(c.dict.store.cache_hits);
         registry.counter("dict.cache_misses").add(c.dict.store.cache_misses);
         registry.counter("dict.node_splits").add(c.dict.store.node_splits);
+    }
+    // Shards salvaged off dead GPUs continue on the CPU dictionary path;
+    // their tallies belong in the same counters.
+    for a in pool.adopted_shards() {
+        registry.counter("dict.cache_hits").add(a.dict.store.cache_hits);
+        registry.counter("dict.cache_misses").add(a.dict.store.cache_misses);
+        registry.counter("dict.node_splits").add(a.dict.store.node_splits);
     }
     for g in &pool.gpus {
         let m = &g.kernel_metrics;
@@ -850,13 +998,45 @@ fn build_inner(
     if let Some(opts) = durable {
         // The final commit flips the manifest kind to Index; the commit's
         // garbage collection removes the checkpoint descriptor and shard
-        // artifacts the index no longer references.
-        let mut txn = Txn::begin(&opts.dir, opts.vfs)?.with_registry(Arc::clone(&registry));
-        stage_runs_and_docmap(&mut txn, &run_sets, &doc_map)?;
-        txn.put(DICTIONARY_ARTIFACT, &dict_bytes)?;
-        txn.commit(ManifestKind::Index)?;
+        // artifacts the index no longer references. A retriable storage
+        // failure (disk full) retries the whole transaction — each attempt
+        // rebuilds it from scratch, the commit protocol is all-or-nothing —
+        // with jittered backoff; anything else is a typed error.
+        let mut attempt = 0u32;
+        loop {
+            let committed = (|| -> Result<(), StoreError> {
+                let mut txn =
+                    Txn::begin(&opts.dir, opts.vfs)?.with_registry(Arc::clone(&registry));
+                stage_runs_and_docmap(&mut txn, &run_sets, &doc_map)?;
+                txn.put(DICTIONARY_ARTIFACT, &dict_bytes)?;
+                txn.commit(ManifestKind::Index)?;
+                Ok(())
+            })();
+            match committed {
+                Ok(()) => break,
+                Err(e) if e.is_retriable() && attempt < cfg.fault_policy.max_retries => {
+                    attempt += 1;
+                    supervisor.report.commit_retries += 1;
+                    std::thread::sleep(
+                        cfg.fault_policy.jittered_backoff(attempt, 0xD15C_F0FF),
+                    );
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
+    // The supervisor's ledger, as registry counters (surfaced by
+    // `ii build --stats` and the JSON snapshot) and on the report.
+    let sup = &supervisor.report;
+    registry.counter("supervisor.worker_deaths").add(sup.deaths.len() as u64);
+    registry.counter("supervisor.reassignments").add(u64::from(sup.reassignments));
+    registry.counter("supervisor.gpu_takeovers").add(u64::from(sup.gpu_takeovers));
+    registry.counter("supervisor.inline_parsed_files").add(u64::from(sup.inline_parsed_files));
+    registry.counter("supervisor.commit_retries").add(u64::from(sup.commit_retries));
+    registry.counter("supervisor.lossy_incidents").add(sup.lossy_incidents.len() as u64);
+
+    report.supervision = supervisor.report;
     report.total_seconds = t_total.elapsed().as_secs_f64();
     report.stages = StageBreakdown::from_registry(&registry);
     report.trace = tracer.finish();
@@ -1140,6 +1320,125 @@ mod tests {
         match build_index_durable(&coll, &cfg, &opts) {
             Err(PipelineError::Resume(why)) => assert!(why.contains("completed"), "{why}"),
             other => panic!("expected completed-index refusal, got {:?}", other.map(|_| "index")),
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn gpu_death_mid_build_degrades_byte_identically() {
+        let mut spec = CollectionSpec::tiny(50);
+        spec.num_files = 6;
+        spec.docs_per_file = 8;
+        let (coll, dir) = stored("gpu-death", spec);
+        let cfg = PipelineConfig::small(2, 1, 1);
+        let baseline = build_index(&coll, &cfg).expect("healthy build");
+        assert!(baseline.report.supervision.is_clean());
+
+        // Kill the GPU indexer after the second batch: its shards must be
+        // salvaged onto the CPU path and the final index must not differ
+        // from the healthy build by a single byte.
+        let mut chaos = cfg.clone();
+        chaos.worker_faults = WorkerFaultPlan::none().kill(WorkerClass::GpuIndexer, 0, 2);
+        let out = build_index(&coll, &chaos).expect("GPU death must degrade, not abort");
+        assert_eq!(index_fingerprint(&out), index_fingerprint(&baseline));
+        let sup = &out.report.supervision;
+        assert_eq!(sup.deaths_of(WorkerClass::GpuIndexer), 1, "{}", sup.summary());
+        assert!(sup.gpu_takeovers >= 1, "{}", sup.summary());
+        assert!(sup.reassignments >= sup.gpu_takeovers);
+        assert!(sup.lossy_incidents.is_empty(), "clean-boundary kill is lossless");
+        assert!(!sup.is_clean());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn multi_class_chaos_reassigns_and_stays_byte_identical() {
+        let mut spec = CollectionSpec::tiny(51);
+        spec.num_files = 8;
+        spec.docs_per_file = 6;
+        let (coll, dir) = stored("multi-chaos", spec);
+        let cfg = PipelineConfig::small(2, 2, 1);
+        let baseline = build_index(&coll, &cfg).expect("healthy build");
+
+        // One CPU indexer killed mid-run (shards rehosted to the
+        // survivor), one parser killed (its remaining files re-ingested
+        // inline on the driver), one parser stalled past the watchdog
+        // timeout (same recovery path as a kill).
+        let mut chaos = cfg.clone();
+        chaos.supervision = SupervisorPolicy::default()
+            .with_stall_timeout(std::time::Duration::from_millis(200));
+        chaos.worker_faults = WorkerFaultPlan::none()
+            .kill(WorkerClass::CpuIndexer, 0, 3)
+            .kill(WorkerClass::Parser, 1, 3)
+            .stall(WorkerClass::Parser, 0, 6, std::time::Duration::from_secs(1));
+        let out = build_index(&coll, &chaos).expect("multi-class chaos must degrade");
+        assert_eq!(index_fingerprint(&out), index_fingerprint(&baseline));
+        let sup = &out.report.supervision;
+        assert_eq!(sup.deaths_of(WorkerClass::CpuIndexer), 1, "{}", sup.summary());
+        assert!(sup.deaths_of(WorkerClass::Parser) >= 2, "{}", sup.summary());
+        assert!(sup.reassignments >= 1, "{}", sup.summary());
+        assert!(sup.inline_parsed_files >= 1, "{}", sup.summary());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn supervision_disabled_keeps_plain_semantics() {
+        let mut spec = CollectionSpec::tiny(52);
+        spec.num_files = 4;
+        let (coll, dir) = stored("plain-mode", spec);
+        let mut cfg = PipelineConfig::small(2, 1, 0);
+        cfg.supervision = SupervisorPolicy::disabled();
+        // Injected faults are inert when supervision is off; the build is
+        // the pre-supervisor pipeline.
+        cfg.worker_faults = WorkerFaultPlan::none().kill(WorkerClass::CpuIndexer, 0, 1);
+        let out = build_index(&coll, &cfg).expect("plain build");
+        assert!(out.report.supervision.is_clean());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn disk_full_final_commit_is_retried_to_success() {
+        let mut spec = CollectionSpec::tiny(53);
+        spec.num_files = 4;
+        spec.docs_per_file = 6;
+        let (coll, dir) = stored("disk-full", spec);
+        let cfg = PipelineConfig::small(1, 1, 0);
+        let baseline = build_index(&coll, &cfg).expect("baseline");
+
+        // With no periodic checkpoints every storage op belongs to the
+        // final commit, so an ENOSPC window over ops 2-3 hits the first
+        // commit attempt (and the first retry) during early artifact
+        // writes; the ops of a later retry fall past the window and land.
+        let idx_dir = dir.join("index");
+        let full = CrashVfs::disk_full(2, 2);
+        let opts = DurableOptions::new(&idx_dir).with_vfs(&full);
+        let out = build_index_durable(&coll, &cfg, &opts).expect("commit retried past ENOSPC");
+        assert!(out.report.supervision.commit_retries >= 1, "retries must be reported");
+        assert!(!full.crashed(), "disk-full is pressure, not a crash");
+        assert_eq!(index_fingerprint(&out), index_fingerprint(&baseline));
+        let store = Store::open(&idx_dir).expect("index committed after retry");
+        assert_eq!(store.manifest().kind, ManifestKind::Index);
+        for st in store.verify() {
+            assert!(st.ok, "{}: {:?}", st.name, st.detail);
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn disk_full_past_retry_budget_fails_typed_and_retriable() {
+        let mut spec = CollectionSpec::tiny(54);
+        spec.num_files = 3;
+        let (coll, dir) = stored("disk-full-hard", spec);
+        let cfg = PipelineConfig::small(1, 1, 0);
+        // A volume that never frees space: the build must surface the
+        // typed, retriable error — not a torn index, not a panic.
+        let full = CrashVfs::disk_full(0, u64::MAX);
+        let opts = DurableOptions::new(dir.join("index")).with_vfs(&full);
+        match build_index_durable(&coll, &cfg, &opts) {
+            Err(PipelineError::Store(e)) => {
+                assert!(e.is_retriable(), "must classify as retriable: {e}");
+                assert!(matches!(e, StoreError::DiskFull { .. }), "{e:?}");
+            }
+            other => panic!("expected typed disk-full, got {:?}", other.map(|_| "index")),
         }
         std::fs::remove_dir_all(dir).unwrap();
     }

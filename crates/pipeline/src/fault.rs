@@ -133,6 +133,173 @@ impl FaultPolicy {
     pub fn backoff_for(&self, attempt: u32) -> Duration {
         self.retry_backoff * 2u32.saturating_pow(attempt.saturating_sub(1).min(6))
     }
+
+    /// Jittered backoff before retry number `attempt` (1-based): "equal
+    /// jitter" over the exponential base, uniformly in
+    /// `[base/2, base]`, so workers that hit the same fault at the same
+    /// moment (a shared disk glitch, a full volume) don't re-stampede the
+    /// resource in lockstep. Deterministic: the same `salt` (callers use
+    /// the file index or commit attempt) and `attempt` always yield the
+    /// same delay, keeping fault-injection replays exact.
+    pub fn jittered_backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.backoff_for(attempt);
+        let ns = base.as_nanos() as u64;
+        if ns == 0 {
+            return base;
+        }
+        let half = ns / 2;
+        let jitter = splitmix64(salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            % (ns - half + 1);
+        Duration::from_nanos(half + jitter)
+    }
+}
+
+/// SplitMix64 — the same deterministic mixer the corpus and store fault
+/// harnesses seed their injections with.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which worker class a seeded worker fault targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkerClass {
+    /// A parser thread.
+    Parser,
+    /// A CPU indexer executor.
+    CpuIndexer,
+    /// A GPU indexer.
+    GpuIndexer,
+}
+
+impl std::fmt::Display for WorkerClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerClass::Parser => write!(f, "parser"),
+            WorkerClass::CpuIndexer => write!(f, "cpu-indexer"),
+            WorkerClass::GpuIndexer => write!(f, "gpu-indexer"),
+        }
+    }
+}
+
+/// What an injected worker fault does at its trigger point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerFaultKind {
+    /// The worker dies on the spot (thread exits / executor marked dead).
+    Kill,
+    /// The worker goes silent for the given duration without making
+    /// progress — long enough and the watchdog declares it dead.
+    Stall(Duration),
+}
+
+/// One scheduled worker fault: `class`/`index` pick the worker, `at` the
+/// progress point where it fires — the *file index* a parser is about to
+/// ingest, or the *batch ordinal* (0-based count of batches consumed) an
+/// indexer is about to process. Faults fire at these clean boundaries so
+/// a kill never tears a half-indexed batch, mirroring how the supervisor
+/// reassigns work at batch granularity.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerFault {
+    /// Targeted worker class.
+    pub class: WorkerClass,
+    /// Worker index within its class.
+    pub index: usize,
+    /// File index (parsers) or batch ordinal (indexers) at which to fire.
+    pub at: usize,
+    /// Kill or stall.
+    pub kind: WorkerFaultKind,
+}
+
+/// A seeded schedule of worker kills and stalls (the chaos harness for
+/// the failure-domain supervisor). Deliberately *excluded* from the
+/// checkpoint config fingerprint, like the rest of the fault policy: the
+/// schedule changes how the build executes, never what it produces.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerFaultPlan {
+    /// Scheduled faults, in no particular order.
+    pub faults: Vec<WorkerFault>,
+}
+
+impl WorkerFaultPlan {
+    /// An empty schedule (no injected worker faults).
+    pub fn none() -> Self {
+        WorkerFaultPlan::default()
+    }
+
+    /// True when the schedule holds no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Add a kill of `class` worker `index` at progress point `at`.
+    pub fn kill(mut self, class: WorkerClass, index: usize, at: usize) -> Self {
+        self.faults.push(WorkerFault { class, index, at, kind: WorkerFaultKind::Kill });
+        self
+    }
+
+    /// Add a stall of `class` worker `index` at progress point `at`.
+    pub fn stall(mut self, class: WorkerClass, index: usize, at: usize, d: Duration) -> Self {
+        self.faults.push(WorkerFault { class, index, at, kind: WorkerFaultKind::Stall(d) });
+        self
+    }
+
+    /// The fault scheduled for (`class`, `index`, `at`), if any.
+    pub fn fault_at(&self, class: WorkerClass, index: usize, at: usize) -> Option<WorkerFaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.class == class && f.index == index && f.at == at)
+            .map(|f| f.kind)
+    }
+
+    /// Deterministic seeded schedule over a worker topology: up to
+    /// `max_faults` kills/stalls spread over parsers (file boundaries in
+    /// `0..num_files`) and indexers (batch ordinals in `0..num_files`).
+    /// The same seed always yields the same schedule.
+    pub fn seeded(
+        seed: u64,
+        num_parsers: usize,
+        n_cpu: usize,
+        n_gpu: usize,
+        num_files: usize,
+        max_faults: usize,
+    ) -> Self {
+        let mut plan = WorkerFaultPlan::default();
+        if num_files == 0 {
+            return plan;
+        }
+        let n_faults = (splitmix64(seed) as usize) % (max_faults + 1);
+        for k in 0..n_faults {
+            let r = splitmix64(seed ^ (k as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+            let classes: Vec<WorkerClass> = [
+                (num_parsers > 0).then_some(WorkerClass::Parser),
+                (n_cpu > 0).then_some(WorkerClass::CpuIndexer),
+                (n_gpu > 0).then_some(WorkerClass::GpuIndexer),
+            ]
+            .into_iter()
+            .flatten()
+            .collect();
+            if classes.is_empty() {
+                break;
+            }
+            let class = classes[(r as usize) % classes.len()];
+            let index = match class {
+                WorkerClass::Parser => (r >> 8) as usize % num_parsers,
+                WorkerClass::CpuIndexer => (r >> 8) as usize % n_cpu,
+                WorkerClass::GpuIndexer => (r >> 8) as usize % n_gpu,
+            };
+            let at = (r >> 24) as usize % num_files;
+            let kind = if r & 1 == 0 {
+                WorkerFaultKind::Kill
+            } else {
+                WorkerFaultKind::Stall(Duration::from_millis(1 + (r >> 48) % 20))
+            };
+            plan.faults.push(WorkerFault { class, index, at, kind });
+        }
+        plan
+    }
 }
 
 /// Everything the pipeline survived (or didn't) during one build.
@@ -253,6 +420,56 @@ mod tests {
         assert!(p.backoff_for(1) < p.backoff_for(3));
         // Capped: absurd attempt numbers don't overflow.
         assert_eq!(p.backoff_for(50), p.backoff_for(7));
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_equal_jitter_bounds() {
+        let p = FaultPolicy::default().with_max_retries(8);
+        for attempt in 1..=8u32 {
+            let base = p.backoff_for(attempt);
+            for salt in 0..200u64 {
+                let j = p.jittered_backoff(attempt, salt);
+                assert!(j >= base / 2, "attempt {attempt} salt {salt}: {j:?} < {:?}", base / 2);
+                assert!(j <= base, "attempt {attempt} salt {salt}: {j:?} > {base:?}");
+            }
+        }
+        // Deterministic: same (attempt, salt) -> same delay.
+        assert_eq!(p.jittered_backoff(3, 42), p.jittered_backoff(3, 42));
+        // Actually jittered: different salts must not all collapse to one
+        // value (that would be synchronized retries again).
+        let distinct: std::collections::HashSet<Duration> =
+            (0..50).map(|s| p.jittered_backoff(4, s)).collect();
+        assert!(distinct.len() > 10, "only {} distinct delays", distinct.len());
+        // Zero-base policies degrade gracefully.
+        let zero = FaultPolicy { retry_backoff: Duration::ZERO, ..FaultPolicy::default() };
+        assert_eq!(zero.jittered_backoff(1, 7), Duration::ZERO);
+    }
+
+    #[test]
+    fn worker_fault_plans_are_seeded_and_queryable() {
+        let plan = WorkerFaultPlan::none()
+            .kill(WorkerClass::GpuIndexer, 0, 3)
+            .stall(WorkerClass::Parser, 1, 5, Duration::from_millis(50));
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.fault_at(WorkerClass::GpuIndexer, 0, 3),
+            Some(WorkerFaultKind::Kill)
+        );
+        assert_eq!(
+            plan.fault_at(WorkerClass::Parser, 1, 5),
+            Some(WorkerFaultKind::Stall(Duration::from_millis(50)))
+        );
+        assert_eq!(plan.fault_at(WorkerClass::Parser, 0, 5), None);
+        // Seeded generation is deterministic and respects the topology.
+        let a = WorkerFaultPlan::seeded(99, 2, 1, 1, 10, 3);
+        let b = WorkerFaultPlan::seeded(99, 2, 1, 1, 10, 3);
+        assert_eq!(a.faults.len(), b.faults.len());
+        for (x, y) in a.faults.iter().zip(&b.faults) {
+            assert_eq!((x.class, x.index, x.at, x.kind), (y.class, y.index, y.at, y.kind));
+        }
+        let no_gpus = WorkerFaultPlan::seeded(7, 2, 2, 0, 10, 8);
+        assert!(no_gpus.faults.iter().all(|f| f.class != WorkerClass::GpuIndexer));
+        assert!(WorkerFaultPlan::seeded(1, 2, 1, 1, 0, 3).is_empty(), "no files, no faults");
     }
 
     #[test]

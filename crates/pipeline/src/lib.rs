@@ -15,6 +15,12 @@
 //! atomic-commit protocol at run-boundary checkpoints, and
 //! `DurableOptions::resume` continues an interrupted build byte-identically
 //! from its last committed checkpoint.
+//!
+//! And it survives its own workers: a [`Supervisor`] watches per-worker
+//! heartbeats fed from trace spans, declares panicked/stalled/disconnected
+//! workers dead, reassigns their trie-partition shards to survivors (GPU
+//! shards degrade gracefully to the CPU path, byte-identically), and the
+//! [`SupervisionReport`] in every build report says exactly what degraded.
 
 #![warn(missing_docs)]
 
@@ -24,6 +30,7 @@ pub mod docmap;
 pub mod driver;
 pub mod fault;
 pub mod parsers;
+pub mod supervisor;
 
 pub use breakdown::StageBreakdown;
 pub use checkpoint::{
@@ -37,7 +44,12 @@ pub use driver::{
 };
 pub use fault::{
     FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,
+    WorkerClass, WorkerFault, WorkerFaultKind, WorkerFaultPlan,
 };
 pub use parsers::{
     BatchRecycler, ParsedFile, ParserObs, ParserPool, ParserTiming, RoundRobin, SpawnOptions,
+    SupervisedRoundRobin,
+};
+pub use supervisor::{
+    DeathCause, SupervisionReport, Supervisor, SupervisorPolicy, WorkerDeath,
 };

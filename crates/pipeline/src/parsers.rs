@@ -18,16 +18,20 @@
 //! poisoned parser surfaces as a `Panic`-class fault instead of hanging the
 //! consumer or silently truncating the stream.
 
-use crate::fault::{FaultAction, FaultClass, FaultPolicy, FaultStage, FileFault, PipelineError};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::fault::{
+    FaultAction, FaultClass, FaultPolicy, FaultStage, FileFault, PipelineError, WorkerClass,
+    WorkerFaultKind, WorkerFaultPlan,
+};
+use crate::supervisor::{DeathCause, SupervisorPolicy, WorkerDeath};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use ii_corpus::{compress, container, StoredCollection};
-use ii_obs::{Registry, Stage, TraceKind, TraceSink, Tracer};
+use ii_obs::{Heartbeat, Registry, Stage, TraceKind, TraceSink, Tracer};
 use ii_text::{parse_documents_into, parse_documents_reference, ParseScratch, ParsedBatch};
 use parking_lot::Mutex;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Stage handles the parser threads record into: one [`Stage`] per
 /// dataflow step of paper Step 1 (read, decompress) and Steps 2-5 (parse).
@@ -119,6 +123,14 @@ pub struct SpawnOptions {
     /// Event tracer; each parser registers a `parser-{p}` timeline. The
     /// default (disabled) tracer records nothing.
     pub tracer: Tracer,
+    /// Liveness beacons, one per parser in parser order (the supervisor's
+    /// registrations). Parser `p` bumps `heartbeats[p]` through its trace
+    /// spans; missing entries leave that parser unsupervised for stalls.
+    pub heartbeats: Vec<Arc<Heartbeat>>,
+    /// Seeded worker-fault schedule (chaos testing). A scheduled `Kill`
+    /// makes the parser thread exit just before ingesting the trigger
+    /// file; a `Stall` makes it sleep that long without heartbeating.
+    pub worker_faults: WorkerFaultPlan,
 }
 
 /// Per-parser timing accumulators (read under the disk lock vs the rest).
@@ -251,7 +263,10 @@ impl ParserPool {
             let obs = obs.clone();
             let options = options.clone();
             // Register timelines in parser order (before the threads race).
-            let sink = options.tracer.sink(&format!("parser-{p}"));
+            let mut sink = options.tracer.sink(&format!("parser-{p}"));
+            if let Some(hb) = options.heartbeats.get(p) {
+                sink = sink.with_heartbeat(Arc::clone(hb));
+            }
             let handle = std::thread::spawn(move || {
                 let mut timing = ParserTiming::default();
                 // Thread-owned working memory, carried across files so
@@ -262,6 +277,15 @@ impl ParserPool {
                 let mut file_idx =
                     start_file + (p + num_parsers - start_file % num_parsers) % num_parsers;
                 while file_idx < num_files {
+                    // Chaos injection: a scheduled kill ends this thread at
+                    // the file boundary (the channel disconnect is what the
+                    // watchdog observes); a stall sleeps without beating the
+                    // heartbeat, so only the watchdog timeout can notice.
+                    match options.worker_faults.fault_at(WorkerClass::Parser, p, file_idx) {
+                        Some(WorkerFaultKind::Kill) => break,
+                        Some(WorkerFaultKind::Stall(d)) => std::thread::sleep(d),
+                        None => {}
+                    }
                     // Crash containment: a panic anywhere in this file's
                     // ingest becomes a typed fault in its round-robin slot.
                     // (The scratch self-cleans any stale state on reuse.)
@@ -388,7 +412,9 @@ fn ingest_file(
                 let transient = io_is_transient(&e);
                 if transient && retries < policy.max_retries {
                     retries += 1;
-                    std::thread::sleep(policy.backoff_for(retries));
+                    // Jittered: parsers sharing a glitching disk must not
+                    // re-stampede it in lockstep.
+                    std::thread::sleep(policy.jittered_backoff(retries, file_idx as u64));
                     continue;
                 }
                 let class =
@@ -562,6 +588,281 @@ impl Iterator for RoundRobin<'_> {
     }
 }
 
+/// [`RoundRobin`] with a watchdog: consumes the parser buffers in strict
+/// file order, but survives parser death instead of aborting.
+///
+/// The consumer owns the receivers. While waiting for a file it polls with
+/// `recv_timeout`; a parser whose channel disconnects with files
+/// outstanding, or whose heartbeat stays silent past the stall timeout, is
+/// declared dead. Its receiver is dropped (unblocking the thread if it was
+/// parked on a full buffer, so it exits through its normal send-failure
+/// path) and every file the dead parser still owed is re-ingested *inline
+/// on the consumer thread* — same read/decompress/parse code, same fault
+/// classification, same round-robin slot — so document IDs and the final
+/// index stay byte-identical to a healthy build.
+pub struct SupervisedRoundRobin {
+    /// One slot per parser; `None` once that parser is declared dead.
+    buffers: Vec<Option<Receiver<ParsedFile>>>,
+    heartbeats: Vec<Option<Arc<Heartbeat>>>,
+    next_file: usize,
+    num_files: usize,
+    queue_wait: Option<Arc<Stage>>,
+    trace: TraceSink,
+    supervision: SupervisorPolicy,
+    // Inline re-ingest context for files a dead parser owed.
+    collection: Arc<StoredCollection>,
+    policy: FaultPolicy,
+    obs: ParserObs,
+    options: SpawnOptions,
+    disk: Arc<Mutex<()>>,
+    scratch: ParseScratch,
+    inline_timing: ParserTiming,
+    deaths: Vec<WorkerDeath>,
+    inline_parsed: u32,
+}
+
+impl SupervisedRoundRobin {
+    /// Adopt `pool`'s buffers (the pool keeps only its join handles) and
+    /// iterate files `start_file..num_files` under watchdog supervision.
+    /// `options` must be the same option set the pool was spawned with —
+    /// its `heartbeats` pair the watchdog with the parser threads, and its
+    /// parse knobs keep inline re-ingest byte-identical. With
+    /// `supervision.enabled == false` the watchdog and inline takeover are
+    /// off and a dead parser is the fatal
+    /// [`PipelineError::ParserDisconnected`] of the unsupervised pipeline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pool: &mut ParserPool,
+        collection: Arc<StoredCollection>,
+        num_files: usize,
+        start_file: usize,
+        policy: FaultPolicy,
+        obs: ParserObs,
+        options: SpawnOptions,
+        supervision: SupervisorPolicy,
+    ) -> SupervisedRoundRobin {
+        let buffers: Vec<Option<Receiver<ParsedFile>>> =
+            std::mem::take(&mut pool.buffers).into_iter().map(Some).collect();
+        let heartbeats = (0..buffers.len())
+            .map(|p| options.heartbeats.get(p).cloned())
+            .collect();
+        SupervisedRoundRobin {
+            buffers,
+            heartbeats,
+            next_file: start_file,
+            num_files,
+            queue_wait: None,
+            trace: TraceSink::disabled(),
+            supervision,
+            collection,
+            policy,
+            obs,
+            options,
+            disk: Arc::new(Mutex::new(())),
+            scratch: ParseScratch::new(),
+            inline_timing: ParserTiming::default(),
+            deaths: Vec::new(),
+            inline_parsed: 0,
+        }
+    }
+
+    /// Record time blocked waiting on parser buffers into `stage`'s
+    /// `queue_wait_ns`.
+    pub fn with_queue_wait(mut self, stage: Arc<Stage>) -> Self {
+        self.queue_wait = Some(stage);
+        self
+    }
+
+    /// Record each blocking wait as a `parser_wait` stall span on `sink`
+    /// (the driver passes its own timeline). Inline re-ingest spans land
+    /// on the same timeline.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Parser deaths the watchdog declared, in declaration order.
+    pub fn deaths(&self) -> &[WorkerDeath] {
+        &self.deaths
+    }
+
+    /// Files re-ingested inline on the consumer thread for dead parsers.
+    pub fn inline_parsed_files(&self) -> u32 {
+        self.inline_parsed
+    }
+
+    /// Timing accumulated by inline re-ingest (folded into the parser
+    /// timings by the driver).
+    pub fn inline_timing(&self) -> ParserTiming {
+        self.inline_timing
+    }
+
+    /// Whether parser `p` has been declared dead.
+    pub fn parser_is_dead(&self, p: usize) -> bool {
+        self.buffers.get(p).is_some_and(|b| b.is_none())
+    }
+
+    /// Declare parser `p` dead: drop its receiver (a producer parked on a
+    /// full buffer errors out of its send and exits) and record the death.
+    fn declare_dead(&mut self, p: usize, cause: DeathCause) {
+        if let Some(slot) = self.buffers.get_mut(p) {
+            if slot.take().is_some() {
+                self.deaths.push(WorkerDeath { class: WorkerClass::Parser, index: p, cause });
+            }
+        }
+    }
+
+    /// Re-ingest `file_idx` on this thread with the exact pipeline the
+    /// dead parser would have run, including panic containment and fault
+    /// classification.
+    fn ingest_inline(&mut self, file_idx: usize) -> ParsedFile {
+        self.inline_parsed += 1;
+        let coll = &self.collection;
+        let disk = &self.disk;
+        let html = coll.manifest.spec.html;
+        let policy = &self.policy;
+        let timing = &mut self.inline_timing;
+        let obs = &self.obs;
+        let scratch = &mut self.scratch;
+        let options = &self.options;
+        let sink = &self.trace;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            ingest_file(coll, disk, html, file_idx, policy, timing, obs, scratch, options, sink)
+        }));
+        match outcome {
+            Ok((retries, Ok(batch))) => {
+                ParsedFile { retries, queue_wait_seconds: 0.0, result: Ok(batch) }
+            }
+            Ok((retries, Err((class, error)))) => ParsedFile {
+                retries: 0,
+                queue_wait_seconds: 0.0,
+                result: Err(FileFault {
+                    file_idx,
+                    class,
+                    retries,
+                    stage: FaultStage::Parsing,
+                    error,
+                }),
+            },
+            Err(payload) => ParsedFile {
+                retries: 0,
+                queue_wait_seconds: 0.0,
+                result: Err(FileFault {
+                    file_idx,
+                    class: FaultClass::Panic,
+                    retries: 0,
+                    stage: FaultStage::Parsing,
+                    error: panic_message(payload.as_ref()),
+                }),
+            },
+        }
+    }
+
+    /// Approximate queued-message depth of parser `p`'s buffer (0 once the
+    /// parser is dead) — feeds the driver's queue gauges.
+    pub fn queue_depth(&self, p: usize) -> usize {
+        self.buffers.get(p).and_then(|b| b.as_ref()).map_or(0, |rx| rx.len())
+    }
+
+    /// Wait for the next expected file from parser `p`, declare it dead
+    /// ([`Recv::Dead`] — the caller re-ingests inline), or, with
+    /// supervision off, surface the fatal disconnect ([`Recv::Fatal`]).
+    fn receive_or_bury(&mut self, p: usize) -> Recv {
+        let stall_timeout = self.supervision.stall_timeout;
+        // Poll fast enough to notice a stall promptly without busy-waiting.
+        let poll =
+            (stall_timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(500));
+        let t_start = Instant::now();
+        loop {
+            let rx = match self.buffers[p].as_ref() {
+                Some(rx) => rx,
+                None => return Recv::Dead,
+            };
+            if !self.supervision.enabled {
+                return match rx.recv() {
+                    Ok(msg) => Recv::Msg(msg),
+                    Err(_) => Recv::Fatal,
+                };
+            }
+            match rx.recv_timeout(poll) {
+                Ok(msg) => return Recv::Msg(msg),
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The thread exited with this file undelivered: a panic
+                    // outside per-file containment or an injected kill.
+                    self.declare_dead(p, DeathCause::Disconnect);
+                    return Recv::Dead;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Stall detection needs a heartbeat: progress beats come
+                    // from the parser's trace spans, so "no beat AND we have
+                    // been waiting for this file" past the timeout means the
+                    // worker is wedged, not merely slow on one step.
+                    let stalled = self.heartbeats[p]
+                        .as_ref()
+                        .is_some_and(|hb| hb.idle() >= stall_timeout)
+                        && t_start.elapsed() >= stall_timeout;
+                    if stalled {
+                        let idle = self.heartbeats[p].as_ref().map(|hb| hb.idle());
+                        self.declare_dead(p, DeathCause::Stall(idle.unwrap_or(stall_timeout)));
+                        return Recv::Dead;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one supervised wait on a parser buffer.
+enum Recv {
+    /// The expected message arrived.
+    Msg(ParsedFile),
+    /// The parser is dead; its slot must be re-ingested inline.
+    Dead,
+    /// Supervision is off and the parser disconnected — fatal.
+    Fatal,
+}
+
+impl Iterator for SupervisedRoundRobin {
+    type Item = Result<ParsedFile, PipelineError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_file >= self.num_files {
+            return None;
+        }
+        let parser = self.next_file % self.buffers.len();
+        let t_recv = Instant::now();
+        let received = if self.parser_is_dead(parser) {
+            Recv::Dead
+        } else {
+            // Clone the sink handle: the wait span must outlive the
+            // (mutably borrowing) receive below.
+            let trace = self.trace.clone();
+            let mut wspan = trace.span(TraceKind::ParserWait);
+            wspan.set_batch(self.next_file as u32);
+            self.receive_or_bury(parser)
+        };
+        let mut msg = match received {
+            Recv::Msg(msg) => msg,
+            // Dead parser: its slot is re-ingested inline, preserving the
+            // round-robin order (and with it docID determinism).
+            Recv::Dead => self.ingest_inline(self.next_file),
+            Recv::Fatal => {
+                let err =
+                    PipelineError::ParserDisconnected { parser, file_idx: self.next_file };
+                self.next_file = self.num_files; // fuse: the stream is dead
+                return Some(Err(err));
+            }
+        };
+        let waited = t_recv.elapsed();
+        if let Some(stage) = &self.queue_wait {
+            stage.queue_wait_ns.add(waited.as_nanos() as u64);
+        }
+        debug_assert_eq!(msg.file_idx(), self.next_file, "round-robin order violated");
+        msg.queue_wait_seconds = waited.as_secs_f64();
+        self.next_file += 1;
+        Some(Ok(msg))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -687,6 +988,110 @@ mod tests {
         assert!(fault.error.contains("injected parser panic"), "{}", fault.error);
         assert!(msgs[1].result.is_ok() && msgs[2].result.is_ok());
         pool.join(); // must not re-raise the panic
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    fn token_stream(
+        coll: &Arc<StoredCollection>,
+        options: SpawnOptions,
+        stall_timeout: Duration,
+    ) -> (Vec<(usize, u64)>, Vec<WorkerDeath>, u32) {
+        let mut pool = ParserPool::spawn_with(
+            Arc::clone(coll),
+            options.heartbeats.len().max(2),
+            2,
+            FaultPolicy::default(),
+            ParserObs::from_registry(&Registry::new()),
+            options.clone(),
+        );
+        let mut rr = SupervisedRoundRobin::new(
+            &mut pool,
+            Arc::clone(coll),
+            coll.num_files(),
+            0,
+            FaultPolicy::default(),
+            ParserObs::from_registry(&Registry::new()),
+            options,
+            SupervisorPolicy::default().with_stall_timeout(stall_timeout),
+        );
+        let tokens: Vec<(usize, u64)> = (&mut rr)
+            .map(|m| {
+                let b = m.unwrap().result.unwrap();
+                (b.file_idx, b.stats.terms_kept)
+            })
+            .collect();
+        let deaths = rr.deaths().to_vec();
+        let inline = rr.inline_parsed_files();
+        drop(rr); // release the receivers so blocked parsers can exit
+        pool.join();
+        (tokens, deaths, inline)
+    }
+
+    #[test]
+    fn supervised_consumer_survives_an_injected_parser_kill() {
+        let mut spec = CollectionSpec::tiny(37);
+        spec.num_files = 8;
+        let (coll, dir) = stored("worker-kill", spec);
+        let heartbeats = vec![Arc::new(ii_obs::Heartbeat::new()), Arc::new(ii_obs::Heartbeat::new())];
+        let healthy = token_stream(
+            &coll,
+            SpawnOptions { heartbeats: heartbeats.clone(), ..SpawnOptions::default() },
+            Duration::from_secs(30),
+        );
+        assert!(healthy.1.is_empty() && healthy.2 == 0, "healthy run declares no deaths");
+        // Parser 1 owns files 1,3,5,7 and dies just before file 3.
+        let faults = WorkerFaultPlan::none().kill(WorkerClass::Parser, 1, 3);
+        let (tokens, deaths, inline) = token_stream(
+            &coll,
+            SpawnOptions {
+                heartbeats: heartbeats.clone(),
+                worker_faults: faults,
+                ..SpawnOptions::default()
+            },
+            Duration::from_secs(30),
+        );
+        assert_eq!(tokens, healthy.0, "inline re-ingest is byte-identical");
+        assert_eq!(deaths.len(), 1);
+        assert_eq!(deaths[0].index, 1);
+        assert!(matches!(deaths[0].cause, DeathCause::Disconnect), "{:?}", deaths[0].cause);
+        assert_eq!(inline, 3, "files 3, 5, 7 re-ingested inline");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn supervised_consumer_declares_a_stalled_parser_dead() {
+        let mut spec = CollectionSpec::tiny(38);
+        spec.num_files = 6;
+        let (coll, dir) = stored("worker-stall", spec);
+        let heartbeats = vec![Arc::new(ii_obs::Heartbeat::new()), Arc::new(ii_obs::Heartbeat::new())];
+        let healthy = token_stream(
+            &coll,
+            SpawnOptions { heartbeats: heartbeats.clone(), ..SpawnOptions::default() },
+            Duration::from_secs(30),
+        );
+        // Parser 0 goes silent for 2s before its first file; the 50ms
+        // watchdog declares it dead long before it wakes.
+        let faults = WorkerFaultPlan::none().stall(
+            WorkerClass::Parser,
+            0,
+            0,
+            Duration::from_secs(2),
+        );
+        let fresh = vec![Arc::new(ii_obs::Heartbeat::new()), Arc::new(ii_obs::Heartbeat::new())];
+        let (tokens, deaths, inline) = token_stream(
+            &coll,
+            SpawnOptions {
+                heartbeats: fresh,
+                worker_faults: faults,
+                ..SpawnOptions::default()
+            },
+            Duration::from_millis(50),
+        );
+        assert_eq!(tokens, healthy.0, "stall takeover is byte-identical");
+        assert_eq!(deaths.len(), 1);
+        assert_eq!(deaths[0].index, 0);
+        assert!(matches!(deaths[0].cause, DeathCause::Stall(_)), "{:?}", deaths[0].cause);
+        assert_eq!(inline, 3, "files 0, 2, 4 re-ingested inline");
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -1,0 +1,282 @@
+//! The pipeline supervisor: per-worker heartbeats, a watchdog, and the
+//! degradation ledger.
+//!
+//! Every pipeline worker — parser threads, CPU indexer executors, GPU
+//! indexers — registers a liveness beacon ([`ii_obs::Heartbeat`]) that is
+//! bumped by the worker's existing trace spans, so liveness needs no new
+//! instrumentation. The watchdog side (the driver thread) declares a
+//! worker dead when it panics, disconnects, or stays silent past the
+//! configured stall timeout; the dead worker's trie-partition shards are
+//! reassigned to survivors ([`ii_indexer::IndexerPool::kill_cpu`] /
+//! [`ii_indexer::IndexerPool::kill_gpu`], parser files are re-ingested
+//! inline on the driver), and the build continues. Everything that
+//! happened is recorded in a [`SupervisionReport`] the operator sees in
+//! the build report and `ii build --stats`.
+
+use crate::fault::WorkerClass;
+use ii_obs::Heartbeat;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why the watchdog declared a worker dead.
+#[derive(Clone, Debug)]
+pub enum DeathCause {
+    /// The worker panicked; contained by `catch_unwind`.
+    Panic(String),
+    /// The worker made no progress for this long (heartbeat silence past
+    /// the stall timeout).
+    Stall(Duration),
+    /// The worker's channel closed before it delivered all of its work.
+    Disconnect,
+    /// A seeded fault-injection kill (chaos testing).
+    Injected,
+}
+
+impl std::fmt::Display for DeathCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeathCause::Panic(msg) => write!(f, "panic: {msg}"),
+            DeathCause::Stall(d) => write!(f, "stalled for {:.1}s", d.as_secs_f64()),
+            DeathCause::Disconnect => write!(f, "disconnected"),
+            DeathCause::Injected => write!(f, "injected kill"),
+        }
+    }
+}
+
+/// One worker death, as recorded by the watchdog.
+#[derive(Clone, Debug)]
+pub struct WorkerDeath {
+    /// Which class of worker died.
+    pub class: WorkerClass,
+    /// Worker index within its class.
+    pub index: usize,
+    /// Why the watchdog declared it dead.
+    pub cause: DeathCause,
+}
+
+impl std::fmt::Display for WorkerDeath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} died ({})", self.class, self.index, self.cause)
+    }
+}
+
+/// The supervisor's knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorPolicy {
+    /// Whether worker-death supervision (and its takeover machinery) is
+    /// active. Off, a dead parser is the fatal `ParserDisconnected` error
+    /// of the earlier pipeline.
+    pub enabled: bool,
+    /// Heartbeat silence after which a worker is declared dead. Progress
+    /// beats come from the worker's trace spans (per file read /
+    /// decompress / parse step), so the timeout bounds *per-step* silence,
+    /// not per-file latency.
+    pub stall_timeout: Duration,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy { enabled: true, stall_timeout: Duration::from_secs(30) }
+    }
+}
+
+impl SupervisorPolicy {
+    /// Supervision disabled (pre-supervisor pipeline semantics).
+    pub fn disabled() -> Self {
+        SupervisorPolicy { enabled: false, ..SupervisorPolicy::default() }
+    }
+
+    /// Same policy with a different stall timeout.
+    pub fn with_stall_timeout(mut self, d: Duration) -> Self {
+        self.stall_timeout = d;
+        self
+    }
+}
+
+/// Everything the supervisor did (and survived) during one build: the
+/// degradation ledger surfaced in the build report, `--stats`, and
+/// `--strict`.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisionReport {
+    /// Workers declared dead, in declaration order.
+    pub deaths: Vec<WorkerDeath>,
+    /// Shard reassignments performed (a death may move several shards).
+    pub reassignments: u32,
+    /// Shards salvaged off dead GPUs onto the CPU path.
+    pub gpu_takeovers: u32,
+    /// Files a dead parser owed that the driver re-ingested inline.
+    pub inline_parsed_files: u32,
+    /// Wall seconds of shard work hosted on the driver thread because no
+    /// CPU executor survived.
+    pub fallback_seconds: f64,
+    /// Final-commit retries after retriable storage errors (disk full).
+    pub commit_retries: u32,
+    /// Incidents where exact work could not be preserved (a genuine
+    /// mid-batch panic with unknown progress). A build with lossy
+    /// incidents completed, but without the byte-identity guarantee.
+    pub lossy_incidents: Vec<String>,
+}
+
+impl SupervisionReport {
+    /// True when no worker died, nothing was reassigned, and no commit
+    /// needed retrying.
+    pub fn is_clean(&self) -> bool {
+        self.deaths.is_empty()
+            && self.reassignments == 0
+            && self.inline_parsed_files == 0
+            && self.commit_retries == 0
+            && self.lossy_incidents.is_empty()
+    }
+
+    /// Worker deaths of a given class.
+    pub fn deaths_of(&self, class: WorkerClass) -> usize {
+        self.deaths.iter().filter(|d| d.class == class).count()
+    }
+
+    /// One-line operator summary of the degradation state.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            "all workers healthy".to_string()
+        } else {
+            let mut s = format!(
+                "{} worker deaths ({} parser, {} cpu, {} gpu), {} shards reassigned, \
+                 {} gpu→cpu takeovers, {} files re-parsed inline, {} commit retries",
+                self.deaths.len(),
+                self.deaths_of(WorkerClass::Parser),
+                self.deaths_of(WorkerClass::CpuIndexer),
+                self.deaths_of(WorkerClass::GpuIndexer),
+                self.reassignments,
+                self.gpu_takeovers,
+                self.inline_parsed_files,
+                self.commit_retries,
+            );
+            if !self.lossy_incidents.is_empty() {
+                s.push_str(&format!(", {} LOSSY incidents", self.lossy_incidents.len()));
+            }
+            s
+        }
+    }
+}
+
+/// The watchdog's registry: one heartbeat per supervised worker plus the
+/// accumulated [`SupervisionReport`]. Owned by the driver thread; the
+/// heartbeats it hands out are bumped concurrently by the workers.
+#[derive(Debug, Default)]
+pub struct Supervisor {
+    beats: HashMap<(WorkerClass, usize), Arc<Heartbeat>>,
+    dead: HashMap<(WorkerClass, usize), ()>,
+    /// The accumulated degradation ledger.
+    pub report: SupervisionReport,
+}
+
+impl Supervisor {
+    /// Empty supervisor.
+    pub fn new() -> Self {
+        Supervisor::default()
+    }
+
+    /// Register (or fetch) the heartbeat of worker (`class`, `index`).
+    /// Hand the returned beacon to the worker's trace sink
+    /// ([`ii_obs::TraceSink::with_heartbeat`]).
+    pub fn register(&mut self, class: WorkerClass, index: usize) -> Arc<Heartbeat> {
+        Arc::clone(self.beats.entry((class, index)).or_insert_with(|| Arc::new(Heartbeat::new())))
+    }
+
+    /// The heartbeat of (`class`, `index`), if registered.
+    pub fn heartbeat(&self, class: WorkerClass, index: usize) -> Option<&Arc<Heartbeat>> {
+        self.beats.get(&(class, index))
+    }
+
+    /// How long worker (`class`, `index`) has been silent (zero if never
+    /// registered).
+    pub fn idle(&self, class: WorkerClass, index: usize) -> Duration {
+        self.beats.get(&(class, index)).map(|h| h.idle()).unwrap_or(Duration::ZERO)
+    }
+
+    /// Whether the watchdog already declared this worker dead.
+    pub fn is_dead(&self, class: WorkerClass, index: usize) -> bool {
+        self.dead.contains_key(&(class, index))
+    }
+
+    /// Declare a worker dead. Idempotent: the first declaration records a
+    /// [`WorkerDeath`] and returns true, later ones are no-ops.
+    pub fn declare_dead(&mut self, class: WorkerClass, index: usize, cause: DeathCause) -> bool {
+        if self.dead.insert((class, index), ()).is_none() {
+            self.report.deaths.push(WorkerDeath { class, index, cause });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record `n` shard reassignments, `gpu` of which were GPU→CPU
+    /// takeovers.
+    pub fn record_reassignments(&mut self, n: u32, gpu: u32) {
+        self.report.reassignments += n;
+        self.report.gpu_takeovers += gpu;
+    }
+
+    /// Record a lossy incident (work that could not be preserved exactly).
+    pub fn record_lossy(&mut self, detail: String) {
+        self.report.lossy_incidents.push(detail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deaths_are_idempotent_and_reported() {
+        let mut s = Supervisor::new();
+        assert!(!s.is_dead(WorkerClass::Parser, 0));
+        assert!(s.declare_dead(WorkerClass::Parser, 0, DeathCause::Disconnect));
+        assert!(!s.declare_dead(WorkerClass::Parser, 0, DeathCause::Injected), "idempotent");
+        assert!(s.is_dead(WorkerClass::Parser, 0));
+        s.declare_dead(WorkerClass::GpuIndexer, 1, DeathCause::Panic("boom".into()));
+        assert_eq!(s.report.deaths.len(), 2);
+        assert_eq!(s.report.deaths_of(WorkerClass::Parser), 1);
+        assert_eq!(s.report.deaths_of(WorkerClass::GpuIndexer), 1);
+        assert!(!s.report.is_clean());
+        let sum = s.report.summary();
+        assert!(sum.contains("2 worker deaths"), "{sum}");
+        assert!(sum.contains("1 parser"), "{sum}");
+    }
+
+    #[test]
+    fn heartbeats_register_once_and_measure_silence() {
+        let mut s = Supervisor::new();
+        let hb = s.register(WorkerClass::CpuIndexer, 0);
+        let again = s.register(WorkerClass::CpuIndexer, 0);
+        assert!(Arc::ptr_eq(&hb, &again), "one beacon per worker");
+        hb.beat();
+        assert!(s.idle(WorkerClass::CpuIndexer, 0) < Duration::from_secs(1));
+        assert_eq!(s.idle(WorkerClass::Parser, 9), Duration::ZERO, "unregistered = never idle");
+    }
+
+    #[test]
+    fn report_summary_flags_lossy_incidents() {
+        let mut r = SupervisionReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.summary(), "all workers healthy");
+        r.lossy_incidents.push("gpu-1 panicked mid-launch".into());
+        assert!(!r.is_clean());
+        assert!(r.summary().contains("1 LOSSY"), "{}", r.summary());
+        let mut r2 = SupervisionReport { commit_retries: 2, ..Default::default() };
+        assert!(!r2.is_clean(), "commit retries are a degradation signal");
+        r2.commit_retries = 0;
+        r2.inline_parsed_files = 3;
+        assert!(!r2.is_clean());
+    }
+
+    #[test]
+    fn policy_defaults_and_knobs() {
+        let p = SupervisorPolicy::default();
+        assert!(p.enabled);
+        let off = SupervisorPolicy::disabled();
+        assert!(!off.enabled);
+        let quick = SupervisorPolicy::default().with_stall_timeout(Duration::from_millis(5));
+        assert_eq!(quick.stall_timeout, Duration::from_millis(5));
+    }
+}

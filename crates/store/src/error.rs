@@ -71,8 +71,25 @@ pub enum StoreError {
         /// The directory inspected.
         dir: PathBuf,
     },
+    /// The volume ran out of space mid-operation (ENOSPC). Distinct from
+    /// [`StoreError::Io`] because it is the one storage failure that is
+    /// worth retrying after backoff: space frees up, disks get swapped —
+    /// and the atomic-commit protocol leaves the previous generation
+    /// intact, so a retried commit starts clean.
+    DiskFull {
+        /// The underlying ENOSPC error text.
+        detail: String,
+    },
     /// An underlying I/O failure (including injected crash points).
     Io(io::Error),
+}
+
+impl StoreError {
+    /// True for failures a caller may retry after backing off (the volume
+    /// may have space again); everything else is a terminal diagnosis.
+    pub fn is_retriable(&self) -> bool {
+        matches!(self, StoreError::DiskFull { .. })
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -113,6 +130,9 @@ impl std::fmt::Display for StoreError {
                  (rerun the build with --resume)",
                 dir.display()
             ),
+            StoreError::DiskFull { detail } => {
+                write!(f, "volume is out of space (retriable): {detail}")
+            }
             StoreError::Io(e) => write!(f, "storage I/O failed: {e}"),
         }
     }
@@ -129,6 +149,12 @@ impl std::error::Error for StoreError {
 
 impl From<io::Error> for StoreError {
     fn from(e: io::Error) -> Self {
+        // ENOSPC classifies as the typed, retriable disk-full error.
+        // (Matched by raw OS errno: `ErrorKind::StorageFull` is not yet
+        // stable on every toolchain this builds with.)
+        if e.raw_os_error() == Some(28) {
+            return StoreError::DiskFull { detail: e.to_string() };
+        }
         StoreError::Io(e)
     }
 }
@@ -158,5 +184,15 @@ mod tests {
         assert!(s.contains("0xdeadbeef"));
         let io: io::Error = e.into();
         assert_eq!(io.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn enospc_classifies_as_retriable_disk_full() {
+        let e: StoreError = io::Error::from_raw_os_error(28).into();
+        assert!(matches!(e, StoreError::DiskFull { .. }), "{e:?}");
+        assert!(e.is_retriable());
+        assert!(e.to_string().contains("retriable"), "{e}");
+        let plain: StoreError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(!plain.is_retriable());
     }
 }

@@ -66,6 +66,13 @@ pub enum CrashMode {
     /// must be caught later by checksum verification, not by an error at
     /// write time. Non-write operations degrade to [`CrashMode::PowerLoss`].
     BitFlip,
+    /// The volume is out of space for a *window* of operations: every op in
+    /// `[crash_at, crash_at + failures)` fails with ENOSPC (no data
+    /// written), then space "frees up" and later operations succeed. The
+    /// process is never killed — this models the transient disk-pressure
+    /// case the commit path must retry through or fail with a typed,
+    /// retriable error.
+    DiskFull,
 }
 
 /// Crash-point injecting [`Vfs`]: operations are numbered from 0 in
@@ -77,6 +84,9 @@ pub struct CrashVfs {
     crash_at: u64,
     mode: CrashMode,
     seed: u64,
+    /// Width of the failure window ([`CrashMode::DiskFull`] only; the
+    /// point-crash modes fire exactly once).
+    failures: u64,
     ops: AtomicU64,
     crashed: AtomicBool,
 }
@@ -90,9 +100,16 @@ impl CrashVfs {
             crash_at,
             mode,
             seed,
+            failures: 1,
             ops: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
         }
+    }
+
+    /// ENOSPC for the `failures` operations starting at `first_op`, then
+    /// space frees up and everything later succeeds.
+    pub fn disk_full(first_op: u64, failures: u64) -> CrashVfs {
+        CrashVfs { failures: failures.max(1), ..CrashVfs::new(first_op, CrashMode::DiskFull, 0) }
     }
 
     /// A counting probe that never crashes: run the save once through this
@@ -116,14 +133,29 @@ impl CrashVfs {
         io::Error::other(format!("injected crash at storage op {}", self.crash_at))
     }
 
-    /// Advance the op counter; `Ok(false)` = proceed normally, `Ok(true)` =
-    /// this op is the crash point, `Err` = already dead.
-    fn tick(&self) -> io::Result<bool> {
+    fn enospc_error(&self) -> io::Error {
+        // Raw ENOSPC so the store's error taxonomy classifies it exactly
+        // like a real out-of-space failure.
+        io::Error::from_raw_os_error(28)
+    }
+
+    /// Advance the op counter, returning this op's number; `Err` = a fatal
+    /// crash already fired.
+    fn tick(&self) -> io::Result<u64> {
         if self.crashed.load(Ordering::SeqCst) {
             return Err(self.crash_error());
         }
-        let n = self.ops.fetch_add(1, Ordering::SeqCst);
-        Ok(n == self.crash_at)
+        Ok(self.ops.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Whether op number `n` is inside the injection's firing range.
+    fn fires(&self, n: u64) -> bool {
+        match self.mode {
+            CrashMode::DiskFull => {
+                n >= self.crash_at && n < self.crash_at.saturating_add(self.failures)
+            }
+            _ => n == self.crash_at,
+        }
     }
 
     fn mix(&self, op: u64) -> u64 {
@@ -131,9 +163,28 @@ impl CrashVfs {
     }
 }
 
+impl CrashVfs {
+    /// Shared handling for the non-write operations: `Ok(())` = proceed,
+    /// `Err` = this op was injected away.
+    fn gate(&self, n: u64) -> io::Result<()> {
+        if !self.fires(n) {
+            return Ok(());
+        }
+        match self.mode {
+            CrashMode::BitFlip => Ok(()), // only writes are corrupted
+            CrashMode::DiskFull => Err(self.enospc_error()),
+            _ => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Err(self.crash_error())
+            }
+        }
+    }
+}
+
 impl Vfs for CrashVfs {
     fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
-        if !self.tick()? {
+        let n = self.tick()?;
+        if !self.fires(n) {
             return self.inner.write_file(path, bytes);
         }
         match self.mode {
@@ -161,30 +212,27 @@ impl Vfs for CrashVfs {
                 // the process keeps running.
                 self.inner.write_file(path, &corrupted)
             }
+            // Out of space: nothing lands on disk, the process lives to
+            // retry once the window passes.
+            CrashMode::DiskFull => Err(self.enospc_error()),
         }
     }
 
     fn fsync_file(&self, path: &Path) -> io::Result<()> {
-        if self.tick()? && self.mode != CrashMode::BitFlip {
-            self.crashed.store(true, Ordering::SeqCst);
-            return Err(self.crash_error());
-        }
+        let n = self.tick()?;
+        self.gate(n)?;
         self.inner.fsync_file(path)
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        if self.tick()? && self.mode != CrashMode::BitFlip {
-            self.crashed.store(true, Ordering::SeqCst);
-            return Err(self.crash_error());
-        }
+        let n = self.tick()?;
+        self.gate(n)?;
         self.inner.rename(from, to)
     }
 
     fn fsync_dir(&self, dir: &Path) -> io::Result<()> {
-        if self.tick()? && self.mode != CrashMode::BitFlip {
-            self.crashed.store(true, Ordering::SeqCst);
-            return Err(self.crash_error());
-        }
+        let n = self.tick()?;
+        self.gate(n)?;
         self.inner.fsync_dir(dir)
     }
 }
@@ -251,6 +299,25 @@ mod tests {
         let f2 = d.join("a2");
         assert!(v2.write_file(&f2, b"hello world").is_err());
         assert_eq!(fs::read(&f2).unwrap(), on_disk);
+        fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn disk_full_window_fails_then_recovers() {
+        let d = tmp("enospc");
+        let v = CrashVfs::disk_full(1, 2);
+        let f = d.join("a");
+        v.write_file(&f, b"before").unwrap();
+        // Ops 1 and 2 hit the full volume.
+        let e = v.fsync_file(&f).unwrap_err();
+        assert_eq!(e.raw_os_error(), Some(28), "typed ENOSPC: {e}");
+        assert!(v.write_file(&d.join("b"), b"x").is_err());
+        assert!(!d.join("b").exists(), "nothing lands while the volume is full");
+        assert!(!v.crashed(), "the process is alive, not power-lost");
+        // Space freed up: the same operations now succeed.
+        v.write_file(&d.join("b"), b"after").unwrap();
+        v.fsync_file(&d.join("b")).unwrap();
+        assert_eq!(fs::read(d.join("b")).unwrap(), b"after");
         fs::remove_dir_all(d).unwrap();
     }
 

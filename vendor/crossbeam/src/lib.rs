@@ -53,6 +53,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error for bounded-wait receive attempts.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders are gone and the buffer is drained.
+        Disconnected,
+    }
+
     impl<T> Sender<T> {
         /// Send `msg`, blocking while the channel is full. Errors if the
         /// receiver is gone.
@@ -88,6 +97,17 @@ pub mod channel {
         /// Block until a message arrives or every sender disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
             let v = self.rx.recv().map_err(|_| RecvError)?;
+            self.depth.fetch_sub(1, Relaxed);
+            Ok(v)
+        }
+
+        /// Receive with a bounded wait: blocks at most `timeout` for a
+        /// message (the watchdog poll primitive).
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let v = self.rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })?;
             self.depth.fetch_sub(1, Relaxed);
             Ok(v)
         }
@@ -162,6 +182,20 @@ mod tests {
         assert_eq!(rx.len(), 1);
         rx.try_recv().unwrap();
         assert_eq!(tx.len(), 0);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
