@@ -3,7 +3,7 @@
 //! cache-locality effect behind the §III.C regrouping claim).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use ii_core::dict::{classify, BTreeStore};
+use ii_core::dict::{classify, BTreeStore, SlottedStore};
 use ii_core::corpus::Vocabulary;
 use std::collections::HashMap;
 
@@ -26,6 +26,16 @@ fn bench_insert(c: &mut Criterion) {
     g.bench_function("20k_terms_single_tree", |b| {
         b.iter(|| {
             let mut store = BTreeStore::new();
+            let mut tree = store.new_tree();
+            for (_, k) in &ks {
+                store.insert(&mut tree, black_box(k.as_bytes()));
+            }
+            store.term_count()
+        })
+    });
+    g.bench_function("20k_terms_single_tree_slotted", |b| {
+        b.iter(|| {
+            let mut store = SlottedStore::new();
             let mut tree = store.new_tree();
             for (_, k) in &ks {
                 store.insert(&mut tree, black_box(k.as_bytes()));
@@ -71,6 +81,22 @@ fn bench_search(c: &mut Criterion) {
             let mut found = 0u32;
             for (_, k) in &ks {
                 if store.get(&tree, black_box(k.as_bytes())).is_some() {
+                    found += 1;
+                }
+            }
+            found
+        })
+    });
+    let mut slotted = SlottedStore::new();
+    let mut stree = slotted.new_tree();
+    for (_, k) in &ks {
+        slotted.insert(&mut stree, k.as_bytes());
+    }
+    g.bench_function("20k_hits_slotted", |b| {
+        b.iter(|| {
+            let mut found = 0u32;
+            for (_, k) in &ks {
+                if slotted.get(&stree, black_box(k.as_bytes())).is_some() {
                     found += 1;
                 }
             }

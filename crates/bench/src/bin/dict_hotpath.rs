@@ -1,0 +1,326 @@
+//! Dictionary insert hot-path benchmark: frozen reference shard (binary
+//! search over `[u8; 4]` caches, per-visit node clones, `HashMap` tree
+//! lookup) vs. the slotted-node fast path, on the Table III synthetic
+//! corpora.
+//!
+//! Measures dictionary-insert throughput (tokens/s, MB/s of term payload)
+//! for both implementations over the exact token streams the indexers see
+//! (parsed trie groups in batch order), asserting identical insert
+//! outcomes and byte-identical combined dictionaries before trusting the
+//! timings, and writes the result to a committed JSON baseline
+//! (`BENCH_index.json` at the repo root).
+//!
+//! Modes:
+//!   dict_hotpath [--scale F] [--out PATH]   measure and write baseline
+//!   dict_hotpath --check PATH [--scale F]   regression gate against a
+//!       committed baseline: re-measures, normalizes for host speed via
+//!       the reference path's ratio, and fails (exit 1) if the slotted
+//!       path's throughput dropped more than 25% beyond that.
+
+use ii_core::corpus::{CollectionGenerator, CollectionSpec};
+use ii_core::dict::{
+    combine_reference, GlobalDictionary, PartialDictionary, ReferenceDictionary,
+};
+use ii_core::text::{parse_documents, ParsedBatch};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Throughput for one implementation on one corpus.
+#[derive(Debug, Serialize, Deserialize)]
+struct Throughput {
+    mb_s: f64,
+    tokens_s: f64,
+    seconds: f64,
+}
+
+/// Measurement for one Table III corpus.
+#[derive(Debug, Serialize, Deserialize)]
+struct CorpusResult {
+    name: String,
+    files: usize,
+    docs: usize,
+    /// Term payload bytes fed to the dictionary (per pass).
+    input_bytes: u64,
+    tokens: u64,
+    terms: u64,
+    naive: Throughput,
+    optimized: Throughput,
+    speedup: f64,
+}
+
+/// The committed baseline document. No timestamps or host identifiers:
+/// the `--check` gate normalizes across hosts via the reference-path
+/// throughput, and a timestamp would churn the diff on every regeneration.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    scale: f64,
+    repetitions: usize,
+    corpora: Vec<CorpusResult>,
+    overall: Overall,
+}
+
+/// Aggregate across all corpora (total bytes / total best-rep seconds).
+#[derive(Debug, Serialize, Deserialize)]
+struct Overall {
+    naive_mb_s: f64,
+    optimized_mb_s: f64,
+    speedup: f64,
+}
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn table3_specs(scale: f64) -> Vec<CollectionSpec> {
+    vec![
+        CollectionSpec::clueweb_like(scale),
+        CollectionSpec::wikipedia_like(scale),
+        CollectionSpec::congress_like(scale),
+    ]
+}
+
+/// Time `reps` full passes, returning the best (minimum) wall seconds.
+fn best_of<F: FnMut()>(reps: usize, mut pass: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        pass();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn insert_all_reference(batches: &[ParsedBatch]) -> ReferenceDictionary {
+    let mut dict = ReferenceDictionary::new(0);
+    for batch in batches {
+        for g in &batch.groups {
+            for (_, term) in g.iter_terms() {
+                std::hint::black_box(dict.insert_reference(g.trie_index, term));
+            }
+        }
+    }
+    dict
+}
+
+fn insert_all_slotted(batches: &[ParsedBatch]) -> PartialDictionary {
+    let mut dict = PartialDictionary::new(0);
+    for batch in batches {
+        for g in &batch.groups {
+            for (_, term) in g.iter_terms() {
+                std::hint::black_box(dict.insert_term(g.trie_index, term));
+            }
+        }
+    }
+    dict
+}
+
+fn measure_corpus(spec: &CollectionSpec, reps: usize) -> CorpusResult {
+    let generator = CollectionGenerator::new(spec.clone());
+    let batches: Vec<ParsedBatch> = (0..spec.num_files)
+        .map(|f| parse_documents(&generator.generate_file(f), spec.html, f))
+        .collect();
+    let docs: usize = batches.iter().map(|b| b.num_docs as usize).sum();
+    let input_bytes: u64 = batches
+        .iter()
+        .flat_map(|b| b.groups.iter())
+        .map(|g| g.term_bytes.len() as u64)
+        .sum();
+    let tokens: u64 = batches.iter().map(|b| b.stats.tokens).sum();
+
+    // Correctness first: the slotted path must agree with the frozen
+    // reference token by token (outcome stream) and produce a
+    // byte-identical combined dictionary before we trust the timings.
+    let mut reference = ReferenceDictionary::new(0);
+    let mut slotted = PartialDictionary::new(0);
+    for batch in &batches {
+        for g in &batch.groups {
+            for (_, term) in g.iter_terms() {
+                let a = reference.insert_reference(g.trie_index, term);
+                let b = slotted.insert_term(g.trie_index, term);
+                assert_eq!(
+                    a,
+                    b,
+                    "dictionary divergence on {} term {:?}",
+                    spec.name,
+                    String::from_utf8_lossy(term)
+                );
+            }
+        }
+    }
+    let terms = u64::from(slotted.term_count());
+    let g_ref = combine_reference(&[reference]);
+    let g_new = GlobalDictionary::combine(&[slotted]);
+    let (mut ref_bytes, mut new_bytes) = (Vec::new(), Vec::new());
+    g_ref.write_to(&mut ref_bytes).expect("serialize reference dictionary");
+    g_new.write_to(&mut new_bytes).expect("serialize slotted dictionary");
+    assert_eq!(ref_bytes, new_bytes, "combined dictionaries differ on {}", spec.name);
+
+    let naive_s = best_of(reps, || {
+        std::hint::black_box(insert_all_reference(&batches));
+    });
+    let optimized_s = best_of(reps, || {
+        std::hint::black_box(insert_all_slotted(&batches));
+    });
+
+    let throughput = |s: f64| Throughput {
+        mb_s: input_bytes as f64 / MB / s,
+        tokens_s: tokens as f64 / s,
+        seconds: s,
+    };
+    CorpusResult {
+        name: spec.name.clone(),
+        files: spec.num_files,
+        docs,
+        input_bytes,
+        tokens,
+        terms,
+        naive: throughput(naive_s),
+        optimized: throughput(optimized_s),
+        speedup: naive_s / optimized_s,
+    }
+}
+
+fn measure(scale: f64, reps: usize) -> BenchReport {
+    let mut corpora = Vec::new();
+    for spec in table3_specs(scale) {
+        eprintln!("[dict_hotpath] measuring {} ...", spec.name);
+        corpora.push(measure_corpus(&spec, reps));
+    }
+    let total_bytes: u64 = corpora.iter().map(|c| c.input_bytes).sum();
+    let naive_s: f64 = corpora.iter().map(|c| c.naive.seconds).sum();
+    let optimized_s: f64 = corpora.iter().map(|c| c.optimized.seconds).sum();
+    let overall = Overall {
+        naive_mb_s: total_bytes as f64 / MB / naive_s,
+        optimized_mb_s: total_bytes as f64 / MB / optimized_s,
+        speedup: naive_s / optimized_s,
+    };
+    BenchReport { scale, repetitions: reps, corpora, overall }
+}
+
+fn print_report(report: &BenchReport) {
+    println!(
+        "{:<22} {:>9} {:>8} {:>12} {:>12} {:>8}",
+        "corpus", "term MB", "tokens", "ref MB/s", "slot MB/s", "speedup"
+    );
+    ii_bench::rule(76);
+    for c in &report.corpora {
+        println!(
+            "{:<22} {:>9.2} {:>7}k {:>12.1} {:>12.1} {:>7.2}x",
+            c.name,
+            c.input_bytes as f64 / MB,
+            c.tokens / 1000,
+            c.naive.mb_s,
+            c.optimized.mb_s,
+            c.speedup
+        );
+    }
+    ii_bench::rule(76);
+    println!(
+        "{:<22} {:>9} {:>8} {:>12.1} {:>12.1} {:>7.2}x",
+        "overall",
+        "",
+        "",
+        report.overall.naive_mb_s,
+        report.overall.optimized_mb_s,
+        report.overall.speedup
+    );
+}
+
+/// Tolerated fraction of (host-normalized) baseline throughput. 25%
+/// headroom absorbs CI jitter; a real regression from undoing the slotted
+/// work is far larger (the committed baseline speedup is >1.5x).
+const CHECK_TOLERANCE: f64 = 0.75;
+
+fn run_check(baseline_path: &str, scale_override: Option<f64>, reps: usize) -> i32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[dict_hotpath] cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let baseline: BenchReport = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("[dict_hotpath] cannot parse baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let scale = scale_override.unwrap_or(baseline.scale);
+    let now = measure(scale, reps);
+    print_report(&now);
+
+    // The frozen reference shard is the host-speed yardstick: it consumes
+    // the same token stream and produces the same dictionary, but has none
+    // of the optimizations under test. Its ratio to the baseline host
+    // cancels out CPU-speed differences.
+    let host_factor = now.overall.naive_mb_s / baseline.overall.naive_mb_s;
+    let expected = baseline.overall.optimized_mb_s * host_factor;
+    let floor = expected * CHECK_TOLERANCE;
+    println!(
+        "\n[check] baseline slotted {:.1} MB/s x host factor {:.2} => expected {:.1}, \
+         floor {:.1}, measured {:.1} MB/s",
+        baseline.overall.optimized_mb_s,
+        host_factor,
+        expected,
+        floor,
+        now.overall.optimized_mb_s
+    );
+    if now.overall.optimized_mb_s < floor {
+        eprintln!(
+            "[check] FAIL: slotted dictionary-insert throughput regressed more than \
+             {:.0}% vs the committed baseline",
+            (1.0 - CHECK_TOLERANCE) * 100.0
+        );
+        1
+    } else {
+        println!("[check] OK");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale: Option<f64> = None;
+    let mut out = "BENCH_index.json".to_string();
+    let mut check: Option<String> = None;
+    let mut reps = 5usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Some(args[i].parse().expect("--scale takes a number"));
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args[i].clone());
+            }
+            "--reps" => {
+                i += 1;
+                reps = args[i].parse().expect("--reps takes an integer");
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}\n\
+                     usage: dict_hotpath [--scale F] [--out PATH] [--reps N] [--check PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(baseline) = check {
+        std::process::exit(run_check(&baseline, scale, reps));
+    }
+
+    let report = measure(scale.unwrap_or(0.5), reps);
+    print_report(&report);
+    let mut json = serde_json::to_string_pretty(&report).expect("serialize report");
+    json.push('\n');
+    std::fs::write(&out, json).expect("write baseline");
+    println!("\n[dict_hotpath] baseline written to {out}");
+}

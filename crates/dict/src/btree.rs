@@ -6,6 +6,12 @@
 //! tie — the paper's observation is that two arbitrary terms rarely share a
 //! 4-byte prefix, so most comparisons never leave the node. Cache-hit /
 //! cache-miss counters substantiate that claim in the ablation bench.
+//!
+//! **Frozen.** This is the pre-slotted insert path, kept byte-for-byte as
+//! the differential-test reference (see [`crate::reference`] and
+//! `tests/tests/dict_diff.rs`) and as the layout the simulated GPU operates
+//! on in device memory. The dictionary hot path lives in
+//! [`crate::slotted`]; do not optimize this module.
 
 use crate::arena::{NodeArena, StringArena};
 use crate::node::{BTreeNode, MAX_KEYS, NULL};

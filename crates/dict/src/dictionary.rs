@@ -6,56 +6,107 @@
 //! has been indexed, the partials are *combined* into a [`GlobalDictionary`]
 //! and written to disk — the "Dictionary Combine" and "Dictionary Write"
 //! rows of Table VI.
+//!
+//! Since the slotted-node rewrite the shard's hot path runs on
+//! [`SlottedStore`] and the per-collection tree roots live in a flat
+//! `TRIE_ENTRIES`-sized table indexed directly by trie index — the paper's
+//! §III.B trie *is* that table, so the per-token `HashMap` hash the old
+//! shard paid is gone. Checkpoints keep the legacy `IIPD` byte format
+//! (512-byte Table II nodes): nodes are converted at the serialization
+//! boundary, which is also what keeps GPU device interop unchanged.
 
 use crate::btree::{BTree, BTreeStore, InsertOutcome};
-use crate::trie::{trie_index, TrieIndex};
+use crate::node::NULL;
+use crate::slotted::SlottedStore;
+use crate::trie::{trie_index, TrieIndex, TRIE_ENTRIES};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 
 /// The dictionary shard owned by a single indexer.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct PartialDictionary {
     /// Identifier of the owning indexer (used in postings locations).
     pub indexer_id: u32,
-    /// Shared arenas for all this indexer's B-trees.
-    pub store: BTreeStore,
-    trees: HashMap<u32, BTree>,
+    /// Shared arenas for all this indexer's B-trees (slotted hot path).
+    pub store: SlottedStore,
+    /// Tree root per trie collection (`NULL` = collection untouched),
+    /// indexed directly by trie index.
+    roots: Vec<u32>,
+}
+
+impl Default for PartialDictionary {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl PartialDictionary {
     /// Create an empty shard for `indexer_id`.
     pub fn new(indexer_id: u32) -> Self {
-        PartialDictionary { indexer_id, ..Default::default() }
+        PartialDictionary {
+            indexer_id,
+            store: SlottedStore::new(),
+            roots: vec![NULL; TRIE_ENTRIES],
+        }
     }
 
-    /// Rebuild a shard from a reconstructed store and its per-collection
-    /// tree roots (the GPU download path).
+    /// Rebuild a shard from a reconstructed legacy store and its
+    /// per-collection tree roots (the GPU download path). The legacy nodes
+    /// are converted into slotted form; handles and structure carry over
+    /// exactly.
     pub fn from_parts(indexer_id: u32, store: BTreeStore, roots: HashMap<u32, BTree>) -> Self {
-        PartialDictionary { indexer_id, store, trees: roots }
+        let mut table = vec![NULL; TRIE_ENTRIES];
+        for (ti, tree) in roots {
+            let ti = ti as usize;
+            if ti >= table.len() {
+                table.resize(ti + 1, NULL);
+            }
+            table[ti] = tree.root;
+        }
+        PartialDictionary { indexer_id, store: SlottedStore::from_legacy(store), roots: table }
     }
 
     /// Insert a prefix-stripped term into the B-tree of `trie_idx`
     /// (created lazily).
+    #[inline]
     pub fn insert_term(&mut self, trie_idx: u32, suffix: &[u8]) -> InsertOutcome {
-        let store = &mut self.store;
-        let tree = self.trees.entry(trie_idx).or_insert_with(|| store.new_tree());
-        store.insert(tree, suffix)
+        let ti = trie_idx as usize;
+        if ti >= self.roots.len() {
+            self.roots.resize(ti + 1, NULL);
+        }
+        if self.roots[ti] == NULL {
+            self.roots[ti] = self.store.new_tree().root;
+        }
+        let mut tree = BTree { root: self.roots[ti] };
+        let out = self.store.insert(&mut tree, suffix);
+        self.roots[ti] = tree.root;
+        out
     }
 
     /// Look up a prefix-stripped term.
     pub fn lookup(&mut self, trie_idx: u32, suffix: &[u8]) -> Option<u32> {
-        let tree = *self.trees.get(&trie_idx)?;
-        self.store.get(&tree, suffix)
+        let root = *self.roots.get(trie_idx as usize)?;
+        if root == NULL {
+            return None;
+        }
+        self.store.get(&BTree { root }, suffix)
     }
 
     /// The B-tree handle for a trie collection, if any terms were inserted.
     pub fn tree(&self, trie_idx: u32) -> Option<BTree> {
-        self.trees.get(&trie_idx).copied()
+        match self.roots.get(trie_idx as usize) {
+            Some(&root) if root != NULL => Some(BTree { root }),
+            _ => None,
+        }
     }
 
-    /// Trie collections present in this shard.
+    /// Trie collections present in this shard, in ascending order.
     pub fn trie_indices(&self) -> impl Iterator<Item = u32> + '_ {
-        self.trees.keys().copied()
+        self.roots
+            .iter()
+            .enumerate()
+            .filter(|(_, &root)| root != NULL)
+            .map(|(ti, _)| ti as u32)
     }
 
     /// Number of distinct terms in the shard.
@@ -65,23 +116,23 @@ impl PartialDictionary {
 
     /// Serialize the complete shard state — node arena, string arena,
     /// postings high-water mark, and per-collection tree roots — for a
-    /// build checkpoint. The byte layout is identical for CPU- and
-    /// GPU-built shards (both use the 512-byte node form), so a resumed
-    /// build restores exactly the handle-assignment state and later
-    /// inserts allocate the same postings handles as an uninterrupted run.
+    /// build checkpoint. The byte layout is the legacy `IIPD` format
+    /// (512-byte Table II nodes in canonical form) and is identical for
+    /// CPU- and GPU-built shards, so a resumed build restores exactly the
+    /// handle-assignment state and later inserts allocate the same
+    /// postings handles as an uninterrupted run.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<u64> {
-        let nodes = self.store.nodes.nodes();
+        let nodes = self.store.to_legacy_nodes();
         let strings = self.store.strings.as_bytes();
-        let mut roots: Vec<(u32, u32)> =
-            self.trees.iter().map(|(ti, t)| (*ti, t.root)).collect();
-        roots.sort_unstable();
+        let roots: Vec<(u32, u32)> =
+            self.trie_indices().map(|ti| (ti, self.roots[ti as usize])).collect();
         w.write_all(PARTIAL_MAGIC)?;
         w.write_all(&self.indexer_id.to_le_bytes())?;
         w.write_all(&self.store.term_count().to_le_bytes())?;
         w.write_all(&(nodes.len() as u32).to_le_bytes())?;
         w.write_all(&(strings.len() as u32).to_le_bytes())?;
         w.write_all(&(roots.len() as u32).to_le_bytes())?;
-        for n in nodes {
+        for n in &nodes {
             w.write_all(&n.to_bytes())?;
         }
         w.write_all(strings)?;
@@ -116,7 +167,7 @@ impl PartialDictionary {
         }
         let mut strings = vec![0u8; n_strings];
         r.read_exact(&mut strings)?;
-        let mut trees = HashMap::with_capacity(n_trees);
+        let mut roots = vec![NULL; TRIE_ENTRIES];
         for _ in 0..n_trees {
             let mut pair = [0u8; 8];
             r.read_exact(&mut pair)?;
@@ -125,16 +176,20 @@ impl PartialDictionary {
             if root as usize >= n_nodes {
                 return Err(bad("tree root out of node range"));
             }
-            if trees.insert(ti, BTree { root }).is_some() {
+            if ti as usize >= TRIE_ENTRIES {
+                return Err(bad("trie index out of table range"));
+            }
+            if roots[ti as usize] != NULL {
                 return Err(bad("duplicate trie collection in partial dictionary"));
             }
+            roots[ti as usize] = root;
         }
-        let store = BTreeStore::from_parts(
+        let store = SlottedStore::from_legacy(BTreeStore::from_parts(
             crate::arena::NodeArena::from_nodes(nodes),
             crate::arena::StringArena::from_bytes(strings),
             term_count,
-        );
-        Ok(PartialDictionary { indexer_id, store, trees })
+        ));
+        Ok(PartialDictionary { indexer_id, store, roots })
     }
 }
 
@@ -180,9 +235,7 @@ impl GlobalDictionary {
     pub fn combine(parts: &[PartialDictionary]) -> GlobalDictionary {
         let mut entries = Vec::new();
         for p in parts {
-            let mut idxs: Vec<u32> = p.trie_indices().collect();
-            idxs.sort_unstable();
-            for ti in idxs {
+            for ti in p.trie_indices() {
                 let tree = p.tree(ti).expect("listed index has a tree");
                 for (suffix, postings) in p.store.iter_terms(&tree) {
                     entries.push(DictEntry {
@@ -197,6 +250,11 @@ impl GlobalDictionary {
         entries.sort_by(|a, b| {
             (a.trie_index, a.suffix.as_slice()).cmp(&(b.trie_index, b.suffix.as_slice()))
         });
+        GlobalDictionary { entries }
+    }
+
+    /// Build from already-gathered entries (the frozen reference combine).
+    pub(crate) fn from_entries(entries: Vec<DictEntry>) -> GlobalDictionary {
         GlobalDictionary { entries }
     }
 
@@ -335,6 +393,18 @@ mod tests {
     }
 
     #[test]
+    fn trie_indices_come_out_ascending() {
+        let mut d = PartialDictionary::new(0);
+        for t in ["zebra", "apple", "954", "-80", "mango"] {
+            insert_surface(&mut d, t);
+        }
+        let idxs: Vec<u32> = d.trie_indices().collect();
+        let mut sorted = idxs.clone();
+        sorted.sort_unstable();
+        assert_eq!(idxs, sorted);
+    }
+
+    #[test]
     fn combine_merges_disjoint_shards() {
         let mut d0 = PartialDictionary::new(0);
         let mut d1 = PartialDictionary::new(1);
@@ -445,6 +515,22 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_bytes_are_stable_across_a_roundtrip() {
+        // write → read → write must reproduce the same bytes: the slotted
+        // store's canonical legacy rendering is a fixed point.
+        let mut d = PartialDictionary::new(2);
+        for i in 0..400 {
+            insert_surface(&mut d, &format!("stable{i:04}"));
+        }
+        let mut first = Vec::new();
+        d.write_to(&mut first).unwrap();
+        let back = PartialDictionary::read_from(&mut first.as_slice()).unwrap();
+        let mut second = Vec::new();
+        back.write_to(&mut second).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
     fn partial_checkpoint_rejects_garbage() {
         assert!(PartialDictionary::read_from(&mut &b"XXXX"[..]).is_err());
         let mut d = PartialDictionary::new(0);
@@ -455,9 +541,14 @@ mod tests {
         buf.truncate(buf.len() - 1);
         assert!(PartialDictionary::read_from(&mut buf.as_slice()).is_err());
         // A root index outside the node arena is rejected, not trusted.
-        let mut broken = full;
+        let mut broken = full.clone();
         let len = broken.len();
         broken[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(PartialDictionary::read_from(&mut broken.as_slice()).is_err());
+        // A trie index beyond the table is rejected too.
+        let mut broken = full;
+        let len = broken.len();
+        broken[len - 8..len - 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(PartialDictionary::read_from(&mut broken.as_slice()).is_err());
     }
 

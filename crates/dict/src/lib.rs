@@ -5,6 +5,15 @@
 //! independent degree-16 B-tree whose 512-byte nodes (Table II) embed
 //! 4-byte string caches. Independence of the B-trees is what lets CPU
 //! threads and GPU thread blocks index concurrently without locks.
+//!
+//! Two implementations of the B-tree coexist:
+//!
+//! * [`slotted`] — the hot path. Slotted nodes with order-preserving
+//!   4-byte integer heads, branch-free intra-node search, `memcpy`
+//!   shifts/splits. What [`PartialDictionary`] runs on.
+//! * [`btree`] — the original Table II layout, frozen byte-for-byte as the
+//!   differential-test reference ([`reference::ReferenceDictionary`]) and
+//!   as the device-memory interop layer for the simulated GPU.
 
 #![warn(missing_docs)]
 
@@ -12,11 +21,19 @@ pub mod arena;
 pub mod btree;
 pub mod dictionary;
 pub mod node;
+pub mod reference;
+pub mod slotted;
 pub mod trie;
 pub mod verify;
 
 pub use btree::{BTree, BTreeStore, InsertOutcome};
-pub use dictionary::{DictEntry, GlobalDictionary, PartialDictionary};
+pub use dictionary::{insert_surface, lookup_surface, DictEntry, GlobalDictionary, PartialDictionary};
 pub use node::{BTreeNode, DEGREE, MAX_KEYS, MIN_KEYS, NODE_BYTES, NULL};
+pub use reference::{
+    combine_reference, insert_surface_reference, lookup_surface_reference, ReferenceDictionary,
+};
+pub use slotted::{term_head, SlottedNode, SlottedStore, HEAD_SENTINEL};
 pub use trie::{classify, trie_index, TrieIndex, TRIE_ENTRIES};
-pub use verify::{verify_btree, verify_global, verify_shard, BTreeViolation, GlobalViolation};
+pub use verify::{
+    verify_btree, verify_global, verify_shard, verify_slotted, BTreeViolation, GlobalViolation,
+};

@@ -440,7 +440,7 @@ impl GpuIndexer {
     /// the kernel is *not* replayed, because dynamic block scheduling
     /// could discover terms in a different order and reassign handles.
     pub fn restore_dictionary(&mut self, part: &PartialDictionary) {
-        let nodes = part.store.nodes.nodes();
+        let nodes = part.store.to_legacy_nodes();
         assert!(
             nodes.len() <= self.config.node_capacity,
             "checkpoint has {} nodes, device capacity {}",
@@ -454,7 +454,7 @@ impl GpuIndexer {
             "checkpoint exceeds device arena capacity"
         );
         let mut node_bytes = Vec::with_capacity(nodes.len() * NODE_BYTES);
-        for n in nodes {
+        for n in &nodes {
             node_bytes.extend_from_slice(&n.to_bytes());
         }
         if !node_bytes.is_empty() {

@@ -34,8 +34,8 @@ impl StageBreakdown {
         self.snapshot.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Fraction of dictionary key comparisons settled by the in-node
-    /// 4-byte string cache (paper §III.D.1), `None` before any compare.
+    /// Fraction of dictionary node searches settled by the in-node 4-byte
+    /// head/cache array alone (paper §III.D.1), `None` before any search.
     pub fn cache_hit_rate(&self) -> Option<f64> {
         let hits = self.counter("dict.cache_hits");
         let total = hits + self.counter("dict.cache_misses");
@@ -77,11 +77,12 @@ impl StageBreakdown {
         }
         if let Some(rate) = self.cache_hit_rate() {
             out.push_str(&format!(
-                "string cache: {:.1}% hit ({} hits / {} misses), {} node splits\n",
+                "string cache: {:.1}% hit ({} hits / {} misses), {} node splits, {} head ties settled by length\n",
                 rate * 100.0,
                 self.counter("dict.cache_hits"),
                 self.counter("dict.cache_misses"),
                 self.counter("dict.node_splits"),
+                self.counter("dict.head_tie_breaks"),
             ));
         }
         if self.counter("gpu.warp_comparisons") > 0 {

@@ -946,6 +946,7 @@ fn build_inner(
         registry.counter("dict.cache_hits").add(c.dict.store.cache_hits);
         registry.counter("dict.cache_misses").add(c.dict.store.cache_misses);
         registry.counter("dict.node_splits").add(c.dict.store.node_splits);
+        registry.counter("dict.head_tie_breaks").add(c.dict.store.head_tie_breaks);
     }
     // Shards salvaged off dead GPUs continue on the CPU dictionary path;
     // their tallies belong in the same counters.
@@ -953,6 +954,7 @@ fn build_inner(
         registry.counter("dict.cache_hits").add(a.dict.store.cache_hits);
         registry.counter("dict.cache_misses").add(a.dict.store.cache_misses);
         registry.counter("dict.node_splits").add(a.dict.store.node_splits);
+        registry.counter("dict.head_tie_breaks").add(a.dict.store.head_tie_breaks);
     }
     for g in &pool.gpus {
         let m = &g.kernel_metrics;

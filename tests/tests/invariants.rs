@@ -102,6 +102,48 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Worker death mid-build must leave every surviving shard a
+    /// structurally sound slotted B-tree: slot order == key order, head
+    /// consistency, sentinel discipline in unused slots, CLRS fill
+    /// bounds. `verify_shard` checks all of these (plus the legacy-view
+    /// invariants) per tree.
+    #[test]
+    fn shards_stay_structurally_sound_after_kills(
+        docs in docs_strategy(),
+        kill_after in 0usize..3,
+    ) {
+        use ii_core::indexer::{make_plan, sample_counts, IndexerPool};
+
+        let batches: Vec<_> = docs
+            .chunks(docs.len().div_ceil(3).max(1))
+            .enumerate()
+            .map(|(i, chunk)| parse_documents(chunk, false, i))
+            .collect();
+        let counts = sample_counts(std::slice::from_ref(&batches[0]));
+        let plan = make_plan(&counts, 2, 1, 2);
+        let mut pool = IndexerPool::new(plan, GpuIndexerConfig::small(), Codec::VarByte);
+        for (i, b) in batches.iter().enumerate() {
+            if i == kill_after {
+                pool.kill_gpu(0);
+                pool.kill_cpu(0);
+            }
+            pool.index_batch(b);
+        }
+        pool.flush_run();
+        for part in pool.finish() {
+            let bad = ii_core::dict::verify_shard(&part);
+            prop_assert!(
+                bad.is_empty(),
+                "shard {} violates B-tree invariants after kills: {bad:?}",
+                part.indexer_id
+            );
+        }
+    }
+}
+
 #[test]
 fn dictionary_entries_sorted_and_unique() {
     let docs: Vec<RawDocument> = (0..30)
