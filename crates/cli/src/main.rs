@@ -4,7 +4,7 @@
 //! ii generate <dir> [--preset clueweb|wikipedia|congress|tiny] [--scale F] [--seed N]
 //! ii build    <collection-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]
 //!             [--max-retries N] [--on-fault fail|skip] [--checkpoint-every N] [--resume]
-//!             [--stats] [--stats-json] [--trace trace.json] [--strict]
+//!             [--mem-budget BYTES] [--stats] [--stats-json] [--trace trace.json] [--strict]
 //! ii trace    report <trace.json> [--check]
 //! ii verify   <index-dir>
 //! ii repair   <index-dir>
@@ -68,6 +68,8 @@ fn usage() {
          skip quarantines it and indexes the rest\n        \
          [--checkpoint-every N] commits a resumable checkpoint every N runs (default 8)\n        \
          [--resume] continues an interrupted build from its last checkpoint\n        \
+         [--mem-budget BYTES] hard memory budget; under pressure the build degrades\n        \
+         deterministically (backpressure, early flushes, GPU shedding); 0 = unlimited\n        \
          [--stats] prints the per-stage breakdown; [--stats-json] the raw snapshot\n        \
          [--strict] exits non-zero if any document was quarantined or any worker died\n        \
          [--trace trace.json] records per-worker event timelines\n        \
@@ -183,6 +185,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
             "--on-fault",
             "--checkpoint-every",
             "--resume",
+            "--mem-budget",
             "--stats",
             "--stats-json",
             "--trace",
@@ -204,20 +207,32 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("--on-fault expects 'fail' or 'skip', got '{other}'")),
     };
     let checkpoint_every = flag_usize(args, "--checkpoint-every", 8)?;
+    // Absent: the library's sane default budget. Present: the given hard
+    // budget, with 0 meaning explicitly unlimited.
+    let mem_budget: Option<u64> = match flag(args, "--mem-budget") {
+        Some(v) => {
+            Some(v.parse().map_err(|_| format!("--mem-budget expects bytes, got '{v}'"))?)
+        }
+        None => None,
+    };
     let resume = bool_flag(args, "--resume");
     let trace_path = flag(args, "--trace");
     // The build itself is durable: sealed runs, the doc map, and indexer
     // dictionary shards are committed atomically every `checkpoint_every`
     // runs, and the final index commit replaces the checkpoint — so a
     // crashed build is always `--resume`-able, never garbage.
-    let index = IndexBuilder::small()
+    let mut builder = IndexBuilder::small()
         .parsers(parsers)
         .cpu_indexers(cpu)
         .gpus(gpus)
         .popular_count(popular)
         .max_retries(max_retries)
         .on_fault(on_fault)
-        .tracing(trace_path.is_some())
+        .tracing(trace_path.is_some());
+    if let Some(bytes) = mem_budget {
+        builder = builder.mem_budget(bytes);
+    }
+    let index = builder
         .build_dir_durable(Path::new(coll_dir), Path::new(index_dir), checkpoint_every, resume)
         .map_err(|e| format!("build failed: {e}"))?;
     let r = &index.report;
@@ -247,6 +262,17 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     }
     for l in &r.supervision.lossy_incidents {
         println!("  LOSSY {l}");
+    }
+    if r.stages.gauge("governor.budget_bytes") > 0 {
+        println!(
+            "memory: budget {:.1} MB, high water {:.1} MB, {} credit waits, \
+             {} early flushes, {} gpu sheds",
+            r.stages.gauge("governor.budget_bytes") as f64 / 1e6,
+            r.stages.gauge("governor.high_water_bytes") as f64 / 1e6,
+            r.stages.counter("governor.credit_waits"),
+            r.stages.counter("governor.early_flushes"),
+            r.stages.counter("governor.gpu_sheds"),
+        );
     }
     if bool_flag(args, "--stats") {
         println!("\nper-stage breakdown (Table V / Fig 9):");

@@ -4,8 +4,8 @@ use crate::index::Index;
 use ii_corpus::StoredCollection;
 use ii_indexer::GpuIndexerConfig;
 use ii_pipeline::{
-    build_index, build_index_durable, DurableOptions, FaultAction, FaultPolicy, PipelineConfig,
-    PipelineError, SupervisorPolicy, WorkerFaultPlan,
+    build_index, build_index_durable, DurableOptions, FaultAction, FaultPolicy, GovernorPolicy,
+    PipelineConfig, PipelineError, SupervisorPolicy, WorkerFaultPlan,
 };
 use ii_postings::Codec;
 use std::io;
@@ -145,6 +145,27 @@ impl IndexBuilder {
         self
     }
 
+    /// Hard memory budget in bytes for the whole build (0 = unlimited).
+    /// Under pressure the pipeline degrades deterministically —
+    /// backpressure on the parsers, early run flushes, GPU-shard shedding —
+    /// and refuses with a typed `MemoryBudgetExceeded` only when even the
+    /// minimal configuration cannot fit. The logical index is identical at
+    /// every budget.
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.config.governor = if bytes == 0 {
+            GovernorPolicy::unlimited()
+        } else {
+            GovernorPolicy::default().with_budget(bytes)
+        };
+        self
+    }
+
+    /// Replace the whole governor policy (budget + watermarks) at once.
+    pub fn governor(mut self, policy: GovernorPolicy) -> Self {
+        self.config.governor = policy;
+        self
+    }
+
     /// The underlying pipeline configuration.
     pub fn pipeline_config(&self) -> &PipelineConfig {
         &self.config
@@ -244,6 +265,10 @@ mod tests {
         );
         assert!(b.pipeline_config().supervision.enabled);
         assert!(!b.pipeline_config().worker_faults.is_empty());
+        let b = b.mem_budget(64 << 20);
+        assert_eq!(b.pipeline_config().governor.budget_bytes, 64 << 20);
+        let b = b.mem_budget(0);
+        assert_eq!(b.pipeline_config().governor.budget_bytes, 0, "0 = unlimited");
     }
 
     #[test]

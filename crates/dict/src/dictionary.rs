@@ -114,6 +114,14 @@ impl PartialDictionary {
         self.store.term_count()
     }
 
+    /// Resident bytes of the shard's arenas (node arena + string arena +
+    /// trie-root table) for the pipeline memory governor. Deterministic
+    /// for a given insert history, so budget decisions keyed on it replay
+    /// exactly.
+    pub fn mem_bytes(&self) -> u64 {
+        self.store.mem_bytes() + (self.roots.len() * std::mem::size_of::<u32>()) as u64
+    }
+
     /// Serialize the complete shard state — node arena, string arena,
     /// postings high-water mark, and per-collection tree roots — for a
     /// build checkpoint. The byte layout is the legacy `IIPD` format

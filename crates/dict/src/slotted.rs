@@ -205,6 +205,14 @@ impl SlottedStore {
         self.nodes.len()
     }
 
+    /// Resident bytes of the store's arenas — slotted nodes plus the
+    /// string-remainder arena — the dictionary's contribution to the
+    /// pipeline memory governor's accounting.
+    pub fn mem_bytes(&self) -> u64 {
+        (self.nodes.len() * std::mem::size_of::<SlottedNode>()) as u64
+            + self.strings.len_bytes() as u64
+    }
+
     /// Shared access to a node.
     pub fn node(&self, idx: u32) -> &SlottedNode {
         &self.nodes[idx as usize]

@@ -76,6 +76,7 @@ impl DevPtr {
 pub struct DeviceMemory {
     bytes: Vec<u8>,
     top: usize,
+    high_water: usize,
     /// Transfer counters (kernel traffic is counted on each block's
     /// metrics instead).
     pub transfers: Metrics,
@@ -84,7 +85,12 @@ pub struct DeviceMemory {
 impl DeviceMemory {
     /// Allocate a device with `capacity` bytes.
     pub fn new(capacity: usize) -> Self {
-        DeviceMemory { bytes: vec![0; capacity], top: 0, transfers: Metrics::default() }
+        DeviceMemory {
+            bytes: vec![0; capacity],
+            top: 0,
+            high_water: 0,
+            transfers: Metrics::default(),
+        }
     }
 
     /// Bump-allocate `size` bytes aligned to `align` (power of two).
@@ -101,12 +107,19 @@ impl DeviceMemory {
             self.bytes.len()
         );
         self.top = start + size;
+        self.high_water = self.high_water.max(self.top);
         DevPtr(start as u32)
     }
 
     /// Bytes currently allocated.
     pub fn used(&self) -> usize {
         self.top
+    }
+
+    /// Most bytes ever simultaneously allocated on this device (the
+    /// governor's per-device high-water accounting).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Total capacity.
@@ -156,6 +169,7 @@ mod tests {
         assert_eq!(a.0, 0);
         assert_eq!(b.0 % 8, 0);
         assert!(m.used() >= 11);
+        assert_eq!(m.high_water(), m.used(), "bump allocator never frees");
     }
 
     #[test]

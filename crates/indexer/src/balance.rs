@@ -73,6 +73,22 @@ impl BalancePlan {
             })
     }
 
+    /// Order in which GPU shards should be parked when the memory
+    /// governor sheds under sustained pressure: heaviest sampled load
+    /// first (its device state holds the most pending postings, so
+    /// salvaging it relieves the most memory), ties toward the lower GPU
+    /// index. Only alive GPUs (per `alive`, indexed like `Owner::Gpu`)
+    /// are listed. Deterministic: depends only on the plan and the
+    /// liveness vector, never on timing.
+    pub fn shed_order(&self, alive: &[bool]) -> Vec<usize> {
+        let mut order: Vec<usize> =
+            (0..self.n_gpu).filter(|&g| alive.get(g).copied().unwrap_or(false)).collect();
+        order.sort_by_key(|&g| {
+            (std::cmp::Reverse(self.gpu_load.get(g).copied().unwrap_or(0)), g)
+        });
+        order
+    }
+
     /// Owner of a trie collection. Collections absent from the sample are
     /// unpopular by definition and follow the deterministic modulo rule, so
     /// all indexers agree without communication.
@@ -268,6 +284,23 @@ mod tests {
         // Ties break toward the lower index.
         let even = make_plan(&counts(&[(1, 10), (2, 10)]), 2, 0, 2);
         assert_eq!(even.takeover_host(&[true, true], &[0, 0]), Some(0));
+    }
+
+    #[test]
+    fn shed_order_prefers_heaviest_alive_gpu() {
+        // Unpopular collections 1..6 over 2 GPUs: sorted trie order is
+        // 1,2,3,4,5,6 → GPU0 gets {1,3,5} (100+80+60), GPU1 gets {2,4,6}
+        // (90+70+50).
+        let c = counts(&[(1, 100), (2, 90), (3, 80), (4, 70), (5, 60), (6, 50)]);
+        let plan = make_plan(&c, 0, 2, 0);
+        assert_eq!(plan.sampled_load(Owner::Gpu(0)), 240);
+        assert_eq!(plan.sampled_load(Owner::Gpu(1)), 210);
+        assert_eq!(plan.shed_order(&[true, true]), vec![0, 1], "heaviest first");
+        assert_eq!(plan.shed_order(&[false, true]), vec![1], "dead GPUs excluded");
+        assert_eq!(plan.shed_order(&[false, false]), Vec::<usize>::new());
+        // Ties break toward the lower index.
+        let even = make_plan(&counts(&[(1, 10), (2, 10)]), 0, 2, 0);
+        assert_eq!(even.shed_order(&[true, true]), vec![0, 1]);
     }
 
     #[test]

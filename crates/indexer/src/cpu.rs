@@ -112,6 +112,13 @@ impl CpuIndexer {
         self.lists.iter().map(|l| l.len()).sum()
     }
 
+    /// Resident bytes of the pending (un-flushed) postings lists
+    /// (memory-governor accounting). Deterministic: a function of the
+    /// documents indexed since the last flush, never of allocator state.
+    pub fn pending_postings_bytes(&self) -> u64 {
+        self.lists.iter().map(|l| l.mem_bytes()).sum()
+    }
+
     /// End-of-run flush: encode all non-empty lists into a run file and
     /// clear them (handles remain valid; later runs append new partial
     /// lists under the same handles).

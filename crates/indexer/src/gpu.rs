@@ -481,6 +481,21 @@ impl GpuIndexer {
     pub fn transfer_metrics(&self) -> ii_gpusim::Metrics {
         self.mem.transfers
     }
+
+    /// Live device-state bytes: nodes, string remainders, the
+    /// current-posting table, the postings log, and the current batch's
+    /// input staging. Counts *content*, not the reserved arenas, so the
+    /// figure is a deterministic function of the documents indexed — the
+    /// memory governor's per-device accounting. (Arena capacity is
+    /// [`DeviceMemory::used`]; its high-water mark is
+    /// [`DeviceMemory::high_water`].)
+    pub fn resident_bytes(&self) -> u64 {
+        self.node_count() as u64 * NODE_BYTES as u64
+            + self.read_ctr(self.ctr_strings) as u64
+            + self.term_count() as u64 * 8
+            + self.read_ctr(self.ctr_log) as u64 * 12
+            + self.input_top as u64
+    }
 }
 
 /// Device pointers threaded through the kernel (the CUDA kernel's

@@ -301,6 +301,46 @@ impl IndexerPool {
         moves
     }
 
+    /// Resident bytes per pool, probed at batch boundaries by the memory
+    /// governor: `(dictionary arenas, pending postings, device state)`.
+    /// Dictionary and postings figures cover CPU shards *and* adopted
+    /// continuations of dead/shed GPUs; the device figure covers live
+    /// GPUs' content (a salvaged GPU's state is already counted on the
+    /// CPU side). Every term is a deterministic function of the documents
+    /// indexed, so budget decisions keyed on these replay identically.
+    pub fn resident_bytes(&self) -> (u64, u64, u64) {
+        let mut dict = 0u64;
+        let mut postings = 0u64;
+        for c in &self.cpus {
+            dict += c.dict.mem_bytes();
+            postings += c.pending_postings_bytes();
+        }
+        for a in self.adopted_shards() {
+            dict += a.dict.mem_bytes();
+            postings += a.pending_postings_bytes();
+        }
+        let device = self
+            .gpus
+            .iter()
+            .enumerate()
+            .filter(|(g, _)| self.gpu_alive[*g])
+            .map(|(_, gpu)| gpu.resident_bytes())
+            .sum();
+        (dict, postings, device)
+    }
+
+    /// Memory-governor shed: park the alive GPU whose shard holds the
+    /// most sampled load (see [`BalancePlan::shed_order`]) onto the CPU
+    /// salvage path, freeing its device state. Returns the GPU index and
+    /// the reassignments, or `None` when no GPU is left to shed. This is
+    /// a *governor* event, not a worker death — the shard continues
+    /// loss-lessly on a CPU host, exactly like [`Self::kill_gpu`].
+    pub fn shed_gpu(&mut self) -> Option<(usize, Vec<Takeover>)> {
+        let g = self.plan.shed_order(&self.gpu_alive).into_iter().next()?;
+        let moves = self.kill_gpu(g);
+        Some((g, moves))
+    }
+
     /// Rebuild a pool from checkpointed dictionary shards plus the scalar
     /// counters a resumed build must continue from. Each shard is routed to
     /// the indexer whose id it carries (CPU shards are adopted directly,
@@ -838,6 +878,44 @@ mod tests {
         assert!(second.iter().all(|t| t.host == Host::Driver));
         let t = p.index_batch(&parse(&["quilt banana"], 1));
         assert!(t.panics.is_empty());
+        assert_eq!(p.flush_run().len(), 2);
+    }
+
+    /// The governor's probe: postings bytes fall to zero at a flush, and a
+    /// shed moves the device-side footprint onto the CPU ledger while the
+    /// output stays byte-identical (covered by the kill_gpu tests above —
+    /// shed reuses that path).
+    #[test]
+    fn resident_accounting_tracks_index_flush_and_shed() {
+        let b0 = parse(&["zebra quilt xylophone banana zebra"], 0);
+        let b1 = parse(&["banana xylophone quilt"], 1);
+        let mut p = pool(1, 1, &b0);
+        let (d0, po0, dev0) = p.resident_bytes();
+        assert!(d0 > 0, "even an empty shard carries its fixed trie-roots table");
+        assert_eq!((po0, dev0), (0, 0), "no pending postings or device content yet");
+        p.index_batch(&b0);
+        let (d1, po1, dev1) = p.resident_bytes();
+        assert!(d1 > d0, "dictionary arenas grew");
+        assert!(po1 > 0, "popular terms pend on the CPU side");
+        assert!(dev1 > 0, "unpopular terms pend on the device");
+        p.flush_run();
+        let (d2, po2, dev2) = p.resident_bytes();
+        assert_eq!(po2, 0, "flush drains pending CPU postings");
+        assert_eq!(d2, d1, "flushing postings never shrinks the dictionary");
+        // The device keeps its dictionary arenas and per-term table across
+        // runs; only the postings log drains, so the figure never grows.
+        assert!(dev2 <= dev1, "flush never grows device residency");
+        // Shed: device footprint moves onto the CPU ledger.
+        p.index_batch(&b1);
+        let (shed_gpu, moves) = p.shed_gpu().expect("one GPU to shed");
+        assert_eq!(shed_gpu, 0);
+        assert!(moves[0].gpu_takeover);
+        let (d3, _, dev3) = p.resident_bytes();
+        assert_eq!(dev3, 0, "no live GPU, no device bytes");
+        assert!(d3 >= d2, "adopted shard's dictionary now counts on the CPU side");
+        assert!(p.shed_gpu().is_none(), "nothing left to shed");
+        // The pool still finishes.
+        p.index_batch(&parse(&["quilt zebra"], 2));
         assert_eq!(p.flush_run().len(), 2);
     }
 

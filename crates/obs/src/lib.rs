@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 
 /// Version of the snapshot JSON layout (`--stats-json`, bench snapshots).
 /// Bump when keys change shape so downstream tooling can branch.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
 
 /// Monotonic event counter (relaxed atomic; safe to bump from any thread).
 #[derive(Debug, Default)]
@@ -720,7 +720,7 @@ mod tests {
         }
         let json = r.snapshot().to_json();
         for needle in [
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"pipeline.docs\": 48",
             "\"queue.depth\": -2",
             "\"read\"",

@@ -180,8 +180,9 @@ impl TraceReport {
             }
         ));
         o.push_str(&format!(
-            "{:<name_w$}  {:>8}  {:>6}  {:>9} {:>9} {:>9} {:>9}  dominant\n",
-            "worker", "wall s", "util%", "work s", "read-wait", "queue-full", "parser-wait"
+            "{:<name_w$}  {:>8}  {:>6}  {:>9} {:>9} {:>9} {:>9} {:>9}  dominant\n",
+            "worker", "wall s", "util%", "work s", "read-wait", "queue-full", "parser-wait",
+            "mem-wait"
         ));
         let col = |ns: u64| format!("{:.3}", ns as f64 / 1e9);
         for w in &self.workers {
@@ -189,7 +190,7 @@ impl TraceReport {
                 w.by_kind_ns[ALL_KINDS.iter().position(|x| *x == kind).unwrap()]
             };
             o.push_str(&format!(
-                "{:<name_w$}  {:>8}  {:>5.1}%  {:>9} {:>9} {:>10} {:>11}  {}\n",
+                "{:<name_w$}  {:>8}  {:>5.1}%  {:>9} {:>9} {:>10} {:>11} {:>9}  {}\n",
                 w.name,
                 col(w.wall_ns),
                 w.utilization() * 100.0,
@@ -197,6 +198,7 @@ impl TraceReport {
                 col(k(TraceKind::DiskWait)),
                 col(k(TraceKind::QueueFull)),
                 col(k(TraceKind::ParserWait)),
+                col(k(TraceKind::MemoryWait)),
                 w.dominant_kind().map(|d| d.label()).unwrap_or("-"),
             ));
         }
@@ -244,7 +246,7 @@ impl TraceReport {
         o.push_str(
             "legend: R read  D decompress  P parse  I index  F flush  K checkpoint  \
              C dict_combine  W dict_write  S sample\n        \
-             d disk-wait  q queue-full  w parser-wait  · idle\n",
+             d disk-wait  q queue-full  w parser-wait  m mem-wait  · idle\n",
         );
         o
     }

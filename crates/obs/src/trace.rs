@@ -76,10 +76,13 @@ pub enum TraceKind {
     /// Stall: consumer blocked on an empty parser buffer
     /// (waiting-on-parser).
     ParserWait,
+    /// Stall: producer blocked on the memory governor's byte-credit gate
+    /// (over the `--mem-budget` in-flight allowance).
+    MemoryWait,
 }
 
 /// Every kind, in rendering order (work first, stalls last).
-pub const ALL_KINDS: [TraceKind; 12] = [
+pub const ALL_KINDS: [TraceKind; 13] = [
     TraceKind::Read,
     TraceKind::Decompress,
     TraceKind::Parse,
@@ -92,12 +95,19 @@ pub const ALL_KINDS: [TraceKind; 12] = [
     TraceKind::DiskWait,
     TraceKind::QueueFull,
     TraceKind::ParserWait,
+    TraceKind::MemoryWait,
 ];
 
 impl TraceKind {
     /// True for stall kinds (time attributed to a wait cause, not work).
     pub fn is_stall(self) -> bool {
-        matches!(self, TraceKind::DiskWait | TraceKind::QueueFull | TraceKind::ParserWait)
+        matches!(
+            self,
+            TraceKind::DiskWait
+                | TraceKind::QueueFull
+                | TraceKind::ParserWait
+                | TraceKind::MemoryWait
+        )
     }
 
     /// Stable label used in exported traces and reports.
@@ -115,6 +125,7 @@ impl TraceKind {
             TraceKind::DiskWait => "disk_wait",
             TraceKind::QueueFull => "queue_full",
             TraceKind::ParserWait => "parser_wait",
+            TraceKind::MemoryWait => "memory_wait",
         }
     }
 
@@ -138,6 +149,7 @@ impl TraceKind {
             TraceKind::DiskWait => 'd',
             TraceKind::QueueFull => 'q',
             TraceKind::ParserWait => 'w',
+            TraceKind::MemoryWait => 'm',
         }
     }
 }
@@ -390,6 +402,17 @@ impl TraceSink {
     pub fn with_heartbeat(mut self, hb: Arc<crate::Heartbeat>) -> TraceSink {
         self.heartbeat = Some(hb);
         self
+    }
+
+    /// Bump the attached heartbeat without opening a span. For code that
+    /// blocks legitimately inside one long span (e.g. a parser parked on
+    /// the memory-credit gate) and must keep proving liveness to the
+    /// watchdog without flooding the trace ring.
+    #[inline]
+    pub fn beat(&self) {
+        if let Some(hb) = &self.heartbeat {
+            hb.beat();
+        }
     }
 
     /// Open a span of `kind`; recorded into the worker's ring on drop.

@@ -34,6 +34,11 @@ impl StageBreakdown {
         self.snapshot.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// A gauge's last level (0 when never set).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.snapshot.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// Fraction of dictionary node searches settled by the in-node 4-byte
     /// head/cache array alone (paper §III.D.1), `None` before any search.
     pub fn cache_hit_rate(&self) -> Option<f64> {
@@ -95,6 +100,27 @@ impl StageBreakdown {
                 self.counter("gpu.d2h_bytes"),
             ));
         }
+        // Only builds that ran with a budget (or hit any rung of the
+        // degradation ladder) get a governor row; unlimited, untouched
+        // builds keep the table unchanged.
+        let budget = self.gauge("governor.budget_bytes");
+        let degraded = self.counter("governor.credit_waits")
+            + self.counter("governor.early_flushes")
+            + self.counter("governor.gpu_sheds")
+            + self.counter("governor.squeezes");
+        if budget > 0 || degraded > 0 {
+            out.push_str(&format!(
+                "governor: budget {:.1} MB (high water {:.1} MB), {} credit waits ({:.3} s), \
+                 {} early flushes, {} gpu sheds, {} squeezes\n",
+                budget as f64 / 1e6,
+                self.gauge("governor.high_water_bytes") as f64 / 1e6,
+                self.counter("governor.credit_waits"),
+                self.counter("governor.credit_wait_ns") as f64 / 1e9,
+                self.counter("governor.early_flushes"),
+                self.counter("governor.gpu_sheds"),
+                self.counter("governor.squeezes"),
+            ));
+        }
         out
     }
 }
@@ -133,5 +159,26 @@ mod tests {
         let t = b.render_table();
         assert!(t.contains("stage"));
         assert!(b.cache_hit_rate().is_none());
+        assert!(!t.contains("governor:"), "no governor row without a budget");
+    }
+
+    #[test]
+    fn governor_row_appears_only_under_budget_or_degradation() {
+        let r = Registry::new();
+        r.gauge("governor.budget_bytes").set(64_000_000);
+        r.gauge("governor.high_water_bytes").set(48_000_000);
+        r.counter("governor.early_flushes").add(3);
+        let b = StageBreakdown::from_registry(&r);
+        let t = b.render_table();
+        assert!(t.contains("governor: budget 64.0 MB (high water 48.0 MB)"), "{t}");
+        assert!(t.contains("3 early flushes"), "{t}");
+        assert_eq!(b.gauge("governor.budget_bytes"), 64_000_000);
+        assert_eq!(b.gauge("no.such.gauge"), 0);
+
+        // Unlimited budget but a squeeze mid-build still earns the row.
+        let r2 = Registry::new();
+        r2.counter("governor.squeezes").add(1);
+        let t2 = StageBreakdown::from_registry(&r2).render_table();
+        assert!(t2.contains("1 squeezes"), "{t2}");
     }
 }

@@ -27,6 +27,7 @@ use crate::fault::{
     FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,
     WorkerClass, WorkerFaultKind, WorkerFaultPlan,
 };
+use crate::governor::{GovernorPolicy, MemoryGovernor, PoolBytes};
 use crate::parsers::{
     panic_message, BatchRecycler, ParserObs, ParserPool, SpawnOptions, SupervisedRoundRobin,
 };
@@ -87,6 +88,12 @@ pub struct PipelineConfig {
     /// default). Also fingerprint-excluded: a degraded build's output is
     /// byte-identical to a healthy one.
     pub worker_faults: WorkerFaultPlan,
+    /// Memory budget and degradation watermarks. The budget knobs ARE
+    /// fingerprinted: early run flushes move run boundaries, so a resume
+    /// under a different budget would splice incompatible run sets. (The
+    /// *logical* index — dictionary, postings, doc map — stays identical
+    /// across budgets; the checkpoint guard protects the physical runs.)
+    pub governor: GovernorPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -107,6 +114,7 @@ impl Default for PipelineConfig {
             trace: TraceConfig::default(),
             supervision: SupervisorPolicy::default(),
             worker_faults: WorkerFaultPlan::none(),
+            governor: GovernorPolicy::default(),
         }
     }
 }
@@ -445,17 +453,21 @@ fn load_resume_state(
         .map_err(|e| PipelineError::Resume(format!("checkpoint descriptor unreadable: {e:?}")))?;
     let want_coll = collection_fingerprint(collection);
     if ckpt.collection != want_coll {
-        return Err(PipelineError::Resume(format!(
-            "checkpoint belongs to collection '{}', not '{want_coll}'",
-            ckpt.collection
-        )));
+        return Err(StoreError::CheckpointMismatch {
+            what: "collection".into(),
+            expected: ckpt.collection,
+            found: want_coll,
+        }
+        .into());
     }
     let want_cfg = config_fingerprint(cfg);
     if ckpt.config != want_cfg {
-        return Err(PipelineError::Resume(format!(
-            "checkpoint was built with config '{}', current config is '{want_cfg}'",
-            ckpt.config
-        )));
+        return Err(StoreError::CheckpointMismatch {
+            what: "config".into(),
+            expected: ckpt.config,
+            found: want_cfg,
+        }
+        .into());
     }
     let doc_map = DocMap::read_from(&mut store.read(DOCMAP_ARTIFACT)?.as_slice())?;
     let mut run_names: Vec<(u32, u32, String)> = Vec::new();
@@ -618,6 +630,20 @@ fn build_inner(
     // The driver's own timeline: sampling, round-robin waits, per-batch
     // dispatch, flushes, checkpoints, and the dictionary endgame.
     let driver_sink = tracer.sink("driver");
+    // One governor per build: parsers acquire in-flight byte credits from
+    // it before sending a batch downstream; the driver feeds it resident
+    // figures at batch boundaries and walks the degradation ladder. The
+    // drop guard closes the credit gate on *every* exit path — typed
+    // errors included — so no parser stays parked on a gate nobody will
+    // ever drain.
+    let governor = MemoryGovernor::new(cfg.governor);
+    struct GateGuard(MemoryGovernor);
+    impl Drop for GateGuard {
+        fn drop(&mut self) {
+            self.0.close();
+        }
+    }
+    let _gate_guard = GateGuard(governor.clone());
     let resume_state = match durable {
         Some(opts) if opts.resume => load_resume_state(collection, cfg, opts)?,
         _ => None,
@@ -703,6 +729,7 @@ fn build_inner(
         tracer: tracer.clone(),
         heartbeats: parser_beats,
         worker_faults: cfg.worker_faults.clone(),
+        governor: governor.clone(),
     };
     let mut parser_pool = ParserPool::spawn_with(
         Arc::clone(collection),
@@ -791,6 +818,13 @@ fn build_inner(
                 continue;
             }
         };
+        // Credit captured at receive time: the parser acquired exactly
+        // `mem_bytes()` before sending, and the batch is consumed (and its
+        // buffers recycled) below, so this is the last point the figure is
+        // still readable. Files are round-robin over parsers (idx ≡ p mod
+        // num_parsers), which names the ledger the credit returns to.
+        let credit = batch.mem_bytes();
+        let credit_parser = batch.file_idx % cfg.num_parsers;
         doc_map.push_file(batch.file_idx as u32, batch.num_docs);
         let file_bytes = *collection
             .manifest
@@ -802,6 +836,12 @@ fn build_inner(
         // granularity at which the supervisor reassigns work.
         if !cfg.worker_faults.is_empty() {
             inject_indexer_faults(cfg, &mut pool, &mut supervisor, batch_ordinal);
+            // Budget squeezes fire at the same clean boundary: the
+            // effective budget only ever shrinks, so the degradation
+            // ladder below reacts on this very batch.
+            if let Some(bytes) = cfg.worker_faults.squeeze_at(batch_ordinal) {
+                governor.squeeze_to(bytes);
+            }
         }
         // Aliveness before the batch: any executor dead afterwards was
         // killed by an in-batch panic, which the watchdog records.
@@ -869,8 +909,24 @@ fn build_inner(
         });
         // The batch is fully consumed; return its buffers to the parsers.
         recycler.reclaim(batch);
+        governor.release(credit_parser, credit);
         batches_in_run += 1;
-        if batches_in_run >= cfg.batches_per_run {
+        // Feed the governor the deterministic resident figures — dictionary
+        // arenas, pending postings, live GPU device state — then walk the
+        // degradation ladder. Rung 1 (backpressure) lives in the parsers'
+        // credit gate; rungs 2-4 fire here, at the batch boundary, keyed
+        // only on content-derived byte counts so the same budget schedule
+        // degrades identically on every run.
+        let (dict, postings, device) = pool.resident_bytes();
+        governor.note_resident(PoolBytes { dict, postings, device });
+        // Rung 2: flush the run early when pending postings push the pools
+        // past the watermark (the paper's flush-when-full rule). Run
+        // boundaries move; the merged postings do not.
+        let early_flush = batches_in_run < cfg.batches_per_run && governor.should_flush_early();
+        if early_flush {
+            governor.record_early_flush();
+        }
+        if batches_in_run >= cfg.batches_per_run || early_flush {
             let t0 = Instant::now();
             let mut span = post_stage.span();
             let tspan = driver_sink.span(TraceKind::Flush);
@@ -895,6 +951,24 @@ fn build_inner(
                     runs_since_checkpoint = 0;
                 }
             }
+            let (dict, postings, device) = pool.resident_bytes();
+            governor.note_resident(PoolBytes { dict, postings, device });
+        }
+        // Rung 3: park GPU shards onto the CPU salvage path, heaviest
+        // sampled load first. A shed is deliberate degradation, not a
+        // worker death — it lands in `governor.gpu_sheds`, never in the
+        // supervision ledger.
+        while governor.should_shed() {
+            let Some((_gpu, _moves)) = pool.shed_gpu() else { break };
+            governor.record_shed();
+            let (dict, postings, device) = pool.resident_bytes();
+            governor.note_resident(PoolBytes { dict, postings, device });
+        }
+        // Rung 4: even with postings flushed and every GPU shed, the
+        // dictionaries alone no longer fit — a typed refusal beats an OOM
+        // kill.
+        if let Some((budget, needed)) = governor.budget_exceeded() {
+            return Err(PipelineError::MemoryBudgetExceeded { budget, needed });
         }
     }
     if batches_in_run > 0 {
@@ -1037,6 +1111,10 @@ fn build_inner(
     registry.counter("supervisor.inline_parsed_files").add(u64::from(sup.inline_parsed_files));
     registry.counter("supervisor.commit_retries").add(u64::from(sup.commit_retries));
     registry.counter("supervisor.lossy_incidents").add(sup.lossy_incidents.len() as u64);
+
+    // The governor's ledger: budget, per-pool resident gauges, high-water,
+    // credit-gate waits, and each rung's trigger count.
+    governor.export(&registry);
 
     report.supervision = supervisor.report;
     report.total_seconds = t_total.elapsed().as_secs_f64();
@@ -1303,13 +1381,35 @@ mod tests {
         );
         assert!(crash.crashed());
 
-        // Resuming under the wrong config is refused, not silently mixed.
+        // Resuming under the wrong config is refused with the typed
+        // mismatch carrying both fingerprints, not silently mixed.
         let mut other_cfg = cfg.clone();
         other_cfg.popular_count += 1;
         let opts = DurableOptions::new(&idx_dir).checkpoint_every(1).resume(true);
         match build_index_durable(&coll, &other_cfg, &opts) {
-            Err(PipelineError::Resume(why)) => assert!(why.contains("config"), "{why}"),
+            Err(PipelineError::Store(StoreError::CheckpointMismatch {
+                what,
+                expected,
+                found,
+            })) => {
+                assert_eq!(what, "config");
+                assert_ne!(expected, found);
+                assert!(found.contains("popular=9"), "{found}");
+            }
             other => panic!("expected config refusal, got {:?}", other.map(|_| "index")),
+        }
+
+        // A different memory budget is refused the same way: early-flush
+        // points move run boundaries, so resuming would splice
+        // incompatible physical runs.
+        let mut budget_cfg = cfg.clone();
+        budget_cfg.governor = GovernorPolicy::default().with_budget(64 << 20);
+        match build_index_durable(&coll, &budget_cfg, &opts) {
+            Err(PipelineError::Store(StoreError::CheckpointMismatch { what, found, .. })) => {
+                assert_eq!(what, "config");
+                assert!(found.contains("mem_budget=67108864"), "{found}");
+            }
+            other => panic!("expected budget refusal, got {:?}", other.map(|_| "index")),
         }
 
         let resumed = build_index_durable(&coll, &cfg, &opts).expect("resume");
@@ -1394,6 +1494,162 @@ mod tests {
         cfg.worker_faults = WorkerFaultPlan::none().kill(WorkerClass::CpuIndexer, 0, 1);
         let out = build_index(&coll, &cfg).expect("plain build");
         assert!(out.report.supervision.is_clean());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Dictionary bytes, sorted term → (doc, tf) postings, doc map.
+    type LogicalFingerprint = (Vec<u8>, Vec<(String, Vec<(u32, u32)>)>, Vec<u8>);
+
+    /// Logical index identity: dictionary bytes, per-term (doc, tf)
+    /// postings, and the doc map. This — not the physical run encodings —
+    /// is the invariant the governor preserves: early flushes move run
+    /// boundaries, the merged postings never change.
+    fn logical_fingerprint(out: &IndexOutput) -> LogicalFingerprint {
+        let mut terms: Vec<(String, Vec<(u32, u32)>)> = out
+            .dictionary
+            .entries()
+            .iter()
+            .map(|e| {
+                let l = out.run_sets[&e.indexer].fetch(e.postings);
+                (e.full_term(), l.postings().iter().map(|p| (p.doc.0, p.tf)).collect())
+            })
+            .collect();
+        terms.sort();
+        let mut dm = Vec::new();
+        out.doc_map.write_to(&mut dm).unwrap();
+        (out.dict_bytes.clone(), terms, dm)
+    }
+
+    fn governor_gauge(out: &IndexOutput, name: &str) -> i64 {
+        out.report.stages.snapshot.gauges.get(name).copied().unwrap_or(-1)
+    }
+
+    fn total_runs(out: &IndexOutput) -> usize {
+        out.run_sets.values().map(|rs| rs.runs().len()).sum()
+    }
+
+    #[test]
+    fn early_flush_under_pressure_is_logically_identical() {
+        let mut spec = CollectionSpec::tiny(55);
+        spec.num_files = 6;
+        spec.docs_per_file = 10;
+        let (coll, dir) = stored("governor-flush", spec);
+        let mut cfg = PipelineConfig::small(2, 1, 1);
+        cfg.batches_per_run = 3;
+        cfg.governor = GovernorPolicy::unlimited();
+        let baseline = build_index(&coll, &cfg).expect("unlimited build");
+        assert_eq!(baseline.report.stages.counter("governor.early_flushes"), 0);
+        assert_eq!(
+            governor_gauge(&baseline, "governor.budget_bytes"),
+            0,
+            "unlimited reports budget 0"
+        );
+        assert!(
+            governor_gauge(&baseline, "governor.high_water_bytes") > 0,
+            "accounting runs even without a budget"
+        );
+
+        // A flush watermark so low every batch crosses it: each batch
+        // seals its own run — more, smaller runs, same merged index.
+        let mut pressured = cfg.clone();
+        pressured.governor = GovernorPolicy {
+            budget_bytes: 512 << 20,
+            flush_watermark: 1e-9,
+            shed_watermark: 0.85,
+        };
+        let out = build_index(&coll, &pressured).expect("pressured build");
+        assert!(
+            out.report.stages.counter("governor.early_flushes") >= 3,
+            "every mid-run batch should flush early: {}",
+            out.report.stages.counter("governor.early_flushes")
+        );
+        assert!(
+            total_runs(&out) > total_runs(&baseline),
+            "early flushes must produce more, smaller runs ({} vs {})",
+            total_runs(&out),
+            total_runs(&baseline)
+        );
+        assert_eq!(logical_fingerprint(&out), logical_fingerprint(&baseline));
+        assert!(out.report.supervision.is_clean(), "pressure is not a fault");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn gpu_shed_under_pressure_is_logically_identical() {
+        let mut spec = CollectionSpec::tiny(56);
+        spec.num_files = 6;
+        spec.docs_per_file = 8;
+        let (coll, dir) = stored("governor-shed", spec);
+        let mut cfg = PipelineConfig::small(2, 1, 1);
+        cfg.governor = GovernorPolicy::unlimited();
+        let baseline = build_index(&coll, &cfg).expect("unlimited build");
+
+        // A shed watermark so low any device residency crosses it: the
+        // GPU's shards are parked onto the CPU salvage path at the first
+        // batch boundary, and the rest of the build runs CPU-only.
+        let mut pressured = cfg.clone();
+        pressured.governor = GovernorPolicy {
+            budget_bytes: 512 << 20,
+            flush_watermark: 0.5,
+            shed_watermark: 1e-9,
+        };
+        let out = build_index(&coll, &pressured).expect("shed build");
+        assert_eq!(out.report.stages.counter("governor.gpu_sheds"), 1, "one GPU to shed");
+        assert_eq!(logical_fingerprint(&out), logical_fingerprint(&baseline));
+        // A shed is deliberate degradation, not a worker death: the
+        // supervision ledger stays clean (`--strict` builds still pass).
+        assert!(out.report.supervision.is_clean(), "{}", out.report.supervision.summary());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn mid_build_squeeze_is_logically_identical_and_counted() {
+        let mut spec = CollectionSpec::tiny(57);
+        spec.num_files = 8;
+        spec.docs_per_file = 8;
+        let (coll, dir) = stored("governor-squeeze", spec);
+        let mut cfg = PipelineConfig::small(2, 1, 1);
+        cfg.governor = GovernorPolicy::unlimited();
+        let baseline = build_index(&coll, &cfg).expect("unlimited build");
+        let high_water = governor_gauge(&baseline, "governor.high_water_bytes") as u64;
+        assert!(high_water > 0);
+
+        // Start generous, then shrink mid-build — twice. Squeezes fire at
+        // batch ordinals on the deterministic resident figures, so two
+        // identical runs degrade identically.
+        let mut squeezed = cfg.clone();
+        squeezed.governor = GovernorPolicy::default().with_budget(high_water * 4);
+        squeezed.worker_faults =
+            WorkerFaultPlan::none().squeeze(2, high_water * 3).squeeze(5, high_water * 2);
+        let out = build_index(&coll, &squeezed).expect("squeezed build");
+        assert_eq!(out.report.stages.counter("governor.squeezes"), 2);
+        assert_eq!(
+            governor_gauge(&out, "governor.effective_budget_bytes") as u64,
+            high_water * 2,
+            "the tightest squeeze is the effective budget"
+        );
+        assert_eq!(logical_fingerprint(&out), logical_fingerprint(&baseline));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn impossible_budget_fails_typed_not_oom() {
+        let mut spec = CollectionSpec::tiny(58);
+        spec.num_files = 4;
+        let (coll, dir) = stored("governor-abort", spec);
+        let mut cfg = PipelineConfig::small(1, 1, 0);
+        // 80 KB total → 60 KB resident share: below even one empty
+        // dictionary shard's fixed trie-roots table, so no amount of
+        // flushing or shedding can fit. The build must refuse with the
+        // typed error naming both figures — never an OOM kill.
+        cfg.governor = GovernorPolicy::default().with_budget(80_000);
+        match build_index(&coll, &cfg) {
+            Err(PipelineError::MemoryBudgetExceeded { budget, needed }) => {
+                assert_eq!(budget, 80_000);
+                assert!(needed > 60_000, "needed={needed}");
+            }
+            other => panic!("expected budget refusal, got {:?}", other.map(|_| "index")),
+        }
         std::fs::remove_dir_all(dir).unwrap();
     }
 

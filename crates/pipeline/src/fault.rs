@@ -213,14 +213,32 @@ pub struct WorkerFault {
     pub kind: WorkerFaultKind,
 }
 
+/// One scheduled allocation-pressure squeeze: at batch ordinal `at` the
+/// memory governor's *effective* budget shrinks to `budget_bytes`,
+/// simulating a host that loses memory mid-build (a neighbour process, a
+/// cgroup clamp). Squeezes fire at batch boundaries like worker faults,
+/// so the degradation they provoke (early flushes, GPU sheds) lands at
+/// deterministic points and replays exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetSqueeze {
+    /// Batch ordinal (0-based count of batches consumed) at which the
+    /// squeeze takes effect.
+    pub at: usize,
+    /// New effective budget in bytes (never raises the configured budget).
+    pub budget_bytes: u64,
+}
+
 /// A seeded schedule of worker kills and stalls (the chaos harness for
-/// the failure-domain supervisor). Deliberately *excluded* from the
-/// checkpoint config fingerprint, like the rest of the fault policy: the
-/// schedule changes how the build executes, never what it produces.
+/// the failure-domain supervisor), plus allocation-pressure squeezes for
+/// the memory governor. Deliberately *excluded* from the checkpoint
+/// config fingerprint, like the rest of the fault policy: the schedule
+/// changes how the build executes, never what it produces.
 #[derive(Clone, Debug, Default)]
 pub struct WorkerFaultPlan {
     /// Scheduled faults, in no particular order.
     pub faults: Vec<WorkerFault>,
+    /// Scheduled budget squeezes, in no particular order.
+    pub squeezes: Vec<BudgetSqueeze>,
 }
 
 impl WorkerFaultPlan {
@@ -229,9 +247,9 @@ impl WorkerFaultPlan {
         WorkerFaultPlan::default()
     }
 
-    /// True when the schedule holds no faults.
+    /// True when the schedule holds no faults and no squeezes.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.squeezes.is_empty()
     }
 
     /// Add a kill of `class` worker `index` at progress point `at`.
@@ -252,6 +270,44 @@ impl WorkerFaultPlan {
             .iter()
             .find(|f| f.class == class && f.index == index && f.at == at)
             .map(|f| f.kind)
+    }
+
+    /// Add a budget squeeze at batch ordinal `at`.
+    pub fn squeeze(mut self, at: usize, budget_bytes: u64) -> Self {
+        self.squeezes.push(BudgetSqueeze { at, budget_bytes });
+        self
+    }
+
+    /// The budget squeeze firing at batch ordinal `at`, if any (the
+    /// tightest one wins when several are scheduled at the same ordinal).
+    pub fn squeeze_at(&self, at: usize) -> Option<u64> {
+        self.squeezes.iter().filter(|s| s.at == at).map(|s| s.budget_bytes).min()
+    }
+
+    /// Deterministic seeded squeeze schedule: up to `max_squeezes` budget
+    /// shrinks over batch ordinals in `0..num_batches`, each landing
+    /// between 25% and 100% of `base_budget`. The same seed always yields
+    /// the same schedule.
+    pub fn seeded_squeezes(
+        mut self,
+        seed: u64,
+        num_batches: usize,
+        base_budget: u64,
+        max_squeezes: usize,
+    ) -> Self {
+        if num_batches == 0 || base_budget == 0 {
+            return self;
+        }
+        let n = (splitmix64(seed ^ 0x5153_555A_455A_4551) as usize) % (max_squeezes + 1);
+        for k in 0..n {
+            let r = splitmix64(seed ^ (k as u64 + 1).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+            let at = (r as usize) % num_batches;
+            // Uniform in [base/4, base]: pressure, never infeasibility.
+            let frac = 25 + (r >> 16) % 76;
+            let budget_bytes = (base_budget / 100).saturating_mul(frac).max(1);
+            self.squeezes.push(BudgetSqueeze { at, budget_bytes });
+        }
+        self
     }
 
     /// Deterministic seeded schedule over a worker topology: up to
@@ -370,6 +426,17 @@ pub enum PipelineError {
     /// checkpoint (config mismatch, different collection, or no resumable
     /// state).
     Resume(String),
+    /// The memory governor exhausted its degradation ladder — runs were
+    /// flushed early and every GPU shard was shed — and the resident state
+    /// (dictionary arenas and minimum working set) still does not fit the
+    /// budget. Raised only when no feasible configuration remains; a
+    /// larger `--mem-budget` (or 0 = unlimited) is the fix.
+    MemoryBudgetExceeded {
+        /// The effective budget at the moment of the abort, bytes.
+        budget: u64,
+        /// Resident bytes the minimal configuration still needs.
+        needed: u64,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -384,6 +451,12 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Io(e) => write!(f, "index artifact write failed: {e}"),
             PipelineError::Store(e) => write!(f, "index store: {e}"),
             PipelineError::Resume(why) => write!(f, "cannot resume: {why}"),
+            PipelineError::MemoryBudgetExceeded { budget, needed } => write!(
+                f,
+                "memory budget exceeded: {needed} resident bytes needed after early \
+                 flushes and GPU sheds, budget is {budget} (raise --mem-budget or \
+                 pass 0 for unlimited)"
+            ),
         }
     }
 }
@@ -470,6 +543,26 @@ mod tests {
         let no_gpus = WorkerFaultPlan::seeded(7, 2, 2, 0, 10, 8);
         assert!(no_gpus.faults.iter().all(|f| f.class != WorkerClass::GpuIndexer));
         assert!(WorkerFaultPlan::seeded(1, 2, 1, 1, 0, 3).is_empty(), "no files, no faults");
+    }
+
+    #[test]
+    fn budget_squeezes_are_seeded_bounded_and_queryable() {
+        let plan = WorkerFaultPlan::none().squeeze(3, 1 << 20).squeeze(3, 1 << 18);
+        assert!(!plan.is_empty(), "a squeeze-only plan is not empty");
+        assert_eq!(plan.squeeze_at(3), Some(1 << 18), "tightest squeeze wins");
+        assert_eq!(plan.squeeze_at(4), None);
+        let base = 64 << 20;
+        let a = WorkerFaultPlan::none().seeded_squeezes(11, 20, base, 4);
+        let b = WorkerFaultPlan::none().seeded_squeezes(11, 20, base, 4);
+        assert_eq!(a.squeezes, b.squeezes, "same seed, same schedule");
+        for s in &a.squeezes {
+            assert!(s.at < 20);
+            assert!(s.budget_bytes >= base / 4 && s.budget_bytes <= base, "{s:?}");
+        }
+        assert!(
+            WorkerFaultPlan::none().seeded_squeezes(5, 0, base, 4).is_empty(),
+            "no batches, no squeezes"
+        );
     }
 
     #[test]

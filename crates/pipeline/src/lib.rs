@@ -21,6 +21,12 @@
 //! workers dead, reassigns their trie-partition shards to survivors (GPU
 //! shards degrade gracefully to the CPU path, byte-identically), and the
 //! [`SupervisionReport`] in every build report says exactly what degraded.
+//!
+//! Finally, it runs to a hard memory budget: a [`MemoryGovernor`] accounts
+//! live bytes across every stage against `--mem-budget` and degrades
+//! deterministically — parser backpressure, early run flushes, GPU
+//! shedding — before the typed
+//! [`PipelineError::MemoryBudgetExceeded`] abort.
 
 #![warn(missing_docs)]
 
@@ -29,6 +35,7 @@ pub mod checkpoint;
 pub mod docmap;
 pub mod driver;
 pub mod fault;
+pub mod governor;
 pub mod parsers;
 pub mod supervisor;
 
@@ -43,9 +50,10 @@ pub use driver::{
     PipelineConfig, PipelineReport, SamplePlan,
 };
 pub use fault::{
-    FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault, PipelineError,
-    WorkerClass, WorkerFault, WorkerFaultKind, WorkerFaultPlan,
+    BudgetSqueeze, FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault,
+    PipelineError, WorkerClass, WorkerFault, WorkerFaultKind, WorkerFaultPlan,
 };
+pub use governor::{GovernorPolicy, MemoryGovernor, PoolBytes};
 pub use parsers::{
     BatchRecycler, ParsedFile, ParserObs, ParserPool, ParserTiming, RoundRobin, SpawnOptions,
     SupervisedRoundRobin,

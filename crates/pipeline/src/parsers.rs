@@ -22,6 +22,7 @@ use crate::fault::{
     FaultAction, FaultClass, FaultPolicy, FaultStage, FileFault, PipelineError, WorkerClass,
     WorkerFaultKind, WorkerFaultPlan,
 };
+use crate::governor::MemoryGovernor;
 use crate::supervisor::{DeathCause, SupervisorPolicy, WorkerDeath};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use ii_corpus::{compress, container, StoredCollection};
@@ -31,7 +32,7 @@ use parking_lot::Mutex;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Stage handles the parser threads record into: one [`Stage`] per
 /// dataflow step of paper Step 1 (read, decompress) and Steps 2-5 (parse).
@@ -131,6 +132,11 @@ pub struct SpawnOptions {
     /// makes the parser thread exit just before ingesting the trigger
     /// file; a `Stall` makes it sleep that long without heartbeating.
     pub worker_faults: WorkerFaultPlan,
+    /// Shared memory governor. Parsers acquire byte credits from its
+    /// in-flight gate before sending each batch downstream (blocked time
+    /// lands in `memory_wait` spans); the default unlimited governor
+    /// accounts but never blocks.
+    pub governor: MemoryGovernor,
 }
 
 /// Per-parser timing accumulators (read under the disk lock vs the rest).
@@ -331,12 +337,20 @@ impl ParserPool {
                         },
                     };
                     let failed = msg.result.is_err();
+                    // Memory back-pressure: a parsed batch may not enter
+                    // the in-flight queues until the governor's byte-credit
+                    // gate admits its footprint (fault messages carry no
+                    // payload and pass free). The driver returns the credit
+                    // when the batch's memory is recycled.
+                    let credit = msg.result.as_ref().map_or(0, |b| b.mem_bytes());
+                    options.governor.acquire(p, credit, &sink);
                     // Producer back-pressure: time blocked on a full buffer.
                     let t_send = Instant::now();
                     {
                         let mut qspan = sink.span(TraceKind::QueueFull);
                         qspan.set_batch(file_idx as u32);
                         if tx.send(msg).is_err() {
+                            options.governor.release(p, credit);
                             break; // consumer gone
                         }
                     }
@@ -769,9 +783,9 @@ impl SupervisedRoundRobin {
     /// supervision off, surface the fatal disconnect ([`Recv::Fatal`]).
     fn receive_or_bury(&mut self, p: usize) -> Recv {
         let stall_timeout = self.supervision.stall_timeout;
-        // Poll fast enough to notice a stall promptly without busy-waiting.
-        let poll =
-            (stall_timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(500));
+        // Poll fast enough to notice a stall promptly without busy-waiting
+        // (a quarter of the stall timeout unless the policy pins it).
+        let poll = self.supervision.effective_poll_interval();
         let t_start = Instant::now();
         loop {
             let rx = match self.buffers[p].as_ref() {
@@ -866,6 +880,7 @@ impl Iterator for SupervisedRoundRobin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
     use ii_corpus::{CollectionSpec, FaultKind, FaultPlan};
     use std::path::{Path, PathBuf};
 

@@ -73,11 +73,21 @@ pub struct SupervisorPolicy {
     /// decompress / parse step), so the timeout bounds *per-step* silence,
     /// not per-file latency.
     pub stall_timeout: Duration,
+    /// `recv_timeout` poll interval the supervised consumer uses between
+    /// stall checks. `None` (the default) derives the historical value —
+    /// `stall_timeout / 4` clamped to `[1 ms, 500 ms]` — so a tight
+    /// stall timeout still polls promptly; set it explicitly to poll
+    /// faster under tight memory budgets without touching the timeout.
+    pub poll_interval: Option<Duration>,
 }
 
 impl Default for SupervisorPolicy {
     fn default() -> Self {
-        SupervisorPolicy { enabled: true, stall_timeout: Duration::from_secs(30) }
+        SupervisorPolicy {
+            enabled: true,
+            stall_timeout: Duration::from_secs(30),
+            poll_interval: None,
+        }
     }
 }
 
@@ -91,6 +101,22 @@ impl SupervisorPolicy {
     pub fn with_stall_timeout(mut self, d: Duration) -> Self {
         self.stall_timeout = d;
         self
+    }
+
+    /// Same policy with an explicit consumer poll interval.
+    pub fn with_poll_interval(mut self, d: Duration) -> Self {
+        self.poll_interval = Some(d);
+        self
+    }
+
+    /// The poll interval the consumer actually uses: the explicit value
+    /// when set, else `stall_timeout / 4` clamped to `[1 ms, 500 ms]` —
+    /// fast enough to notice a stall promptly without busy-waiting.
+    pub fn effective_poll_interval(&self) -> Duration {
+        self.poll_interval.unwrap_or_else(|| {
+            (self.stall_timeout / 4)
+                .clamp(Duration::from_millis(1), Duration::from_millis(500))
+        })
     }
 }
 
@@ -278,5 +304,19 @@ mod tests {
         assert!(!off.enabled);
         let quick = SupervisorPolicy::default().with_stall_timeout(Duration::from_millis(5));
         assert_eq!(quick.stall_timeout, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn poll_interval_derives_from_stall_timeout_unless_explicit() {
+        let p = SupervisorPolicy::default();
+        assert_eq!(p.poll_interval, None);
+        // 30 s / 4 clamps to the 500 ms ceiling (the historical constant).
+        assert_eq!(p.effective_poll_interval(), Duration::from_millis(500));
+        let tight = p.with_stall_timeout(Duration::from_millis(80));
+        assert_eq!(tight.effective_poll_interval(), Duration::from_millis(20));
+        let tiny = tight.with_stall_timeout(Duration::from_micros(100));
+        assert_eq!(tiny.effective_poll_interval(), Duration::from_millis(1), "1 ms floor");
+        let explicit = SupervisorPolicy::default().with_poll_interval(Duration::from_millis(7));
+        assert_eq!(explicit.effective_poll_interval(), Duration::from_millis(7));
     }
 }

@@ -84,6 +84,13 @@ impl PostingsList {
     pub fn take(&mut self) -> Vec<Posting> {
         std::mem::take(&mut self.postings)
     }
+
+    /// Resident bytes of the pending postings (memory-governor accounting).
+    /// Counts live postings, not vector capacity, so the figure is a
+    /// deterministic function of the documents indexed.
+    pub fn mem_bytes(&self) -> u64 {
+        (self.postings.len() * std::mem::size_of::<Posting>()) as u64
+    }
 }
 
 impl FromIterator<Posting> for PostingsList {

@@ -71,6 +71,19 @@ pub enum StoreError {
         /// The directory inspected.
         dir: PathBuf,
     },
+    /// A resume was requested against a checkpoint whose recorded
+    /// build-knob fingerprint disagrees with the current configuration.
+    /// Resuming anyway could produce an index that is byte-divergent from
+    /// an uninterrupted build, so the mismatch is refused with both
+    /// fingerprints for diffing.
+    CheckpointMismatch {
+        /// What the checkpoint disagrees about (`config` / `collection`).
+        what: String,
+        /// Fingerprint recorded in the checkpoint.
+        expected: String,
+        /// Fingerprint of the current build.
+        found: String,
+    },
     /// The volume ran out of space mid-operation (ENOSPC). Distinct from
     /// [`StoreError::Io`] because it is the one storage failure that is
     /// worth retrying after backoff: space frees up, disks get swapped —
@@ -130,6 +143,11 @@ impl std::fmt::Display for StoreError {
                  (rerun the build with --resume)",
                 dir.display()
             ),
+            StoreError::CheckpointMismatch { what, expected, found } => write!(
+                f,
+                "checkpoint {what} mismatch: checkpoint was built with '{expected}', \
+                 current build is '{found}' (resuming would diverge)"
+            ),
             StoreError::DiskFull { detail } => {
                 write!(f, "volume is out of space (retriable): {detail}")
             }
@@ -184,6 +202,19 @@ mod tests {
         assert!(s.contains("0xdeadbeef"));
         let io: io::Error = e.into();
         assert_eq!(io.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn checkpoint_mismatch_names_both_fingerprints() {
+        let e = StoreError::CheckpointMismatch {
+            what: "config".into(),
+            expected: "cpus=1|mem_budget=0".into(),
+            found: "cpus=2|mem_budget=64".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cpus=1|mem_budget=0"), "{s}");
+        assert!(s.contains("cpus=2|mem_budget=64"), "{s}");
+        assert!(!e.is_retriable(), "a knob mismatch never resolves by retrying");
     }
 
     #[test]

@@ -146,6 +146,24 @@ impl ParsedBatch {
             .ok()
             .map(|i| &self.groups[i])
     }
+
+    /// Resident bytes of the batch payload — term bytes, doc spans,
+    /// positions, and the doc-location table — the credit a parser must
+    /// acquire from the memory governor before the batch enters the
+    /// in-flight queues. Deterministic per file: identical across runs,
+    /// parser counts, and budgets.
+    pub fn mem_bytes(&self) -> u64 {
+        let mut n = 0u64;
+        for g in &self.groups {
+            n += g.term_bytes.len() as u64;
+            n += (g.docs.len() * std::mem::size_of::<DocSpan>()) as u64;
+            n += (g.positions.len() * std::mem::size_of::<u32>()) as u64;
+        }
+        for (_, loc) in &self.doc_table {
+            n += (loc.len() + std::mem::size_of::<(DocId, String)>()) as u64;
+        }
+        n
+    }
 }
 
 #[derive(Default)]
