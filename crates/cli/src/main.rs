@@ -3,6 +3,7 @@
 //! ```text
 //! ii generate <dir> [--preset clueweb|wikipedia|congress|tiny] [--scale F] [--seed N]
 //! ii build    <collection-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]
+//!             [--codec varbyte|gamma|golomb|bp128|pfor|ef|auto]
 //!             [--max-retries N] [--on-fault fail|skip] [--checkpoint-every N] [--resume]
 //!             [--mem-budget BYTES] [--stats] [--stats-json] [--trace trace.json] [--strict]
 //! ii trace    report <trace.json> [--check]
@@ -16,6 +17,7 @@
 
 use ii_core::corpus::{CollectionSpec, DocId, StoredCollection};
 use ii_core::pipeline::FaultAction;
+use ii_core::postings::Codec;
 use ii_core::platsim::{simulate, CollectionModel, PlatformModel, Scenario};
 use ii_core::{Index, IndexBuilder};
 use ii_obs::{Trace, TraceReport};
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("repair") => cmd_repair(&args[1..]),
+        Some("downgrade") => cmd_downgrade(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("postings") => cmd_postings(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -64,6 +67,8 @@ fn usage() {
          commands:\n  \
          generate <dir> [--preset P] [--scale F] [--seed N]   synthesize a collection\n  \
          build <coll-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]\n        \
+         [--codec varbyte|gamma|golomb|bp128|pfor|ef|auto] postings codec; auto (default)\n        \
+         picks per list length: varbyte short, PForDelta medium, BP128 long\n        \
          [--max-retries N] [--on-fault fail|skip]      fail aborts on a corrupt file (default);\n        \
          skip quarantines it and indexes the rest\n        \
          [--checkpoint-every N] commits a resumable checkpoint every N runs (default 8)\n        \
@@ -79,6 +84,8 @@ fn usage() {
          additionally enforces the trace invariants and exits non-zero on failure\n  \
          verify <index-dir>                                   checksum + dictionary invariants\n  \
          repair <index-dir>                                   salvage intact artifacts, report losses\n  \
+         downgrade <index-dir> <out-dir>                      re-encode as a legacy v1 index\n        \
+         (whole-list varbyte runs, v1 manifest) for format-interop testing\n  \
          query <index-dir> <terms...>                         conjunctive search\n  \
          postings <index-dir> <term> [--range LO HI]          dump a postings list\n  \
          stats <dir>                                          collection or index stats\n  \
@@ -180,6 +187,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
             "--parsers",
             "--cpu",
             "--gpus",
+            "--codec",
             "--popular",
             "--max-retries",
             "--on-fault",
@@ -199,6 +207,23 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let parsers = flag_usize(args, "--parsers", 2)?;
     let cpu = flag_usize(args, "--cpu", 1)?;
     let gpus = flag_usize(args, "--gpus", 1)?;
+    let codec = match flag(args, "--codec").as_deref() {
+        // Auto picks per list-length class: varbyte / PForDelta / Elias-Fano.
+        None | Some("auto") => Codec::Auto,
+        Some("varbyte") => Codec::VarByte,
+        Some("gamma") => Codec::Gamma,
+        // A fixed mid-range Golomb parameter; per-list tuning is the
+        // ablation harness's job (`ablate_codecs`), not the build path's.
+        Some("golomb") => Codec::Golomb(64),
+        Some("bp128") => Codec::Bp128,
+        Some("pfor") => Codec::PFor,
+        Some("ef") => Codec::EliasFano,
+        Some(other) => {
+            return Err(format!(
+                "--codec expects varbyte|gamma|golomb|bp128|pfor|ef|auto, got '{other}'"
+            ))
+        }
+    };
     let popular = flag_usize(args, "--popular", 40)?;
     let max_retries = flag_usize(args, "--max-retries", 3)? as u32;
     let on_fault = match flag(args, "--on-fault").as_deref() {
@@ -225,6 +250,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         .parsers(parsers)
         .cpu_indexers(cpu)
         .gpus(gpus)
+        .codec(codec)
         .popular_count(popular)
         .max_retries(max_retries)
         .on_fault(on_fault)
@@ -377,6 +403,67 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         return Err(format!("{bad} of {} artifact checks failed in {dir}", statuses.len() + 1));
     }
     println!("verified {dir}: {} artifacts clean", statuses.len());
+    Ok(())
+}
+
+/// Re-encode a blocked (v2) index in the legacy v1 wire format: whole-list
+/// varbyte runs, version-1 manifest with no postings metadata. Exercises
+/// the backward-compat read path end to end — CI builds a fresh index,
+/// downgrades it, and requires `verify` to pass on both.
+fn cmd_downgrade(args: &[String]) -> Result<(), String> {
+    use ii_core::postings::{Posting, PostingsList, RunFile, RunSet};
+    use ii_core::store::{Manifest, MANIFEST_NAME};
+    check_flags(args, &[])?;
+    let pos = positional(args);
+    let src = pos.first().ok_or("downgrade: missing <index-dir>")?;
+    let dst = pos.get(1).ok_or("downgrade: missing <out-dir>")?;
+    let idx =
+        Index::open(Path::new(src.as_str())).map_err(|e| format!("cannot open {src}: {e}"))?;
+    let mut runs = 0usize;
+    let mut legacy_sets: std::collections::HashMap<u32, RunSet> = std::collections::HashMap::new();
+    for (&indexer, set) in &idx.run_sets {
+        for run in set.runs() {
+            let lists: Vec<(u32, PostingsList)> = run
+                .entries
+                .iter()
+                .map(|e| {
+                    let mut l = PostingsList::new();
+                    for p in run
+                        .decode_entry(e)
+                        .map_err(|err| format!("run {} handle {}: {err}", run.run_id, e.handle))?
+                    {
+                        l.push(Posting { doc: p.doc, tf: p.tf });
+                    }
+                    Ok((e.handle, l))
+                })
+                .collect::<Result<_, String>>()?;
+            let mut it = lists.iter().map(|(h, l)| (*h, l));
+            legacy_sets
+                .entry(indexer)
+                .or_default()
+                .push(RunFile::build_legacy(run.run_id, indexer, &mut it, Codec::VarByte));
+            runs += 1;
+        }
+    }
+    let legacy = Index {
+        dictionary: idx.dictionary,
+        run_sets: legacy_sets,
+        doc_map: idx.doc_map,
+        report: Default::default(),
+        obs: std::sync::Arc::new(ii_core::obs::Registry::new()),
+    };
+    let out = Path::new(dst.as_str());
+    legacy.save(out).map_err(|e| format!("cannot save {dst}: {e}"))?;
+    // Rewrite the manifest as a v1 writer produced it: version 1, no
+    // postings metadata. Artifact bytes are untouched, so CRCs hold.
+    let mut m = Manifest::load(out).map_err(|e| format!("manifest reload: {e}"))?;
+    m.version = 1;
+    for a in &mut m.artifacts {
+        a.postings = None;
+    }
+    std::fs::write(out.join(MANIFEST_NAME), m.to_bytes())
+        .map_err(|e| format!("manifest rewrite: {e}"))?;
+    println!("downgraded {src} -> {dst}: {runs} runs re-encoded in the legacy v1 format");
     Ok(())
 }
 

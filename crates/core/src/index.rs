@@ -7,7 +7,10 @@ use ii_pipeline::{
     BuildCheckpoint, DocMap, IndexOutput, PipelineReport, CHECKPOINT_ARTIFACT,
     DICTIONARY_ARTIFACT, DOCMAP_ARTIFACT,
 };
-use ii_postings::{parse_run_artifact_name, run_artifact_name, Posting, PostingsList, RunFile, RunSet};
+use ii_postings::{
+    parse_run_artifact_name, run_artifact_name, CodecError, Posting, PostingsList, RunFile,
+    RunSet, SetCursor,
+};
 use ii_store::{
     ArtifactStatus, ManifestKind, RealVfs, SalvageReport, Store, StoreError, Txn, Vfs,
 };
@@ -85,44 +88,70 @@ impl Index {
         set.fetch_range(e.postings, lo, hi).0
     }
 
+    /// Skip cursor over a surface term's postings (normalized like
+    /// [`Self::postings`]). `Ok(None)` when the term is absent.
+    fn term_cursor(&self, term: &str) -> Result<Option<SetCursor<'_>>, CodecError> {
+        let Some(normalized) = normalize_term(term) else { return Ok(None) };
+        let Some(e) = self.dictionary.lookup(&normalized) else { return Ok(None) };
+        let Some(set) = self.run_sets.get(&e.indexer) else { return Ok(None) };
+        set.cursor(e.postings)
+    }
+
     /// Conjunctive (AND) search: documents containing *all* query terms,
     /// ranked by summed term frequency. Stop words in the query are
     /// ignored (as they were never indexed).
+    ///
+    /// The intersection is driven by skip cursors: the rarest term streams
+    /// its postings and every other term `advance_to`s each candidate,
+    /// using the per-list skip tables to jump over 128-document blocks
+    /// that cannot contain it (blocks are only decoded when landed on —
+    /// `query.blocks_decoded` / `query.blocks_skipped` record the win).
     pub fn search(&self, query: &str) -> Vec<(DocId, u64)> {
         let stage = self.obs.stage("query");
         let _span = stage.span();
         let scanned = self.obs.counter("query.postings_scanned");
-        let mut lists: Vec<PostingsList> = Vec::new();
+        let mut cursors: Vec<SetCursor<'_>> = Vec::new();
         let mut it = ii_text::tokenize::tokens(query);
         while let Some(tok) = it.next_token() {
             let stemmed = ii_text::stem(tok);
             if ii_text::is_stop_word(&stemmed) {
                 continue;
             }
-            match self.postings(&stemmed) {
-                Some(l) => lists.push(l),
-                None => return Vec::new(), // a required term is absent
+            match self.term_cursor(&stemmed) {
+                Ok(Some(c)) => cursors.push(c),
+                // A required term absent — or its list unreadable — means
+                // no document can satisfy the conjunction.
+                Ok(None) | Err(_) => return Vec::new(),
             }
         }
-        if lists.is_empty() {
+        if cursors.is_empty() {
             return Vec::new();
         }
-        scanned.add(lists.iter().map(|l| l.len() as u64).sum());
-        // Intersect smallest-first.
-        lists.sort_by_key(|l| l.len());
-        let mut acc: HashMap<u32, u64> =
-            lists[0].postings().iter().map(|p| (p.doc.0, p.tf as u64)).collect();
-        for l in &lists[1..] {
-            let present: HashMap<u32, u32> =
-                l.postings().iter().map(|p| (p.doc.0, p.tf)).collect();
-            acc.retain(|d, _| present.contains_key(d));
-            for (d, score) in acc.iter_mut() {
-                *score += present[d] as u64;
-            }
-        }
-        let mut out: Vec<(DocId, u64)> = acc.into_iter().map(|(d, s)| (DocId(d), s)).collect();
+        scanned.add(cursors.iter().map(|c| c.df()).sum());
+        // Rarest term drives; the others leapfrog via their skip tables.
+        cursors.sort_by_key(|c| c.df());
+        let hits = intersect_cursors(&mut cursors);
+        self.record_block_metrics(&cursors);
+        let mut out: Vec<(DocId, u64)> = hits
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(doc, tfs)| (doc, tfs.iter().map(|&tf| u64::from(tf)).sum()))
+            .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
+    }
+
+    /// Record skip-cursor effectiveness on the query counters.
+    pub(crate) fn record_block_metrics(&self, cursors: &[SetCursor<'_>]) {
+        self.obs
+            .counter("query.blocks_decoded")
+            .add(cursors.iter().map(|c| u64::from(c.blocks_decoded())).sum());
+        self.obs.counter("query.blocks_skipped").add(
+            cursors
+                .iter()
+                .map(|c| (c.blocks_total() as u64).saturating_sub(u64::from(c.blocks_decoded())))
+                .sum(),
+        );
     }
 
     /// Persist the index: `dictionary.bin`, `docmap.bin`, plus one `.iirf`
@@ -142,7 +171,11 @@ impl Index {
         indexers.sort_unstable();
         for indexer in indexers {
             for run in self.run_sets[&indexer].runs() {
-                txn.put(&run_artifact_name(indexer, run.run_id), &run.to_bytes())?;
+                txn.put_with_meta(
+                    &run_artifact_name(indexer, run.run_id),
+                    &run.to_bytes(),
+                    Some(ii_pipeline::run_postings_meta(run)),
+                )?;
             }
         }
         let mut dm = Vec::new();
@@ -308,22 +341,65 @@ impl Index {
 
 /// Semantic validation used by [`Index::repair`]: an artifact only
 /// survives salvage if it actually decodes as what its name claims.
-fn validate_artifact(name: &str, bytes: &[u8]) -> Result<(), String> {
+/// Salvaged run files re-derive their postings metadata so the repaired
+/// manifest keeps skip-table and block-max information.
+fn validate_artifact(name: &str, bytes: &[u8]) -> Result<Option<ii_store::PostingsMeta>, String> {
     if name == DICTIONARY_ARTIFACT {
-        GlobalDictionary::read_from(&mut &bytes[..]).map(|_| ()).map_err(|e| e.to_string())
+        GlobalDictionary::read_from(&mut &bytes[..]).map(|_| None).map_err(|e| e.to_string())
     } else if name == DOCMAP_ARTIFACT {
-        DocMap::read_from(&mut &bytes[..]).map(|_| ()).map_err(|e| e.to_string())
+        DocMap::read_from(&mut &bytes[..]).map(|_| None).map_err(|e| e.to_string())
     } else if name == CHECKPOINT_ARTIFACT {
         serde_json::from_slice::<BuildCheckpoint>(bytes)
-            .map(|_| ())
+            .map(|_| None)
             .map_err(|e| format!("{e:?}"))
     } else if name.ends_with(".iipd") {
-        PartialDictionary::read_from(&mut &bytes[..]).map(|_| ()).map_err(|e| e.to_string())
+        PartialDictionary::read_from(&mut &bytes[..]).map(|_| None).map_err(|e| e.to_string())
     } else if parse_run_artifact_name(name).is_some() {
-        RunFile::from_bytes(bytes).map(|_| ()).map_err(|e| e.to_string())
+        RunFile::from_bytes(bytes)
+            .map(|r| Some(ii_pipeline::run_postings_meta(&r)))
+            .map_err(|e| e.to_string())
     } else {
         Err("unrecognized artifact name".into())
     }
+}
+
+/// Leapfrog intersection: the first (rarest) cursor proposes candidates;
+/// every other cursor advances to the candidate through its skip table. A
+/// cursor that lands past the candidate keeps that posting as a pushback —
+/// `advance_to` consumes what it returns, and the overshoot is exactly the
+/// posting the next candidate must be checked against. Each hit carries
+/// the per-cursor term frequencies in cursor order (callers sum them or
+/// feed them into BM25). `Err` (a corrupt list discovered mid-stream)
+/// surfaces as no matches.
+pub(crate) fn intersect_cursors(
+    cursors: &mut [SetCursor<'_>],
+) -> Result<Vec<(DocId, Vec<u32>)>, CodecError> {
+    let mut hits = Vec::new();
+    let (first, rest) = cursors.split_at_mut(1);
+    let driver = &mut first[0];
+    let mut pending: Vec<Option<Posting>> = vec![None; rest.len()];
+    'candidates: while let Some(p) = driver.next()? {
+        let target = p.doc.0;
+        let mut tfs = Vec::with_capacity(rest.len() + 1);
+        tfs.push(p.tf);
+        for (c, pend) in rest.iter_mut().zip(pending.iter_mut()) {
+            let q = match pend.take() {
+                Some(q) if q.doc.0 >= target => Some(q),
+                _ => c.advance_to(target)?,
+            };
+            match q {
+                Some(q) if q.doc.0 == target => tfs.push(q.tf),
+                Some(q) => {
+                    *pend = Some(q);
+                    continue 'candidates;
+                }
+                // This term is exhausted: nothing later can match either.
+                None => return Ok(hits),
+            }
+        }
+        hits.push((p.doc, tfs));
+    }
+    Ok(hits)
 }
 
 /// Normalize a query term the way the parser normalizes document terms.
@@ -446,6 +522,53 @@ mod tests {
         assert!(statuses.len() >= 3, "dictionary + docmap + runs");
         assert!(statuses.iter().all(|s| s.ok));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn saved_manifest_carries_postings_metadata() {
+        let idx = small_index("pmeta", vec![doc("walrus penguin"), doc("walrus kiwi")]);
+        let dir =
+            std::env::temp_dir().join(format!("ii-core-pmeta-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        idx.save(&dir).unwrap();
+        let store = ii_store::Store::open(&dir).unwrap();
+        let mut runs_seen = 0;
+        for a in &store.manifest().artifacts {
+            if let Some((indexer, run_id)) = parse_run_artifact_name(&a.name) {
+                runs_seen += 1;
+                let p = a.postings.expect("every run artifact carries postings metadata");
+                let run = idx.run_sets[&indexer]
+                    .runs()
+                    .iter()
+                    .find(|r| r.run_id == run_id)
+                    .unwrap();
+                assert_eq!(p, ii_pipeline::run_postings_meta(run));
+                assert_eq!(p.format, 2, "blocked wire format");
+                assert_eq!(p.lists, run.entries.len() as u64);
+                if !run.entries.is_empty() {
+                    assert!(p.blocks >= p.lists, "at least one block per list");
+                    assert!(p.max_tf >= 1);
+                }
+            } else {
+                assert!(a.postings.is_none(), "{}: non-postings artifact", a.name);
+            }
+        }
+        assert!(runs_seen >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn search_records_skip_metrics() {
+        let idx = small_index(
+            "skipmetrics",
+            vec![doc("apple banana"), doc("apple cherry"), doc("apple banana date")],
+        );
+        let hits = idx.search("apple banana");
+        assert_eq!(hits.len(), 2);
+        // Both lists travel the cursor path: every block either decodes or
+        // is skipped, and the scanned counter still reflects total df.
+        assert!(idx.obs.counter("query.blocks_decoded").get() >= 2);
+        assert!(idx.obs.counter("query.postings_scanned").get() >= 5);
     }
 
     /// A saved directory with its manifest removed — the pre-manifest

@@ -69,6 +69,47 @@ impl Index {
             return Vec::new();
         }
         let n_docs = self.num_docs().max(self.doc_map.total_docs()).max(1) as f64;
+        let idf_of = |df: f64| ((n_docs - df + 0.5) / (df + 0.5) + 1.0).ln();
+
+        if mode == QueryMode::And {
+            // Conjunctive retrieval rides the skip cursors: the rarest
+            // term's list drives and the others leapfrog block to block,
+            // decoding only the 128-document blocks they land in.
+            let mut pairs = Vec::with_capacity(terms.len());
+            for term in &terms {
+                let cursor = self
+                    .dictionary
+                    .lookup(term)
+                    .and_then(|e| self.run_sets.get(&e.indexer).zip(Some(e.postings)))
+                    .and_then(|(set, handle)| set.cursor(handle).ok().flatten());
+                // A missing term — or an unreadable list — empties the
+                // conjunction.
+                let Some(c) = cursor else { return Vec::new() };
+                scanned.add(c.df());
+                pairs.push((idf_of(c.df() as f64), c));
+            }
+            pairs.sort_by_key(|(_, c)| c.df());
+            let idfs: Vec<f64> = pairs.iter().map(|(idf, _)| *idf).collect();
+            let mut cursors: Vec<_> = pairs.into_iter().map(|(_, c)| c).collect();
+            let hits = crate::index::intersect_cursors(&mut cursors).unwrap_or_default();
+            self.record_block_metrics(&cursors);
+            let mut out: Vec<RankedHit> = hits
+                .into_iter()
+                .map(|(doc, tfs)| {
+                    let score = idfs
+                        .iter()
+                        .zip(&tfs)
+                        .map(|(idf, &tf)| {
+                            let tf = tf as f64;
+                            idf * (tf * (params.k1 + 1.0)) / (tf + params.k1)
+                        })
+                        .sum();
+                    RankedHit { doc, score }
+                })
+                .collect();
+            out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
+            return out;
+        }
 
         let mut scores: HashMap<u32, (f64, usize)> = HashMap::new();
         let mut matched_terms = 0usize;

@@ -36,8 +36,8 @@ use ii_corpus::StoredCollection;
 use ii_obs::{Registry, Trace, TraceConfig, TraceKind, Tracer};
 use ii_dict::{GlobalDictionary, PartialDictionary};
 use ii_indexer::{make_plan, sample_counts, BalancePlan, GpuIndexerConfig, IndexerPool, WorkloadStats};
-use ii_postings::{parse_run_artifact_name, run_artifact_name, Codec, RunFile, RunSet};
-use ii_store::{ManifestKind, RealVfs, Store, StoreError, Txn, Vfs};
+use ii_postings::{parse_run_artifact_name, run_artifact_name, Codec, RunFile, RunFormat, RunSet};
+use ii_store::{ManifestKind, PostingsMeta, RealVfs, Store, StoreError, Txn, Vfs};
 use ii_text::{parse_documents_into, ParseScratch};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -103,7 +103,10 @@ impl Default for PipelineConfig {
             num_cpu_indexers: 2,
             num_gpus: 2,
             gpu_config: GpuIndexerConfig::default(),
-            codec: Codec::VarByte,
+            // Auto picks a codec per list length class: varbyte for short
+            // lists, PForDelta for medium, BP128 for long (see
+            // `ii_postings::codec_for`).
+            codec: Codec::Auto,
             popular_count: 100,
             sample_docs_per_file: 2,
             sample_file_stride: 1,
@@ -513,6 +516,22 @@ fn load_resume_state(
     }))
 }
 
+/// Manifest-level postings metadata of a run file: wire format, list and
+/// skip-table block counts, and the block-max bound. Committed alongside
+/// every run artifact so an index's shape is readable from the manifest
+/// alone.
+pub fn run_postings_meta(run: &RunFile) -> PostingsMeta {
+    PostingsMeta {
+        format: match run.format {
+            RunFormat::Legacy => 1,
+            RunFormat::Blocked => 2,
+        },
+        lists: run.entries.len() as u64,
+        blocks: run.block_count(),
+        max_tf: run.max_tf(),
+    }
+}
+
 /// Stage every sealed run into `txn` (unchanged runs are reused, not
 /// rewritten) plus the doc map.
 fn stage_runs_and_docmap(
@@ -524,7 +543,11 @@ fn stage_runs_and_docmap(
     indexers.sort_unstable();
     for indexer in indexers {
         for run in run_sets[&indexer].runs() {
-            txn.put(&run_artifact_name(indexer, run.run_id), &run.to_bytes())?;
+            txn.put_with_meta(
+                &run_artifact_name(indexer, run.run_id),
+                &run.to_bytes(),
+                Some(run_postings_meta(run)),
+            )?;
         }
     }
     let mut dm = Vec::new();

@@ -46,8 +46,8 @@ pub use checkpoint::{
 };
 pub use docmap::{DocMap, DocMapEntry};
 pub use driver::{
-    build_index, build_index_durable, sample_plan, DurableOptions, FileTiming, IndexOutput,
-    PipelineConfig, PipelineReport, SamplePlan,
+    build_index, build_index_durable, run_postings_meta, sample_plan, DurableOptions, FileTiming,
+    IndexOutput, PipelineConfig, PipelineReport, SamplePlan,
 };
 pub use fault::{
     BudgetSqueeze, FaultAction, FaultClass, FaultPolicy, FaultReport, FaultStage, FileFault,

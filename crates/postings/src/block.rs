@@ -1,0 +1,747 @@
+//! Fixed 128-document block layout with per-list skip tables.
+//!
+//! Every list encoded through [`ListEncoder`] is laid out as
+//!
+//! ```text
+//! [skip table: ceil(n/128) x 12 bytes] [block bodies]
+//! ```
+//!
+//! with one skip entry per block: the block's first document ID, the byte
+//! offset of its body relative to the start of the block data, and the
+//! maximum term frequency inside the block — the block-max metadata
+//! WAND/MaxScore-style query evaluation needs. The posting count is not
+//! stored: callers already know `n` (run entries and the dictionary carry
+//! it), and every block except the last holds exactly [`BLOCK_LEN`]
+//! postings.
+//!
+//! Blocks are *block-independent*: gaps are relative to the block's own
+//! first document (which lives only in the skip entry, so the first gap is
+//! implicit), and all stored values are biased down by one (`gap - 1`,
+//! `tf - 1`) so a run of unit gaps packs at width zero. Independence is
+//! what makes two things cheap:
+//!
+//! * decoders can seek straight to a block picked from the skip table
+//!   without touching its predecessors ([`crate::cursor::ListCursor`]);
+//! * the merge can copy a whole block *verbatim* when source and target
+//!   codecs agree ([`ListEncoder::push_raw_block`]), because re-encoding
+//!   the same 128 postings would reproduce the same bytes.
+
+use crate::bits;
+use crate::codec::{check_alloc, Codec, CodecError};
+use crate::posting::Posting;
+use crate::varbyte;
+use ii_corpus::DocId;
+
+/// Postings per block. Fixed so skip-table geometry is derivable from the
+/// posting count alone.
+pub const BLOCK_LEN: usize = 128;
+
+/// Serialized size of one [`SkipEntry`].
+pub const SKIP_ENTRY_BYTES: usize = 12;
+
+/// One skip-table entry: everything needed to locate and pre-judge a block
+/// without decoding it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SkipEntry {
+    /// First document ID in the block (also the base all in-block gaps are
+    /// relative to).
+    pub first_doc: u32,
+    /// Byte offset of the block body, relative to the end of the skip
+    /// table.
+    pub offset: u32,
+    /// Largest term frequency in the block (block-max metadata).
+    pub max_tf: u32,
+}
+
+/// Number of blocks an `n`-posting list occupies.
+pub fn n_blocks(n: usize) -> usize {
+    n.div_ceil(BLOCK_LEN)
+}
+
+/// Number of postings in block `b` of an `n`-posting list.
+pub fn len_of_block(n: usize, b: usize) -> usize {
+    debug_assert!(b < n_blocks(n));
+    (n - b * BLOCK_LEN).min(BLOCK_LEN)
+}
+
+/// Bytes of skip table preceding the block data of an `n`-posting list.
+pub fn skip_table_bytes(n: usize) -> usize {
+    n_blocks(n) * SKIP_ENTRY_BYTES
+}
+
+fn write_skip(e: SkipEntry, out: &mut Vec<u8>) {
+    out.extend_from_slice(&e.first_doc.to_le_bytes());
+    out.extend_from_slice(&e.offset.to_le_bytes());
+    out.extend_from_slice(&e.max_tf.to_le_bytes());
+}
+
+fn read_skip(skip: &[u8], b: usize) -> SkipEntry {
+    let s = &skip[b * SKIP_ENTRY_BYTES..(b + 1) * SKIP_ENTRY_BYTES];
+    SkipEntry {
+        first_doc: u32::from_le_bytes(s[0..4].try_into().unwrap()),
+        offset: u32::from_le_bytes(s[4..8].try_into().unwrap()),
+        max_tf: u32::from_le_bytes(s[8..12].try_into().unwrap()),
+    }
+}
+
+/// Reusable per-block decode scratch (biased gaps in `a`, biased tfs in
+/// `b`). Fixed [`BLOCK_LEN`] arrays, not `Vec`s: section decoders write
+/// through subslices, which keeps the per-value hot loops free of
+/// capacity checks.
+#[derive(Debug)]
+pub(crate) struct BlockScratch {
+    pub(crate) a: [u32; BLOCK_LEN],
+    pub(crate) b: [u32; BLOCK_LEN],
+}
+
+impl Default for BlockScratch {
+    fn default() -> Self {
+        BlockScratch { a: [0; BLOCK_LEN], b: [0; BLOCK_LEN] }
+    }
+}
+
+/// Encode one block body (without its skip entry) into `out`. `ps` holds
+/// `1..=BLOCK_LEN` doc-sorted postings; `codec` must be concrete.
+fn encode_block(codec: Codec, ps: &[Posting], out: &mut Vec<u8>) {
+    let m = ps.len();
+    debug_assert!((1..=BLOCK_LEN).contains(&m));
+    let mut gaps = [0u32; BLOCK_LEN]; // gaps[i] = doc[i+1] - doc[i] - 1
+    let mut tfs = [0u32; BLOCK_LEN]; // tf - 1
+    for i in 1..m {
+        debug_assert!(ps[i].doc > ps[i - 1].doc, "block postings out of order");
+        gaps[i - 1] = ps[i].doc.0 - ps[i - 1].doc.0 - 1;
+    }
+    for i in 0..m {
+        debug_assert!(ps[i].tf >= 1, "postings carry at least one occurrence");
+        tfs[i] = ps[i].tf - 1;
+    }
+    let gaps = &gaps[..m - 1];
+    let tfs = &tfs[..m];
+    match codec {
+        Codec::VarByte => {
+            for &g in gaps {
+                varbyte::encode_u32(g, out);
+            }
+            for &t in tfs {
+                varbyte::encode_u32(t, out);
+            }
+        }
+        Codec::Bp128 => {
+            let dw = gaps.iter().map(|&g| bits::bits_needed(g)).max().unwrap_or(0);
+            let tw = tfs.iter().map(|&t| bits::bits_needed(t)).max().unwrap_or(0);
+            out.push(dw as u8);
+            out.push(tw as u8);
+            bits::pack_bits(gaps, dw, out);
+            bits::pack_bits(tfs, tw, out);
+        }
+        Codec::PFor => {
+            pfor_encode(gaps, out);
+            pfor_encode(tfs, out);
+        }
+        Codec::EliasFano => {
+            // Doc section: the m-1 non-first docs as y = doc - first - 1,
+            // strictly increasing.
+            let mut ys = [0u32; BLOCK_LEN];
+            for i in 1..m {
+                ys[i - 1] = ps[i].doc.0 - ps[0].doc.0 - 1;
+            }
+            ef_encode(&ys[..m - 1], out);
+            let tw = tfs.iter().map(|&t| bits::bits_needed(t)).max().unwrap_or(0);
+            out.push(tw as u8);
+            bits::pack_bits(tfs, tw, out);
+        }
+        Codec::Gamma => {
+            let mut w = bits::BitWriter::new();
+            for &g in gaps {
+                bits::gamma_encode(g as u64 + 1, &mut w); // actual gap >= 1
+            }
+            for &t in tfs {
+                bits::gamma_encode(t as u64 + 1, &mut w); // actual tf >= 1
+            }
+            out.extend_from_slice(&w.finish());
+        }
+        Codec::Golomb(b) => {
+            let mut w = bits::BitWriter::new();
+            for &g in gaps {
+                bits::golomb_encode(g as u64 + 1, b, &mut w);
+            }
+            for &t in tfs {
+                bits::gamma_encode(t as u64 + 1, &mut w);
+            }
+            out.extend_from_slice(&w.finish());
+        }
+        Codec::Auto => unreachable!("Auto must be resolved before block encode"),
+    }
+}
+
+/// Decode one block body into `out`. `buf` is exactly the block body (as
+/// delimited by skip offsets), `first_doc` comes from the skip entry, `m`
+/// is the block's posting count.
+pub(crate) fn decode_block(
+    codec: Codec,
+    buf: &[u8],
+    first_doc: u32,
+    m: usize,
+    scratch: &mut BlockScratch,
+    out: &mut Vec<Posting>,
+) -> Result<(), CodecError> {
+    debug_assert!((1..=BLOCK_LEN).contains(&m));
+    let gaps = &mut scratch.a[..m - 1];
+    let tfs = &mut scratch.b[..m];
+    match codec {
+        Codec::VarByte => {
+            let mut pos = 0usize;
+            for g in gaps.iter_mut() {
+                *g = varbyte::decode_u32(buf, &mut pos).ok_or(CodecError::Truncated)?;
+            }
+            for t in tfs.iter_mut() {
+                *t = varbyte::decode_u32(buf, &mut pos).ok_or(CodecError::Truncated)?;
+            }
+        }
+        Codec::Bp128 => {
+            let dw = *buf.first().ok_or(CodecError::Truncated)?;
+            let tw = *buf.get(1).ok_or(CodecError::Truncated)?;
+            if dw > 32 {
+                return Err(CodecError::BadBitWidth(dw));
+            }
+            if tw > 32 {
+                return Err(CodecError::BadBitWidth(tw));
+            }
+            let mut pos = 2usize;
+            pos += bits::unpack_bits_into(&buf[pos..], gaps, dw as u32)
+                .ok_or(CodecError::Truncated)?;
+            bits::unpack_bits_into(&buf[pos..], tfs, tw as u32)
+                .ok_or(CodecError::Truncated)?;
+        }
+        Codec::PFor => {
+            let mut pos = 0usize;
+            pfor_decode(buf, &mut pos, gaps)?;
+            pfor_decode(buf, &mut pos, tfs)?;
+        }
+        Codec::EliasFano => {
+            // Parse the EF header up front so the tf section can be
+            // decoded first, then select the high bits straight into
+            // postings: one emission pass, no separate gap-rebuild sweep.
+            let k = m - 1;
+            let mut pos = 0usize;
+            let mut l = 0u32;
+            let mut high: &[u8] = &[];
+            if k > 0 {
+                let lb = *buf.first().ok_or(CodecError::Truncated)?;
+                if lb > 31 {
+                    return Err(CodecError::BadBitWidth(lb));
+                }
+                l = lb as u32;
+                let hb = buf
+                    .get(1..3)
+                    .map(|s| u16::from_le_bytes(s.try_into().unwrap()) as usize)
+                    .ok_or(CodecError::Truncated)?;
+                high = buf.get(3..3 + hb).ok_or(CodecError::Truncated)?;
+                pos = 3 + hb;
+                pos +=
+                    bits::unpack_bits_into(&buf[pos..], gaps, l).ok_or(CodecError::Truncated)?;
+            }
+            let tw = *buf.get(pos).ok_or(CodecError::Truncated)?;
+            if tw > 32 {
+                return Err(CodecError::BadBitWidth(tw));
+            }
+            pos += 1;
+            bits::unpack_bits_into(&buf[pos..], tfs, tw as u32)
+                .ok_or(CodecError::Truncated)?;
+            let tf0 = tfs[0].checked_add(1).ok_or(CodecError::Overflow)?;
+            out.push(Posting { doc: DocId(first_doc), tf: tf0 });
+            // Select the k ones a 64-bit word at a time: the i-th one at
+            // bit p encodes high bucket p - i (p >= i always — i ones
+            // precede it). Elias-Fano stores absolute (block-relative)
+            // positions, not gaps, so docs are emitted directly; strict
+            // monotonicity guards hostile low bits within a bucket. The
+            // outer loop walks the low bits and tfs in lockstep, so the
+            // hot path has no bounds checks; the inner scanner refills a
+            // word only when the current one runs dry.
+            let ys = &gaps[..k];
+            let mut word_iter = high.chunks(8).map(|chunk| match <[u8; 8]>::try_from(chunk) {
+                Ok(b) => u64::from_le_bytes(b),
+                Err(_) => {
+                    let mut b = [0u8; 8];
+                    b[..chunk.len()].copy_from_slice(chunk);
+                    u64::from_le_bytes(b)
+                }
+            });
+            let mut prev = first_doc;
+            let mut w = 0u64;
+            // Starts one word "before" the section so the first refill
+            // lands base_bit on 0; never read while w == 0.
+            let mut base_bit = 0usize.wrapping_sub(64);
+            for (i, (&low, &t)) in ys.iter().zip(tfs[1..].iter()).enumerate() {
+                while w == 0 {
+                    w = word_iter.next().ok_or(CodecError::Truncated)?;
+                    base_bit = base_bit.wrapping_add(64);
+                }
+                let p = base_bit + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let y = ((p - i) as u64) << l | u64::from(low);
+                let doc = u32::try_from(first_doc as u64 + y + 1)
+                    .map_err(|_| CodecError::Overflow)?;
+                if doc <= prev {
+                    return Err(CodecError::NonMonotone);
+                }
+                let tf = t.checked_add(1).ok_or(CodecError::Overflow)?;
+                out.push(Posting { doc: DocId(doc), tf });
+                prev = doc;
+            }
+            return Ok(());
+        }
+        Codec::Gamma | Codec::Golomb(_) => {
+            let mut r = bits::BitReader::new(buf);
+            for g in gaps.iter_mut() {
+                let v = match codec {
+                    Codec::Gamma => bits::gamma_decode(&mut r),
+                    Codec::Golomb(b) => bits::golomb_decode(b, &mut r),
+                    _ => unreachable!(),
+                }
+                .ok_or(CodecError::Truncated)?;
+                *g = u32::try_from(v - 1).map_err(|_| CodecError::Overflow)?;
+            }
+            for t in tfs.iter_mut() {
+                let v = bits::gamma_decode(&mut r).ok_or(CodecError::Truncated)?;
+                *t = u32::try_from(v - 1).map_err(|_| CodecError::Overflow)?;
+            }
+        }
+        Codec::Auto => unreachable!("Auto must be resolved before block decode"),
+    }
+    // Common tail for gap-coded bodies: rebuild docs from biased gaps
+    // (strictly increasing by construction) and unbias tfs.
+    let tf0 = tfs[0].checked_add(1).ok_or(CodecError::Overflow)?;
+    out.push(Posting { doc: DocId(first_doc), tf: tf0 });
+    let mut doc = first_doc;
+    for (&g, &t) in gaps.iter().zip(tfs[1..].iter()) {
+        doc = doc
+            .checked_add(g)
+            .and_then(|d| d.checked_add(1))
+            .ok_or(CodecError::Overflow)?;
+        let tf = t.checked_add(1).ok_or(CodecError::Overflow)?;
+        out.push(Posting { doc: DocId(doc), tf });
+    }
+    Ok(())
+}
+
+/// Fraction of a block allowed to be PFor exceptions before widening the
+/// base bit width (1/8, the classic NewPFD budget).
+const PFOR_EXCEPTION_SHIFT: usize = 3;
+
+/// Encode one PFor section: `[width u8][n_exceptions u8]`, packed low bits
+/// for every value, then `(slot u8, varbyte high-bits)` per exception.
+fn pfor_encode(vals: &[u32], out: &mut Vec<u8>) {
+    let m = vals.len();
+    if m == 0 {
+        return;
+    }
+    // counts[w] = number of values needing exactly w bits.
+    let mut counts = [0usize; 33];
+    for &v in vals {
+        counts[bits::bits_needed(v) as usize] += 1;
+    }
+    // Smallest width whose exception count fits the budget.
+    let budget = m >> PFOR_EXCEPTION_SHIFT;
+    let mut width = 32u32;
+    let mut over = 0usize; // values needing more than `width` bits
+    while width > 0 && over + counts[width as usize] <= budget {
+        over += counts[width as usize];
+        width -= 1;
+    }
+    let mask: u32 = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    out.push(width as u8);
+    out.push(over as u8);
+    let mut lows = [0u32; BLOCK_LEN];
+    for (i, &v) in vals.iter().enumerate() {
+        lows[i] = v & mask;
+    }
+    bits::pack_bits(&lows[..m], width, out);
+    for (i, &v) in vals.iter().enumerate() {
+        if bits::bits_needed(v) > width {
+            out.push(i as u8);
+            varbyte::encode_u32(v >> width, out);
+        }
+    }
+}
+
+/// Decode one PFor section of `out.len()` values, advancing `pos`.
+fn pfor_decode(buf: &[u8], pos: &mut usize, out: &mut [u32]) -> Result<(), CodecError> {
+    let m = out.len();
+    if m == 0 {
+        return Ok(());
+    }
+    let width = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+    let n_exc = *buf.get(*pos + 1).ok_or(CodecError::Truncated)?;
+    if width > 32 {
+        return Err(CodecError::BadBitWidth(width));
+    }
+    *pos += 2;
+    *pos += bits::unpack_bits_into(&buf[*pos..], out, width as u32)
+        .ok_or(CodecError::Truncated)?;
+    for _ in 0..n_exc {
+        let slot = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if slot as usize >= m {
+            return Err(CodecError::ExceptionOverflow { index: slot, block_len: m as u8 });
+        }
+        let high = varbyte::decode_u32(buf, pos).ok_or(CodecError::Truncated)?;
+        let patched = (high as u64) << width | out[slot as usize] as u64;
+        out[slot as usize] = u32::try_from(patched).map_err(|_| CodecError::Overflow)?;
+    }
+    Ok(())
+}
+
+/// Encode one Elias-Fano section for strictly increasing `ys`:
+/// `[l u8][high_bytes u16][unary high bits, LSB-first][packed low bits]`.
+/// Empty `ys` writes nothing (the caller knows the count).
+fn ef_encode(ys: &[u32], out: &mut Vec<u8>) {
+    let k = ys.len();
+    if k == 0 {
+        return;
+    }
+    let u = *ys.last().unwrap() as u64;
+    let per = u / k as u64;
+    let l: u32 = if per >= 2 { 63 - per.leading_zeros() } else { 0 };
+    out.push(l as u8);
+    // The i-th one sits at bit i + (y_i >> l); with l = floor(log2(u/k))
+    // the high region stays under 3k bits.
+    let n_high_bits = k + (u >> l) as usize;
+    let high_bytes = n_high_bits.div_ceil(8);
+    out.extend_from_slice(&(high_bytes as u16).to_le_bytes());
+    let start = out.len();
+    out.resize(start + high_bytes, 0);
+    for (i, &y) in ys.iter().enumerate() {
+        let p = i + (y >> l) as usize;
+        out[start + p / 8] |= 1 << (p % 8);
+    }
+    let mask: u32 = if l == 0 { 0 } else { (1u32 << l) - 1 };
+    let mut lows = [0u32; BLOCK_LEN];
+    for (i, &y) in ys.iter().enumerate() {
+        lows[i] = y & mask;
+    }
+    bits::pack_bits(&lows[..k], l, out);
+}
+
+/// A fully encoded block-layout list: skip table followed by block data.
+#[derive(Clone, Debug)]
+pub struct EncodedList {
+    /// Serialized list (skip table + block bodies).
+    pub bytes: Vec<u8>,
+    /// Postings encoded.
+    pub n_postings: usize,
+    /// Largest term frequency across the whole list.
+    pub max_tf: u32,
+}
+
+/// Streaming encoder for the block layout. Push postings (or whole raw
+/// blocks during a codec-aligned merge); `finish` seals any partial tail
+/// block and concatenates skip table + data. Pushing the same postings
+/// through any interleaving of [`ListEncoder::push`] and
+/// [`ListEncoder::push_raw_block`] yields byte-identical output.
+#[derive(Debug)]
+pub struct ListEncoder {
+    codec: Codec,
+    skip: Vec<u8>,
+    data: Vec<u8>,
+    staging: Vec<Posting>,
+    n: usize,
+    max_tf: u32,
+}
+
+impl ListEncoder {
+    /// New encoder for a concrete (non-[`Codec::Auto`]) codec.
+    pub fn new(codec: Codec) -> Self {
+        assert!(codec != Codec::Auto, "resolve Auto before constructing a ListEncoder");
+        ListEncoder {
+            codec,
+            skip: Vec::new(),
+            data: Vec::new(),
+            staging: Vec::with_capacity(BLOCK_LEN),
+            n: 0,
+            max_tf: 0,
+        }
+    }
+
+    /// Append one posting (strictly increasing doc order).
+    pub fn push(&mut self, p: Posting) {
+        self.staging.push(p);
+        self.n += 1;
+        if self.staging.len() == BLOCK_LEN {
+            self.seal();
+        }
+    }
+
+    fn seal(&mut self) {
+        let block_max = self.staging.iter().map(|p| p.tf).max().unwrap();
+        write_skip(
+            SkipEntry {
+                first_doc: self.staging[0].doc.0,
+                offset: self.data.len() as u32,
+                max_tf: block_max,
+            },
+            &mut self.skip,
+        );
+        encode_block(self.codec, &self.staging, &mut self.data);
+        self.max_tf = self.max_tf.max(block_max);
+        self.staging.clear();
+    }
+
+    /// True when the encoder sits on a block boundary, i.e. a full raw
+    /// block may be copied verbatim.
+    pub fn at_block_boundary(&self) -> bool {
+        self.staging.is_empty()
+    }
+
+    /// Copy a full ([`BLOCK_LEN`]-posting) encoded block verbatim. Only
+    /// valid on a block boundary; block independence makes the copied
+    /// bytes identical to what re-encoding the block's postings would
+    /// produce.
+    pub fn push_raw_block(&mut self, entry: SkipEntry, body: &[u8]) {
+        assert!(self.at_block_boundary(), "raw block copy mid-block");
+        write_skip(
+            SkipEntry {
+                first_doc: entry.first_doc,
+                offset: self.data.len() as u32,
+                max_tf: entry.max_tf,
+            },
+            &mut self.skip,
+        );
+        self.data.extend_from_slice(body);
+        self.n += BLOCK_LEN;
+        self.max_tf = self.max_tf.max(entry.max_tf);
+    }
+
+    /// Postings pushed so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Seal the tail block and return the serialized list.
+    pub fn finish(mut self) -> EncodedList {
+        if !self.staging.is_empty() {
+            self.seal();
+        }
+        let mut bytes = self.skip;
+        bytes.extend_from_slice(&self.data);
+        EncodedList { bytes, n_postings: self.n, max_tf: self.max_tf }
+    }
+}
+
+/// Encode a whole list into the block layout. [`Codec::Auto`] resolves by
+/// list length.
+pub fn encode_list(ps: &[Posting], codec: Codec) -> EncodedList {
+    let mut enc = ListEncoder::new(codec.resolve(ps.len()));
+    for &p in ps {
+        enc.push(p);
+    }
+    enc.finish()
+}
+
+/// Decode a block-layout list of `n` postings.
+pub fn decode_list(buf: &[u8], n: usize, codec: Codec) -> Result<Vec<Posting>, CodecError> {
+    check_alloc(buf, n)?;
+    let blocks = BlockedList::parse(buf, n)?;
+    let codec = codec.resolve(n);
+    let mut out = Vec::with_capacity(n);
+    let mut scratch = BlockScratch::default();
+    let mut prev_last: Option<u32> = None;
+    for b in 0..blocks.n_blocks() {
+        let e = blocks.entry(b);
+        if let Some(d) = prev_last {
+            if e.first_doc <= d {
+                return Err(CodecError::NonMonotone);
+            }
+        }
+        decode_block(codec, blocks.body(b)?, e.first_doc, blocks.len_of(b), &mut scratch, &mut out)?;
+        prev_last = Some(out.last().unwrap().doc.0);
+    }
+    Ok(out)
+}
+
+/// A parsed (but not decoded) block-layout list: skip table plus block
+/// data, with offset-checked access to individual block bodies.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockedList<'a> {
+    skip: &'a [u8],
+    data: &'a [u8],
+    n: usize,
+}
+
+impl<'a> BlockedList<'a> {
+    /// Split `buf` into skip table and block data for an `n`-posting list.
+    pub fn parse(buf: &'a [u8], n: usize) -> Result<Self, CodecError> {
+        if n == 0 {
+            return if buf.is_empty() {
+                Ok(BlockedList { skip: &[], data: &[], n: 0 })
+            } else {
+                Err(CodecError::Malformed("bytes present for empty list"))
+            };
+        }
+        let skip_len = skip_table_bytes(n);
+        if buf.len() < skip_len {
+            return Err(CodecError::Truncated);
+        }
+        let (skip, data) = buf.split_at(skip_len);
+        Ok(BlockedList { skip, data, n })
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        n_blocks(self.n)
+    }
+
+    /// Number of postings in block `b`.
+    pub fn len_of(&self, b: usize) -> usize {
+        len_of_block(self.n, b)
+    }
+
+    /// Skip entry of block `b`.
+    pub fn entry(&self, b: usize) -> SkipEntry {
+        read_skip(self.skip, b)
+    }
+
+    /// The encoded body of block `b`, bounds-checked against the skip
+    /// offsets.
+    pub fn body(&self, b: usize) -> Result<&'a [u8], CodecError> {
+        let start = self.entry(b).offset as usize;
+        let end = if b + 1 < self.n_blocks() {
+            self.entry(b + 1).offset as usize
+        } else {
+            self.data.len()
+        };
+        if start > end || end > self.data.len() {
+            return Err(CodecError::Malformed("skip offsets out of order"));
+        }
+        Ok(&self.data[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mklist(n: usize, gap: u32, tf: u32) -> Vec<Posting> {
+        (0..n as u32).map(|i| Posting { doc: DocId(7 + i * gap), tf: 1 + (i % tf.max(1)) }).collect()
+    }
+
+    const BLOCK_CODECS: [Codec; 6] = [
+        Codec::VarByte,
+        Codec::Gamma,
+        Codec::Golomb(8),
+        Codec::Bp128,
+        Codec::PFor,
+        Codec::EliasFano,
+    ];
+
+    #[test]
+    fn roundtrip_block_boundaries() {
+        for n in [1usize, 2, 127, 128, 129, 255, 256, 257, 1000] {
+            let list = mklist(n, 3, 5);
+            for codec in BLOCK_CODECS {
+                let enc = encode_list(&list, codec);
+                assert_eq!(enc.n_postings, n);
+                assert_eq!(enc.max_tf, list.iter().map(|p| p.tf).max().unwrap());
+                let dec = decode_list(&enc.bytes, n, codec).unwrap();
+                assert_eq!(dec, list, "{codec:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_entries_expose_block_maxima() {
+        let list: Vec<Posting> =
+            (0..300u32).map(|i| Posting { doc: DocId(i * 2), tf: if i == 200 { 99 } else { 1 } }).collect();
+        let enc = encode_list(&list, Codec::Bp128);
+        let blocks = BlockedList::parse(&enc.bytes, 300).unwrap();
+        assert_eq!(blocks.n_blocks(), 3);
+        assert_eq!(blocks.entry(0).first_doc, 0);
+        assert_eq!(blocks.entry(1).first_doc, 256);
+        assert_eq!(blocks.entry(0).max_tf, 1);
+        assert_eq!(blocks.entry(1).max_tf, 99, "block-max must surface the spike");
+        assert_eq!(enc.max_tf, 99);
+    }
+
+    #[test]
+    fn raw_block_copy_is_byte_identical() {
+        let list = mklist(500, 5, 7);
+        for codec in BLOCK_CODECS {
+            let whole = encode_list(&list, codec);
+            let blocks = BlockedList::parse(&whole.bytes, list.len()).unwrap();
+            // Re-assemble: copy full blocks verbatim, re-push the tail.
+            let mut enc = ListEncoder::new(codec);
+            for b in 0..blocks.n_blocks() {
+                if blocks.len_of(b) == BLOCK_LEN {
+                    enc.push_raw_block(blocks.entry(b), blocks.body(b).unwrap());
+                } else {
+                    for &p in &list[b * BLOCK_LEN..] {
+                        enc.push(p);
+                    }
+                }
+            }
+            let rebuilt = enc.finish();
+            assert_eq!(rebuilt.bytes, whole.bytes, "{codec:?}");
+            assert_eq!(rebuilt.max_tf, whole.max_tf);
+        }
+    }
+
+    #[test]
+    fn unit_gaps_pack_to_width_zero() {
+        let list: Vec<Posting> = (0..128u32).map(|i| Posting { doc: DocId(i), tf: 1 }).collect();
+        let enc = encode_list(&list, Codec::Bp128);
+        // 12-byte skip entry + 2 width bytes, nothing else.
+        assert_eq!(enc.bytes.len(), SKIP_ENTRY_BYTES + 2);
+    }
+
+    #[test]
+    fn pfor_handles_outliers_cheaply() {
+        // 127 unit gaps + one huge gap: the huge one must become an
+        // exception, not widen every slot.
+        let mut list: Vec<Posting> = (0..127u32).map(|i| Posting { doc: DocId(i), tf: 1 }).collect();
+        list.push(Posting { doc: DocId(1 << 30), tf: 1 });
+        let enc = encode_list(&list, Codec::PFor);
+        let dec = decode_list(&enc.bytes, list.len(), Codec::PFor).unwrap();
+        assert_eq!(dec, list);
+        // Width stays 0 for gaps; one 5-ish-byte exception.
+        assert!(enc.bytes.len() < SKIP_ENTRY_BYTES + 24, "got {}", enc.bytes.len());
+    }
+
+    #[test]
+    fn maximal_gap_roundtrips() {
+        let list =
+            vec![Posting { doc: DocId(0), tf: 1 }, Posting { doc: DocId(u32::MAX), tf: u32::MAX }];
+        // Golomb needs a parameter near the gap scale or its unary part
+        // degenerates (that's why Auto never picks it).
+        for codec in
+            [Codec::VarByte, Codec::Gamma, Codec::Golomb(1 << 28), Codec::Bp128, Codec::PFor, Codec::EliasFano]
+        {
+            let enc = encode_list(&list, codec);
+            let dec = decode_list(&enc.bytes, 2, codec).unwrap();
+            assert_eq!(dec, list, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_widths_rejected() {
+        let list = mklist(10, 2, 3);
+        let enc = encode_list(&list, Codec::Bp128);
+        let mut bad = enc.bytes.clone();
+        bad[SKIP_ENTRY_BYTES] = 200; // doc width byte of the only block
+        assert_eq!(decode_list(&bad, 10, Codec::Bp128), Err(CodecError::BadBitWidth(200)));
+    }
+
+    #[test]
+    fn hostile_skip_offsets_rejected() {
+        let list = mklist(300, 2, 3);
+        let enc = encode_list(&list, Codec::Bp128);
+        let mut bad = enc.bytes.clone();
+        // Second block's offset points far past the end.
+        bad[SKIP_ENTRY_BYTES + 4..SKIP_ENTRY_BYTES + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_list(&bad, 300, Codec::Bp128).is_err());
+    }
+}

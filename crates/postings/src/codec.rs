@@ -1,33 +1,169 @@
 //! Gap-coded postings compression.
 //!
 //! Document IDs are stored as gaps from their predecessor (the lists are
-//! doc-sorted), then compressed with one of the codecs from the paper's
-//! background section. The production path is variable-byte (what the paper
-//! itself uses in post-processing); γ and Golomb exist for the codec
-//! ablation bench.
+//! doc-sorted), then compressed with one of the supported codecs. Three
+//! generations coexist:
+//!
+//! * **Legacy whole-list codecs** — variable-byte (what the paper itself
+//!   uses in post-processing), Elias γ and Golomb. These encode the entire
+//!   list as one stream with a `first_doc + 1` leading pseudo-gap and are
+//!   kept for opening pre-block-layout indexes and for the codec ablation.
+//! * **Block codecs** — BP128-style bitpacking, PForDelta and Elias-Fano,
+//!   always laid out in fixed 128-document blocks with a per-list skip
+//!   table (see [`crate::block`]). [`Codec::VarByte`] also has a blocked
+//!   form when used inside the block layout.
+//! * **[`Codec::Auto`]** — the per-length-class default policy measured by
+//!   the `codec_frontier` bench: short lists → varbyte, medium → PForDelta,
+//!   long → Elias-Fano.
 
 use crate::bits::{
-    gamma_decode, gamma_encode, golomb_decode, golomb_encode, golomb_parameter, BitReader,
-    BitWriter,
+    gamma_decode, gamma_encode, golomb_decode, golomb_encode, BitReader, BitWriter,
 };
-use crate::posting::{Posting, PostingsList};
+use crate::block;
+use crate::posting::Posting;
 use crate::varbyte;
 use ii_corpus::DocId;
 
 /// Which gap compressor to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Codec {
-    /// Variable-byte (paper's choice).
+    /// Variable-byte (paper's choice). Whole-list when legacy, blocked
+    /// inside the block layout.
     VarByte,
     /// Elias γ.
     Gamma,
-    /// Golomb with the given parameter (use [`golomb_parameter`]).
+    /// Golomb with the given parameter (use
+    /// [`crate::bits::golomb_parameter`]).
     Golomb(u64),
+    /// 128-integer block bitpacking: one bit width per block, word-level
+    /// pack/unpack.
+    Bp128,
+    /// PForDelta: packed low bits plus a patched exception list per block.
+    PFor,
+    /// Elias-Fano: high bits in unary, low bits packed; supports in-block
+    /// skipping without sequential decode.
+    EliasFano,
+    /// Per-length-class policy: resolves to [`Codec::VarByte`] /
+    /// [`Codec::PFor`] / [`Codec::Bp128`] by document frequency.
+    Auto,
 }
 
-/// Encode a postings list: doc gaps (first doc + 1 as the first "gap") and
-/// term frequencies, interleaved per posting. All encoded values are >= 1,
-/// as γ and Golomb require.
+/// Lists shorter than this stay variable-byte under [`Codec::Auto`] — the
+/// skip table dominates and byte-aligned decode is already cheap.
+pub const SHORT_LIST_MAX: usize = 128;
+
+/// Lists at least this long get BP128 under [`Codec::Auto`] — decode
+/// throughput binds on long lists and per-block bitpacking decodes
+/// fastest on the measured frontier (BENCH_codecs.json). Elias-Fano
+/// stays available for skip-dominated access patterns, but its select
+/// loop loses to branch-free unpacking on sequential scans.
+pub const LONG_LIST_MIN: usize = 4096;
+
+/// The measured-frontier default policy for a list of `n` postings.
+pub fn codec_for(n: usize) -> Codec {
+    if n < SHORT_LIST_MAX {
+        Codec::VarByte
+    } else if n >= LONG_LIST_MIN {
+        Codec::Bp128
+    } else {
+        Codec::PFor
+    }
+}
+
+impl Codec {
+    /// Resolve [`Codec::Auto`] to a concrete codec for an `n`-posting list;
+    /// concrete codecs resolve to themselves.
+    pub fn resolve(self, n: usize) -> Codec {
+        match self {
+            Codec::Auto => codec_for(n),
+            c => c,
+        }
+    }
+
+    /// True for codecs that only exist in the 128-document block layout.
+    pub fn is_blocked(self) -> bool {
+        matches!(self, Codec::Bp128 | Codec::PFor | Codec::EliasFano | Codec::Auto)
+    }
+}
+
+/// Why a postings decode failed. Every variant is a property of the input
+/// bytes, not of the caller: a [`CodecError`] from committed data means the
+/// artifact is corrupt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before `n` postings were decoded.
+    Truncated,
+    /// A per-block bit width exceeded 32 (hostile or corrupt header).
+    BadBitWidth(u8),
+    /// A PForDelta exception slot pointed past the end of its block.
+    ExceptionOverflow {
+        /// The exception's claimed slot.
+        index: u8,
+        /// Number of values actually in the block.
+        block_len: u8,
+    },
+    /// Decoded document IDs were not strictly increasing (e.g. a zero gap:
+    /// all-equal docIDs are invalid postings).
+    NonMonotone,
+    /// A decoded document ID or term frequency overflowed `u32`.
+    Overflow,
+    /// The claimed posting count is impossibly large for the buffer — the
+    /// allocation guard against hostile length headers.
+    AllocGuard {
+        /// Postings claimed by the header.
+        claimed: usize,
+        /// Most postings the buffer could possibly hold.
+        max: usize,
+    },
+    /// Structurally invalid input (bad skip offsets, trailing bytes, ...).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "postings buffer truncated"),
+            CodecError::BadBitWidth(w) => write!(f, "bit width {w} exceeds 32"),
+            CodecError::ExceptionOverflow { index, block_len } => {
+                write!(f, "PFor exception slot {index} outside block of {block_len}")
+            }
+            CodecError::NonMonotone => write!(f, "document IDs not strictly increasing"),
+            CodecError::Overflow => write!(f, "decoded value overflows u32"),
+            CodecError::AllocGuard { claimed, max } => {
+                write!(f, "claimed {claimed} postings but buffer holds at most {max}")
+            }
+            CodecError::Malformed(what) => write!(f, "malformed postings: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Most postings `len` bytes could possibly hold, with slack: the densest
+/// layout (blocked width-0/width-0 BP128) stores 128 postings in 2 bytes of
+/// block body plus a 12-byte skip entry. Used to reject hostile length
+/// headers before allocating.
+pub fn max_plausible_postings(len: usize) -> usize {
+    len * 10 + block::BLOCK_LEN
+}
+
+/// Reject a claimed posting count that could not fit in `buf` (allocation
+/// guard for hostile length headers).
+pub fn check_alloc(buf: &[u8], n: usize) -> Result<(), CodecError> {
+    let max = max_plausible_postings(buf.len());
+    if n > max {
+        return Err(CodecError::AllocGuard { claimed: n, max });
+    }
+    Ok(())
+}
+
+/// Encode a postings list with `codec`.
+///
+/// Legacy codecs (varbyte/γ/Golomb) produce the whole-list stream: doc gaps
+/// (first doc + 1 as the first "gap") and term frequencies interleaved per
+/// posting, all encoded values >= 1 as γ and Golomb require. Block codecs
+/// (and [`Codec::Auto`]) produce the 128-document block layout of
+/// [`crate::block::encode_list`], skip table included.
 pub fn encode(list: &[Posting], codec: Codec) -> Vec<u8> {
     match codec {
         Codec::VarByte => {
@@ -72,22 +208,31 @@ pub fn encode(list: &[Posting], codec: Codec) -> Vec<u8> {
             }
             w.finish()
         }
+        Codec::Bp128 | Codec::PFor | Codec::EliasFano | Codec::Auto => {
+            block::encode_list(list, codec).bytes
+        }
     }
 }
 
-/// Decode `n` postings encoded by [`encode`].
-pub fn decode(buf: &[u8], n: usize, codec: Codec) -> Option<Vec<Posting>> {
+/// Decode `n` postings encoded by [`encode`] with the same codec.
+pub fn decode(buf: &[u8], n: usize, codec: Codec) -> Result<Vec<Posting>, CodecError> {
+    check_alloc(buf, n)?;
     let mut out = Vec::with_capacity(n);
     match codec {
         Codec::VarByte => {
             let mut pos = 0usize;
             let mut prev: Option<u32> = None;
             for _ in 0..n {
-                let gap = varbyte::decode_u32(buf, &mut pos)?;
-                let tf = varbyte::decode_u32(buf, &mut pos)?;
+                let gap = varbyte::decode_u32(buf, &mut pos).ok_or(CodecError::Truncated)?;
+                let tf = varbyte::decode_u32(buf, &mut pos).ok_or(CodecError::Truncated)?;
                 let doc = match prev {
-                    None => gap.checked_sub(1)?,
-                    Some(d) => d.checked_add(gap)?,
+                    None => gap.checked_sub(1).ok_or(CodecError::Malformed("zero first gap"))?,
+                    Some(d) => {
+                        if gap == 0 {
+                            return Err(CodecError::NonMonotone);
+                        }
+                        d.checked_add(gap).ok_or(CodecError::Overflow)?
+                    }
                 };
                 out.push(Posting { doc: DocId(doc), tf });
                 prev = Some(doc);
@@ -97,12 +242,10 @@ pub fn decode(buf: &[u8], n: usize, codec: Codec) -> Option<Vec<Posting>> {
             let mut r = BitReader::new(buf);
             let mut prev: Option<u32> = None;
             for _ in 0..n {
-                let gap = gamma_decode(&mut r)?;
-                let tf = gamma_decode(&mut r)? as u32;
-                let doc = match prev {
-                    None => (gap - 1) as u32,
-                    Some(d) => d + gap as u32,
-                };
+                let gap = gamma_decode(&mut r).ok_or(CodecError::Truncated)?;
+                let tf = gamma_decode(&mut r).ok_or(CodecError::Truncated)?;
+                let tf = u32::try_from(tf).map_err(|_| CodecError::Overflow)?;
+                let doc = legacy_bit_gap(prev, gap)?;
                 out.push(Posting { doc: DocId(doc), tf });
                 prev = Some(doc);
             }
@@ -111,23 +254,32 @@ pub fn decode(buf: &[u8], n: usize, codec: Codec) -> Option<Vec<Posting>> {
             let mut r = BitReader::new(buf);
             let mut prev: Option<u32> = None;
             for _ in 0..n {
-                let gap = golomb_decode(b, &mut r)?;
-                let tf = gamma_decode(&mut r)? as u32;
-                let doc = match prev {
-                    None => (gap - 1) as u32,
-                    Some(d) => d + gap as u32,
-                };
+                let gap = golomb_decode(b, &mut r).ok_or(CodecError::Truncated)?;
+                let tf = gamma_decode(&mut r).ok_or(CodecError::Truncated)?;
+                let tf = u32::try_from(tf).map_err(|_| CodecError::Overflow)?;
+                let doc = legacy_bit_gap(prev, gap)?;
                 out.push(Posting { doc: DocId(doc), tf });
                 prev = Some(doc);
             }
         }
+        Codec::Bp128 | Codec::PFor | Codec::EliasFano | Codec::Auto => {
+            return block::decode_list(buf, n, codec);
+        }
     }
-    Some(out)
+    Ok(out)
 }
 
-/// Pick a reasonable Golomb codec for a list given the collection size.
-pub fn golomb_for(list: &PostingsList, total_docs: u64) -> Codec {
-    Codec::Golomb(golomb_parameter(total_docs, list.len() as u64))
+/// Apply one legacy γ/Golomb gap (first gap is `doc + 1`).
+fn legacy_bit_gap(prev: Option<u32>, gap: u64) -> Result<u32, CodecError> {
+    match prev {
+        None => u32::try_from(gap - 1).map_err(|_| CodecError::Overflow),
+        Some(d) => {
+            let gap = u32::try_from(gap).map_err(|_| CodecError::Overflow)?;
+            // γ/Golomb values are >= 1 by construction, so gaps cannot be
+            // zero here; monotonicity holds when the add doesn't overflow.
+            d.checked_add(gap).ok_or(CodecError::Overflow)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,20 +291,30 @@ mod tests {
         docs.iter().map(|&(d, tf)| Posting { doc: DocId(d), tf }).collect()
     }
 
+    const ALL: [Codec; 7] = [
+        Codec::VarByte,
+        Codec::Gamma,
+        Codec::Golomb(16),
+        Codec::Bp128,
+        Codec::PFor,
+        Codec::EliasFano,
+        Codec::Auto,
+    ];
+
     #[test]
     fn roundtrip_all_codecs() {
         let list = mklist(&[(0, 3), (1, 1), (7, 2), (100, 9), (10_000, 1)]);
-        for codec in [Codec::VarByte, Codec::Gamma, Codec::Golomb(16)] {
+        for codec in ALL {
             let buf = encode(&list, codec);
-            assert_eq!(decode(&buf, list.len(), codec), Some(list.clone()), "{codec:?}");
+            assert_eq!(decode(&buf, list.len(), codec).as_deref(), Ok(&list[..]), "{codec:?}");
         }
     }
 
     #[test]
     fn empty_list() {
-        for codec in [Codec::VarByte, Codec::Gamma, Codec::Golomb(4)] {
+        for codec in ALL {
             let buf = encode(&[], codec);
-            assert_eq!(decode(&buf, 0, codec), Some(vec![]));
+            assert_eq!(decode(&buf, 0, codec), Ok(vec![]), "{codec:?}");
         }
     }
 
@@ -160,8 +322,8 @@ mod tests {
     fn doc_zero_survives() {
         // The +1 shift must make doc 0 encodable for γ/Golomb.
         let list = mklist(&[(0, 1)]);
-        for codec in [Codec::VarByte, Codec::Gamma, Codec::Golomb(2)] {
-            assert_eq!(decode(&encode(&list, codec), 1, codec), Some(list.clone()));
+        for codec in ALL {
+            assert_eq!(decode(&encode(&list, codec), 1, codec).as_deref(), Ok(&list[..]));
         }
     }
 
@@ -174,6 +336,11 @@ mod tests {
         assert_eq!(vb.len(), 2000);
         let g = encode(&list, Codec::Gamma);
         assert!(g.len() < 500, "gamma on unit gaps should be tiny, got {}", g.len());
+        // Blocked unit gaps pack at width 0: skip table + headers only.
+        let bp = encode(&list, Codec::Bp128);
+        assert!(bp.len() < 200, "bp128 on unit gaps should be tiny, got {}", bp.len());
+        let ef = encode(&list, Codec::EliasFano);
+        assert!(ef.len() < 400, "elias-fano on unit gaps should be tiny, got {}", ef.len());
     }
 
     #[test]
@@ -181,8 +348,44 @@ mod tests {
         let list = mklist(&[(5, 2), (9, 1)]);
         for codec in [Codec::VarByte, Codec::Gamma, Codec::Golomb(3)] {
             let buf = encode(&list, codec);
-            assert_eq!(decode(&buf[..buf.len() - 1], 5, codec), None, "{codec:?}");
+            assert!(decode(&buf[..buf.len() - 1], 5, codec).is_err(), "{codec:?}");
         }
+        for codec in [Codec::Bp128, Codec::PFor, Codec::EliasFano] {
+            let buf = encode(&list, codec);
+            assert!(decode(&buf[..buf.len() - 1], 2, codec).is_err(), "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn zero_gap_rejected() {
+        // A hand-built varbyte stream with a zero gap (all-equal docIDs)
+        // must be rejected, not silently decoded as duplicates.
+        let mut buf = Vec::new();
+        varbyte::encode_u32(6, &mut buf); // first doc = 5
+        varbyte::encode_u32(1, &mut buf);
+        varbyte::encode_u32(0, &mut buf); // zero gap: doc 5 again
+        varbyte::encode_u32(1, &mut buf);
+        assert_eq!(decode(&buf, 2, Codec::VarByte), Err(CodecError::NonMonotone));
+    }
+
+    #[test]
+    fn alloc_guard_rejects_hostile_count() {
+        let buf = [0u8; 8];
+        let err = decode(&buf, usize::MAX / 2, Codec::VarByte).unwrap_err();
+        assert!(matches!(err, CodecError::AllocGuard { .. }), "{err:?}");
+        let err = decode(&buf, 1 << 30, Codec::Auto).unwrap_err();
+        assert!(matches!(err, CodecError::AllocGuard { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn policy_classes() {
+        assert_eq!(codec_for(1), Codec::VarByte);
+        assert_eq!(codec_for(SHORT_LIST_MAX - 1), Codec::VarByte);
+        assert_eq!(codec_for(SHORT_LIST_MAX), Codec::PFor);
+        assert_eq!(codec_for(LONG_LIST_MIN - 1), Codec::PFor);
+        assert_eq!(codec_for(LONG_LIST_MIN), Codec::Bp128);
+        assert_eq!(Codec::Auto.resolve(10), Codec::VarByte);
+        assert_eq!(Codec::Gamma.resolve(10), Codec::Gamma);
     }
 
     proptest! {
@@ -195,9 +398,10 @@ mod tests {
                 doc += gap;
                 list.push(Posting { doc: DocId(doc), tf });
             }
-            for codec in [Codec::VarByte, Codec::Gamma, Codec::Golomb(7)] {
+            for codec in ALL {
                 let buf = encode(&list, codec);
-                prop_assert_eq!(decode(&buf, list.len(), codec), Some(list.clone()));
+                let back = decode(&buf, list.len(), codec);
+                prop_assert_eq!(back.as_deref(), Ok(&list[..]));
             }
         }
     }

@@ -1,23 +1,32 @@
 //! # ii-postings — postings lists, compression codecs and run files
 //!
 //! The output side of the indexing system: doc-sorted postings lists,
-//! gap compression (variable-byte as in the paper, plus Elias γ and Golomb
-//! for the codec ablation), the per-run output file format with its header
-//! mapping table (§III.F), range-narrowed retrieval, and the optional
-//! post-processing merge of partial lists.
+//! gap compression (variable-byte as in the paper, Elias γ and Golomb for
+//! the codec ablation, plus the modern block codecs — BP128 bitpacking,
+//! PForDelta and Elias-Fano — in a fixed 128-document block layout with
+//! per-list skip tables and block-max metadata), the per-run output file
+//! format with its header mapping table (§III.F), skip-pointer cursors,
+//! range-narrowed retrieval, and the block-aligned post-processing merge
+//! of partial lists.
 
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod block;
 pub mod codec;
+pub mod cursor;
 pub mod merge;
 pub mod positional;
 pub mod posting;
 pub mod run;
 pub mod varbyte;
 
-pub use codec::{decode, encode, Codec};
+pub use block::{BlockedList, EncodedList, ListEncoder, SkipEntry, BLOCK_LEN, SKIP_ENTRY_BYTES};
+pub use codec::{codec_for, decode, encode, Codec, CodecError, LONG_LIST_MIN, SHORT_LIST_MAX};
+pub use cursor::{ListCursor, RunCursor, SetCursor};
 pub use merge::merge_runs;
 pub use positional::{phrase_matches, phrase_matches_with_offsets, PositionalList, PositionalPosting};
 pub use posting::{Posting, PostingsList};
-pub use run::{parse_run_artifact_name, run_artifact_name, RunEntry, RunFile, RunSet};
+pub use run::{
+    parse_run_artifact_name, run_artifact_name, RunEntry, RunFile, RunFormat, RunSet,
+};

@@ -5,10 +5,19 @@
 //! less than 10% of the total running time." This module implements that
 //! step: it folds a [`RunSet`] into one monolithic run file containing each
 //! term's full list.
+//!
+//! The merge is block-aligned: when a source entry already uses the target
+//! codec, its full 128-document blocks are copied **verbatim** (bytes, skip
+//! entry and block-max included) whenever the output sits on a block
+//! boundary — no decode, no re-encode. Only boundary-straddling tail
+//! blocks and codec-mismatched lists are recoded. Because blocks are
+//! block-independent (gaps relative to their own first document), the
+//! copied bytes are exactly what re-encoding would produce, so the merged
+//! file is byte-identical to building the full list from scratch.
 
+use crate::block::{decode_block, BlockScratch, BlockedList, ListEncoder, BLOCK_LEN};
 use crate::codec::Codec;
-use crate::posting::PostingsList;
-use crate::run::{RunFile, RunSet};
+use crate::run::{RunEntry, RunFile, RunFormat, RunSet};
 use std::collections::BTreeMap;
 
 /// Merge every term's partial lists across `runs` into a single run file
@@ -17,34 +26,92 @@ use std::collections::BTreeMap;
 ///
 /// Records one span on the process-global `merge` stage
 /// (`ii_obs::global()`): wall time, one item per call, and the input
-/// payload bytes folded.
+/// payload bytes folded. Two global counters make the fast path
+/// observable: `merge.blocks_copied` (verbatim block copies) and
+/// `merge.postings_recoded` (postings that went through decode+encode).
 pub fn merge_runs(runs: &RunSet, codec: Codec) -> RunFile {
     let stage = ii_obs::global().stage("merge");
     let mut span = stage.span();
     span.add_bytes(runs.runs().iter().map(|r| r.payload.len() as u64).sum());
-    let mut merged: BTreeMap<u32, PostingsList> = BTreeMap::new();
+    let copied_ctr = ii_obs::global().counter("merge.blocks_copied");
+    let recoded_ctr = ii_obs::global().counter("merge.postings_recoded");
+
+    let mut by_handle: BTreeMap<u32, Vec<(&RunFile, &RunEntry)>> = BTreeMap::new();
     let mut indexer_id = 0;
     let mut next_run = 0;
     for r in runs.runs() {
         indexer_id = r.indexer_id;
         next_run = next_run.max(r.run_id + 1);
         for e in &r.entries {
-            let part = r.get(e.handle).expect("entry listed in mapping table");
-            let list = merged.entry(e.handle).or_default();
-            for p in part {
-                list.push(p);
-            }
+            by_handle.entry(e.handle).or_default().push((r, e));
         }
     }
-    let pairs: Vec<(u32, PostingsList)> = merged.into_iter().collect();
-    let mut it = pairs.iter().map(|(h, l)| (*h, l));
-    RunFile::build(next_run, indexer_id, &mut it, codec)
+
+    let mut entries = Vec::with_capacity(by_handle.len());
+    let mut payload = Vec::new();
+    let mut scratch = BlockScratch::default();
+    let mut tmp = Vec::with_capacity(BLOCK_LEN);
+    for (handle, parts) in by_handle {
+        let total: usize = parts.iter().map(|(_, e)| e.n_postings as usize).sum();
+        let target = codec.resolve(total);
+        let mut enc = ListEncoder::new(target);
+        for (r, e) in &parts {
+            if r.format == RunFormat::Blocked && e.codec == target {
+                // Codec-aligned source: stream blocks, copying full ones
+                // verbatim when the output is on a block boundary.
+                let blocks = BlockedList::parse(r.payload_of(e), e.n_postings as usize)
+                    .expect("committed run entry parses");
+                for b in 0..blocks.n_blocks() {
+                    let body = blocks.body(b).expect("committed run entry parses");
+                    if blocks.len_of(b) == BLOCK_LEN && enc.at_block_boundary() {
+                        enc.push_raw_block(blocks.entry(b), body);
+                        copied_ctr.inc();
+                    } else {
+                        tmp.clear();
+                        decode_block(
+                            target,
+                            body,
+                            blocks.entry(b).first_doc,
+                            blocks.len_of(b),
+                            &mut scratch,
+                            &mut tmp,
+                        )
+                        .expect("committed run entry decodes");
+                        recoded_ctr.add(tmp.len() as u64);
+                        for &p in &tmp {
+                            enc.push(p);
+                        }
+                    }
+                }
+            } else {
+                // Legacy or codec-mismatched source: full decode + re-encode.
+                let part = r.decode_entry(e).expect("committed run entry decodes");
+                recoded_ctr.add(part.len() as u64);
+                for p in part {
+                    enc.push(p);
+                }
+            }
+        }
+        let enc = enc.finish();
+        entries.push(RunEntry {
+            handle,
+            offset: payload.len() as u64,
+            len: enc.bytes.len() as u32,
+            n_postings: total as u32,
+            doc_min: parts.first().map(|(_, e)| e.doc_min).unwrap_or(0),
+            doc_max: parts.last().map(|(_, e)| e.doc_max).unwrap_or(0),
+            codec: target,
+            max_tf: enc.max_tf,
+        });
+        payload.extend_from_slice(&enc.bytes);
+    }
+    RunFile { run_id: next_run, indexer_id, entries, payload, codec, format: RunFormat::Blocked }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::posting::Posting;
+    use crate::posting::{Posting, PostingsList};
     use ii_corpus::DocId;
 
     fn run_with(run_id: u32, handle: u32, docs: &[u32]) -> RunFile {
@@ -102,9 +169,80 @@ mod tests {
     fn merge_can_recode() {
         let mut rs = RunSet::new();
         rs.push(run_with(0, 2, &[1, 5, 9]));
-        let merged = merge_runs(&rs, Codec::Gamma);
-        assert_eq!(merged.codec, Codec::Gamma);
+        let merged = merge_runs(&rs, Codec::Bp128);
+        assert_eq!(merged.codec, Codec::Bp128);
+        assert_eq!(merged.entries[0].codec, Codec::Bp128);
         let docs: Vec<u32> = merged.get(2).unwrap().iter().map(|p| p.doc.0).collect();
         assert_eq!(docs, vec![1, 5, 9]);
+    }
+
+    fn big_run(run_id: u32, handle: u32, base: u32, n: u32, codec: Codec) -> RunFile {
+        let list: PostingsList =
+            (0..n).map(|i| Posting { doc: DocId(base + i * 2), tf: 1 + i % 5 }).collect();
+        let pairs = [(handle, list)];
+        let mut it = pairs.iter().map(|(h, l)| (*h, l));
+        RunFile::build(run_id, 0, &mut it, codec)
+    }
+
+    #[test]
+    fn aligned_merge_is_byte_identical_to_full_rebuild_and_copies_blocks() {
+        // Three aligned runs of a long list: merge must equal building the
+        // concatenated list from scratch, and the aligned full blocks must
+        // travel the verbatim-copy path.
+        // The counter is process-global and other tests run concurrently,
+        // so assert a lower bound over the whole matrix (96 copies per
+        // codec: 3 parts x 32 full blocks each, output always aligned).
+        let copied_before = ii_obs::global().counter("merge.blocks_copied").get();
+        for codec in [Codec::Bp128, Codec::PFor, Codec::EliasFano, Codec::Auto] {
+            let n = 4096u32; // long class: Auto resolves to EliasFano
+            let mut rs = RunSet::new();
+            for r in 0..3u32 {
+                rs.push(big_run(r, 9, r * 100_000, n, codec));
+            }
+            let merged = merge_runs(&rs, codec);
+            // Byte-identity with a from-scratch build of the full list.
+            let full: PostingsList = rs.fetch(9).postings().iter().copied().collect();
+            let pairs = [(9u32, full)];
+            let mut it = pairs.iter().map(|(h, l)| (*h, l));
+            let rebuilt = RunFile::build(merged.run_id, 0, &mut it, codec);
+            assert_eq!(merged.payload, rebuilt.payload, "{codec:?}");
+            assert_eq!(merged.entries, rebuilt.entries, "{codec:?}");
+        }
+        let copied = ii_obs::global().counter("merge.blocks_copied").get() - copied_before;
+        assert!(copied >= 96 * 4, "verbatim copies must dominate, got {copied}");
+    }
+
+    #[test]
+    fn misaligned_merge_still_byte_identical() {
+        // Part sizes not multiples of 128: tail blocks force recoding, but
+        // the result must still equal the from-scratch build.
+        let mut rs = RunSet::new();
+        rs.push(big_run(0, 9, 0, 300, Codec::PFor));
+        rs.push(big_run(1, 9, 1_000_000, 129, Codec::PFor));
+        rs.push(big_run(2, 9, 2_000_000, 127, Codec::PFor));
+        let merged = merge_runs(&rs, Codec::PFor);
+        let full: PostingsList = rs.fetch(9).postings().iter().copied().collect();
+        let pairs = [(9u32, full)];
+        let mut it = pairs.iter().map(|(h, l)| (*h, l));
+        let rebuilt = RunFile::build(merged.run_id, 0, &mut it, Codec::PFor);
+        assert_eq!(merged.payload, rebuilt.payload);
+        assert_eq!(merged.entries, rebuilt.entries);
+        assert_eq!(merged.get(9).unwrap(), rs.fetch(9).postings());
+    }
+
+    #[test]
+    fn legacy_sources_merge_into_blocked_output() {
+        let list: PostingsList =
+            (0..200u32).map(|i| Posting { doc: DocId(i * 3), tf: 1 }).collect();
+        let pairs = [(5u32, list)];
+        let mut it = pairs.iter().map(|(h, l)| (*h, l));
+        let legacy = RunFile::build_legacy(0, 0, &mut it, Codec::VarByte);
+        let mut rs = RunSet::new();
+        rs.push(legacy);
+        let merged = merge_runs(&rs, Codec::Auto);
+        assert_eq!(merged.format, RunFormat::Blocked);
+        assert_eq!(merged.entries[0].codec, Codec::PFor, "200 postings: medium class");
+        assert_eq!(merged.get(5).unwrap(), rs.fetch(5).postings());
+        assert!(merged.entries[0].max_tf >= 1, "block-max recovered from legacy data");
     }
 }

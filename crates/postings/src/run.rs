@@ -6,13 +6,37 @@
 //! in the dictionary index into these mapping tables; a term's full list is
 //! the concatenation of its partial lists across runs, which is already
 //! doc-ordered because runs are.
+//!
+//! Two on-disk formats coexist:
+//!
+//! * **v1 (`IIRF`)** — the legacy layout: every list is one whole-list
+//!   stream in the run's single codec. Still readable (and writable via
+//!   [`RunFile::build_legacy`]) so pre-block-layout indexes keep opening.
+//! * **v2 (`IIR2`)** — the block layout of [`crate::block`]: each list is
+//!   a skip table plus fixed 128-document blocks, each mapping-table row
+//!   carries its own (length-class-resolved) codec and the list's maximum
+//!   term frequency. This is what [`RunFile::build`] writes.
 
-use crate::codec::{decode, encode, Codec};
+use crate::block;
+use crate::codec::{decode, encode, Codec, CodecError};
+use crate::cursor::{RunCursor, SetCursor};
 use crate::posting::{Posting, PostingsList};
 use ii_corpus::DocId;
 
-/// Magic bytes of a run file.
+/// Magic bytes of a legacy (whole-list) run file.
 pub const RUN_MAGIC: &[u8; 4] = b"IIRF";
+
+/// Magic bytes of a block-layout run file.
+pub const RUN_MAGIC_V2: &[u8; 4] = b"IIR2";
+
+/// Which on-disk layout a run file uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunFormat {
+    /// v1: whole-list streams, one codec per run.
+    Legacy,
+    /// v2: 128-doc blocks + skip tables, one codec per list.
+    Blocked,
+}
 
 /// One mapping-table row: where a partial postings list lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,9 +53,17 @@ pub struct RunEntry {
     pub doc_min: u32,
     /// Largest document ID in the partial list.
     pub doc_max: u32,
+    /// Codec of this list. In v1 files every entry inherits the run codec;
+    /// in v2 it is the length-class-resolved codec of the list.
+    pub codec: Codec,
+    /// Largest term frequency in the list (block-max metadata; 0 in
+    /// legacy files, which never stored it).
+    pub max_tf: u32,
 }
 
-const ENTRY_BYTES: usize = 28;
+const ENTRY_BYTES_V1: usize = 28;
+const ENTRY_BYTES_V2: usize = 41;
+const HEADER_BYTES: usize = 33;
 
 /// A run file: header + mapping table + payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,8 +76,11 @@ pub struct RunFile {
     pub entries: Vec<RunEntry>,
     /// Concatenated encoded postings.
     pub payload: Vec<u8>,
-    /// Codec used for every list in this run.
+    /// The codec the run was built with (possibly [`Codec::Auto`]; the
+    /// per-list resolution lives in each entry).
     pub codec: Codec,
+    /// On-disk layout.
+    pub format: RunFormat,
 }
 
 /// Errors from [`RunFile::from_bytes`].
@@ -95,6 +130,10 @@ fn codec_tag(c: Codec) -> (u8, u64) {
         Codec::VarByte => (0, 0),
         Codec::Gamma => (1, 0),
         Codec::Golomb(b) => (2, b),
+        Codec::Bp128 => (3, 0),
+        Codec::PFor => (4, 0),
+        Codec::EliasFano => (5, 0),
+        Codec::Auto => (6, 0),
     }
 }
 
@@ -103,19 +142,58 @@ fn codec_from_tag(tag: u8, b: u64) -> Option<Codec> {
         0 => Some(Codec::VarByte),
         1 => Some(Codec::Gamma),
         2 => Some(Codec::Golomb(b.max(1))),
+        3 => Some(Codec::Bp128),
+        4 => Some(Codec::PFor),
+        5 => Some(Codec::EliasFano),
+        6 => Some(Codec::Auto),
         _ => None,
     }
 }
 
 impl RunFile {
-    /// Build a run file from `(handle, list)` pairs (the end-of-run flush).
-    /// Empty lists are skipped. Entries are stored sorted by handle.
+    /// Build a block-layout (v2) run file from `(handle, list)` pairs (the
+    /// end-of-run flush). Empty lists are skipped; entries are stored
+    /// sorted by handle; each list's codec is `codec` resolved by its
+    /// length ([`Codec::Auto`] applies the measured length-class policy).
     pub fn build(
         run_id: u32,
         indexer_id: u32,
         lists: &mut dyn Iterator<Item = (u32, &PostingsList)>,
         codec: Codec,
     ) -> RunFile {
+        let mut pairs: Vec<(u32, &PostingsList)> =
+            lists.filter(|(_, l)| !l.is_empty()).collect();
+        pairs.sort_unstable_by_key(|(h, _)| *h);
+        let mut entries = Vec::with_capacity(pairs.len());
+        let mut payload = Vec::new();
+        for (handle, list) in pairs {
+            let resolved = codec.resolve(list.len());
+            let enc = block::encode_list(list.postings(), resolved);
+            let (lo, hi) = list.doc_range().expect("non-empty");
+            entries.push(RunEntry {
+                handle,
+                offset: payload.len() as u64,
+                len: enc.bytes.len() as u32,
+                n_postings: list.len() as u32,
+                doc_min: lo.0,
+                doc_max: hi.0,
+                codec: resolved,
+                max_tf: enc.max_tf,
+            });
+            payload.extend_from_slice(&enc.bytes);
+        }
+        RunFile { run_id, indexer_id, entries, payload, codec, format: RunFormat::Blocked }
+    }
+
+    /// Build a legacy (v1, whole-list) run file. Kept for fixtures and the
+    /// backwards-compatibility tests; `codec` must be a legacy codec.
+    pub fn build_legacy(
+        run_id: u32,
+        indexer_id: u32,
+        lists: &mut dyn Iterator<Item = (u32, &PostingsList)>,
+        codec: Codec,
+    ) -> RunFile {
+        assert!(!codec.is_blocked(), "legacy run files only support whole-list codecs");
         let mut pairs: Vec<(u32, &PostingsList)> =
             lists.filter(|(_, l)| !l.is_empty()).collect();
         pairs.sort_unstable_by_key(|(h, _)| *h);
@@ -131,10 +209,12 @@ impl RunFile {
                 n_postings: list.len() as u32,
                 doc_min: lo.0,
                 doc_max: hi.0,
+                codec,
+                max_tf: 0,
             });
             payload.extend_from_slice(&bytes);
         }
-        RunFile { run_id, indexer_id, entries, payload, codec }
+        RunFile { run_id, indexer_id, entries, payload, codec, format: RunFormat::Legacy }
     }
 
     /// Document range covered by the whole run, if any list is present.
@@ -142,6 +222,22 @@ impl RunFile {
         let lo = self.entries.iter().map(|e| e.doc_min).min()?;
         let hi = self.entries.iter().map(|e| e.doc_max).max()?;
         Some((lo, hi))
+    }
+
+    /// Largest term frequency across every list in the run (0 when empty
+    /// or legacy).
+    pub fn max_tf(&self) -> u32 {
+        self.entries.iter().map(|e| e.max_tf).max().unwrap_or(0)
+    }
+
+    /// Total 128-doc blocks across every list (0 for legacy files).
+    pub fn block_count(&self) -> u64 {
+        match self.format {
+            RunFormat::Legacy => 0,
+            RunFormat::Blocked => {
+                self.entries.iter().map(|e| block::n_blocks(e.n_postings as usize) as u64).sum()
+            }
+        }
     }
 
     /// Look up the mapping-table row of `handle`.
@@ -152,17 +248,54 @@ impl RunFile {
             .map(|i| &self.entries[i])
     }
 
-    /// Decode the partial postings list of `handle` in this run.
-    pub fn get(&self, handle: u32) -> Option<Vec<Posting>> {
-        let e = self.entry(handle)?;
-        let buf = &self.payload[e.offset as usize..(e.offset + e.len as u64) as usize];
-        decode(buf, e.n_postings as usize, self.codec)
+    /// The encoded bytes of one mapping-table row.
+    pub fn payload_of(&self, e: &RunEntry) -> &[u8] {
+        &self.payload[e.offset as usize..(e.offset + e.len as u64) as usize]
     }
 
-    /// Serialize to bytes (what goes to disk).
+    /// Decode the partial postings list behind one mapping-table row.
+    pub fn decode_entry(&self, e: &RunEntry) -> Result<Vec<Posting>, CodecError> {
+        let buf = self.payload_of(e);
+        match self.format {
+            RunFormat::Blocked => block::decode_list(buf, e.n_postings as usize, e.codec),
+            RunFormat::Legacy => decode(buf, e.n_postings as usize, e.codec),
+        }
+    }
+
+    /// A skip-capable cursor over one mapping-table row. Blocked entries
+    /// decode lazily (block at a time via the skip table); legacy entries
+    /// fall back to an eager whole-list decode.
+    pub fn cursor_of(&self, e: &RunEntry) -> Result<RunCursor<'_>, CodecError> {
+        match self.format {
+            RunFormat::Blocked => Ok(RunCursor::Blocked(crate::cursor::ListCursor::new(
+                self.payload_of(e),
+                e.n_postings as usize,
+                e.codec,
+            )?)),
+            RunFormat::Legacy => {
+                Ok(RunCursor::Legacy { postings: self.decode_entry(e)?, pos: 0 })
+            }
+        }
+    }
+
+    /// Decode the partial postings list of `handle` in this run. `None`
+    /// when the handle is absent or its bytes are corrupt.
+    pub fn get(&self, handle: u32) -> Option<Vec<Posting>> {
+        let e = self.entry(handle)?;
+        self.decode_entry(e).ok()
+    }
+
+    /// Serialize to bytes (what goes to disk). The format is preserved: a
+    /// v1-loaded file re-serializes as v1, so round-trips never silently
+    /// migrate an artifact.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32 + self.entries.len() * ENTRY_BYTES + self.payload.len());
-        out.extend_from_slice(RUN_MAGIC);
+        let (magic, entry_bytes) = match self.format {
+            RunFormat::Legacy => (RUN_MAGIC, ENTRY_BYTES_V1),
+            RunFormat::Blocked => (RUN_MAGIC_V2, ENTRY_BYTES_V2),
+        };
+        let mut out =
+            Vec::with_capacity(HEADER_BYTES + self.entries.len() * entry_bytes + self.payload.len());
+        out.extend_from_slice(magic);
         out.extend_from_slice(&self.run_id.to_le_bytes());
         out.extend_from_slice(&self.indexer_id.to_le_bytes());
         let (tag, b) = codec_tag(self.codec);
@@ -177,45 +310,62 @@ impl RunFile {
             out.extend_from_slice(&e.n_postings.to_le_bytes());
             out.extend_from_slice(&e.doc_min.to_le_bytes());
             out.extend_from_slice(&e.doc_max.to_le_bytes());
+            if self.format == RunFormat::Blocked {
+                out.extend_from_slice(&e.max_tf.to_le_bytes());
+                let (tag, b) = codec_tag(e.codec);
+                out.push(tag);
+                out.extend_from_slice(&b.to_le_bytes());
+            }
         }
         out.extend_from_slice(&self.payload);
         out
     }
 
-    /// Deserialize a run file.
+    /// Deserialize a run file (either format, dispatched on the magic).
     pub fn from_bytes(buf: &[u8]) -> Result<RunFile, RunFileError> {
-        if buf.len() < 33 {
+        if buf.len() < HEADER_BYTES {
             return Err(RunFileError::Truncated);
         }
-        if &buf[..4] != RUN_MAGIC {
+        let format = if &buf[..4] == RUN_MAGIC {
+            RunFormat::Legacy
+        } else if &buf[..4] == RUN_MAGIC_V2 {
+            RunFormat::Blocked
+        } else {
             return Err(RunFileError::Malformed);
-        }
-        let rd32 = |o: usize| u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
-        let rd64 = |o: usize| {
-            u64::from_le_bytes([
-                buf[o],
-                buf[o + 1],
-                buf[o + 2],
-                buf[o + 3],
-                buf[o + 4],
-                buf[o + 5],
-                buf[o + 6],
-                buf[o + 7],
-            ])
         };
+        let entry_bytes = match format {
+            RunFormat::Legacy => ENTRY_BYTES_V1,
+            RunFormat::Blocked => ENTRY_BYTES_V2,
+        };
+        let rd32 = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        let rd64 = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
         let run_id = rd32(4);
         let indexer_id = rd32(8);
         let codec = codec_from_tag(buf[12], rd64(13)).ok_or(RunFileError::Malformed)?;
         let n = rd32(21) as usize;
         let payload_len = rd64(25) as usize;
-        let table_start = 33;
-        let payload_start = table_start + n * ENTRY_BYTES;
-        if buf.len() < payload_start + payload_len {
+        let table_start = HEADER_BYTES;
+        let payload_start = table_start
+            .checked_add(n.checked_mul(entry_bytes).ok_or(RunFileError::Malformed)?)
+            .ok_or(RunFileError::Malformed)?;
+        if buf.len() < payload_start.checked_add(payload_len).ok_or(RunFileError::Malformed)? {
             return Err(RunFileError::Truncated);
         }
-        let mut entries = Vec::with_capacity(n);
+        let mut entries = Vec::with_capacity(n.min(1 << 20));
         for i in 0..n {
-            let o = table_start + i * ENTRY_BYTES;
+            let o = table_start + i * entry_bytes;
+            let (entry_codec, max_tf) = match format {
+                RunFormat::Legacy => (codec, 0),
+                RunFormat::Blocked => {
+                    let c = codec_from_tag(buf[o + 32], rd64(o + 33))
+                        .ok_or(RunFileError::Malformed)?;
+                    if c == Codec::Auto {
+                        // Entries must carry resolved codecs.
+                        return Err(RunFileError::Malformed);
+                    }
+                    (c, rd32(o + 28))
+                }
+            };
             entries.push(RunEntry {
                 handle: rd32(o),
                 offset: rd64(o + 4),
@@ -223,6 +373,8 @@ impl RunFile {
                 n_postings: rd32(o + 16),
                 doc_min: rd32(o + 20),
                 doc_max: rd32(o + 24),
+                codec: entry_codec,
+                max_tf,
             });
         }
         for e in &entries {
@@ -231,7 +383,7 @@ impl RunFile {
             }
         }
         let payload = buf[payload_start..payload_start + payload_len].to_vec();
-        Ok(RunFile { run_id, indexer_id, entries, payload, codec })
+        Ok(RunFile { run_id, indexer_id, entries, payload, codec, format })
     }
 }
 
@@ -272,6 +424,24 @@ impl RunSet {
             }
         }
         out
+    }
+
+    /// A lazy skip-pointer cursor over the full list of `handle`, chaining
+    /// its partial lists across runs (already in global doc order). `None`
+    /// when no run contains the handle.
+    pub fn cursor(&self, handle: u32) -> Result<Option<SetCursor<'_>>, CodecError> {
+        let mut parts = Vec::new();
+        let mut df = 0u64;
+        for r in &self.runs {
+            if let Some(e) = r.entry(handle) {
+                df += e.n_postings as u64;
+                parts.push((e.doc_max, r.cursor_of(e)?));
+            }
+        }
+        if parts.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(SetCursor::new(parts, df)))
     }
 
     /// Postings of `handle` restricted to documents in `[lo, hi]`. Only
@@ -341,6 +511,28 @@ mod tests {
         let run = RunFile::build(0, 0, &mut it, Codec::VarByte);
         assert_eq!(run.entries.len(), 1);
         assert_eq!(run.entries[0].handle, 9);
+        assert_eq!(run.format, RunFormat::Blocked);
+    }
+
+    #[test]
+    fn build_resolves_auto_per_list_and_records_max_tf() {
+        let short = list(&[(1, 9), (5, 2)]);
+        let medium: PostingsList = (0..500u32).map(|i| Posting { doc: DocId(i * 2), tf: 1 + i % 3 }).collect();
+        let long: PostingsList = (0..5000u32).map(|i| Posting { doc: DocId(i * 3), tf: 1 }).collect();
+        let pairs = [(1u32, short), (2u32, medium), (3u32, long)];
+        let mut it = pairs.iter().map(|(h, l)| (*h, l));
+        let run = RunFile::build(0, 0, &mut it, Codec::Auto);
+        assert_eq!(run.entry(1).unwrap().codec, Codec::VarByte);
+        assert_eq!(run.entry(2).unwrap().codec, Codec::PFor);
+        assert_eq!(run.entry(3).unwrap().codec, Codec::Bp128);
+        assert_eq!(run.entry(1).unwrap().max_tf, 9);
+        assert_eq!(run.entry(2).unwrap().max_tf, 3);
+        assert_eq!(run.max_tf(), 9);
+        assert_eq!(run.block_count(), 1 + 4 + 40);
+        // Every entry decodes back to its source list.
+        for (h, l) in pairs.iter() {
+            assert_eq!(run.get(*h).unwrap(), l.postings());
+        }
     }
 
     #[test]
@@ -355,15 +547,31 @@ mod tests {
     }
 
     #[test]
-    fn serialization_roundtrip() {
-        for codec in [Codec::VarByte, Codec::Gamma, Codec::Golomb(8)] {
+    fn serialization_roundtrip_blocked() {
+        for codec in [Codec::VarByte, Codec::Bp128, Codec::PFor, Codec::EliasFano, Codec::Auto] {
             let l = list(&[(0, 1), (9, 3)]);
             let pairs = [(1u32, l)];
             let mut it = pairs.iter().map(|(h, l)| (*h, l));
             let run = RunFile::build(5, 2, &mut it, codec);
             let bytes = run.to_bytes();
+            assert_eq!(&bytes[..4], RUN_MAGIC_V2);
             let back = RunFile::from_bytes(&bytes).unwrap();
             assert_eq!(back, run);
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip_legacy() {
+        for codec in [Codec::VarByte, Codec::Gamma, Codec::Golomb(8)] {
+            let l = list(&[(0, 1), (9, 3)]);
+            let pairs = [(1u32, l.clone())];
+            let mut it = pairs.iter().map(|(h, l)| (*h, l));
+            let run = RunFile::build_legacy(5, 2, &mut it, codec);
+            let bytes = run.to_bytes();
+            assert_eq!(&bytes[..4], RUN_MAGIC, "legacy files keep the v1 magic");
+            let back = RunFile::from_bytes(&bytes).unwrap();
+            assert_eq!(back, run, "format preserved across a round-trip");
+            assert_eq!(back.get(1).unwrap(), l.postings());
         }
     }
 
@@ -391,6 +599,25 @@ mod tests {
         assert_eq!(docs, vec![0, 5, 100, 105, 200, 205]);
         // Sorted invariant held by construction.
         assert!(docs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn runset_cursor_matches_fetch() {
+        let mut rs = RunSet::new();
+        for r in 0..3 {
+            rs.push(sample_run(r));
+        }
+        let mut c = rs.cursor(7).unwrap().unwrap();
+        assert_eq!(c.df(), 6);
+        let mut got = Vec::new();
+        while let Some(p) = c.next().unwrap() {
+            got.push(p);
+        }
+        assert_eq!(got, rs.fetch(7).postings());
+        // advance_to across run boundaries.
+        let mut c = rs.cursor(7).unwrap().unwrap();
+        assert_eq!(c.advance_to(199).unwrap().unwrap().doc, DocId(200));
+        assert!(rs.cursor(999).unwrap().is_none());
     }
 
     #[test]

@@ -34,8 +34,11 @@ mod store;
 mod vfs;
 
 pub use error::StoreError;
-pub use manifest::{ArtifactMeta, Manifest, ManifestKind, FORMAT_VERSION, MANIFEST_NAME};
-pub use store::{salvage, ArtifactStatus, SalvageReport, Store, Txn};
+pub use manifest::{
+    ArtifactMeta, Manifest, ManifestKind, PostingsMeta, FORMAT_VERSION, MANIFEST_NAME,
+    MIN_FORMAT_VERSION,
+};
+pub use store::{salvage, ArtifactStatus, ArtifactValidator, SalvageReport, Store, Txn};
 pub use vfs::{CrashMode, CrashVfs, RealVfs, Vfs};
 
 /// CRC-32 (ISO-HDLC, the zlib polynomial) — same algorithm and parameters

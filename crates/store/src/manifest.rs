@@ -14,8 +14,14 @@ use std::path::Path;
 /// File name of the manifest inside an index directory.
 pub const MANIFEST_NAME: &str = "MANIFEST.json";
 
-/// Manifest format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// Manifest format version this build writes. Version 2 added the optional
+/// per-artifact [`PostingsMeta`] block describing blocked postings
+/// artifacts (list/block counts, maximum term frequency).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest manifest format version this build still reads. Version-1
+/// manifests (no postings metadata) open exactly as before.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// What a committed manifest describes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,8 +55,26 @@ impl Deserialize for ManifestKind {
     }
 }
 
+/// Postings-artifact metadata recorded in version-2 manifests: enough to
+/// know a run file's shape — skip-table block count and block-max term
+/// frequency included — without reading the artifact itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostingsMeta {
+    /// Run-file wire format: 1 = legacy whole-list (`IIRF`), 2 = blocked
+    /// with per-list skip tables (`IIR2`).
+    pub format: u32,
+    /// Postings lists (run entries) in the artifact.
+    pub lists: u64,
+    /// Total 128-document blocks across all lists (0 for legacy format —
+    /// legacy lists carry no skip table).
+    pub blocks: u64,
+    /// Maximum term frequency across the artifact (the global bound over
+    /// every block's block-max metadata; 0 for legacy format).
+    pub max_tf: u32,
+}
+
 /// One artifact's manifest record.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ArtifactMeta {
     /// Logical name loaders ask for (e.g. `dictionary.bin`).
     pub name: String,
@@ -61,6 +85,45 @@ pub struct ArtifactMeta {
     pub len: u64,
     /// CRC32 of the content.
     pub crc32: u32,
+    /// Postings metadata, present on run artifacts committed by version-2
+    /// writers. `None` for non-postings artifacts and version-1 manifests.
+    pub postings: Option<PostingsMeta>,
+}
+
+// Hand-written (rather than derived) so a version-1 manifest record — which
+// has no `postings` key at all — still deserializes: the derive treats a
+// missing field as an error, and `null`-filling old manifests would break
+// their recorded CRCs. Serialization omits the key when `None` so
+// non-postings artifacts keep the version-1 record shape.
+impl Serialize for ArtifactMeta {
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("file".to_string(), self.file.to_value()),
+            ("len".to_string(), self.len.to_value()),
+            ("crc32".to_string(), self.crc32.to_value()),
+        ];
+        if let Some(p) = &self.postings {
+            pairs.push(("postings".to_string(), p.to_value()));
+        }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for ArtifactMeta {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        Ok(ArtifactMeta {
+            name: serde::field(v, "name")?,
+            file: serde::field(v, "file")?,
+            len: serde::field(v, "len")?,
+            crc32: serde::field(v, "crc32")?,
+            postings: match v.get("postings") {
+                None | Some(Value::Null) => None,
+                Some(p) => Some(PostingsMeta::from_value(p)
+                    .map_err(|e| serde::DeError(format!("field 'postings': {}", e.0)))?),
+            },
+        })
+    }
 }
 
 /// The committed state of an index directory.
@@ -87,7 +150,7 @@ impl Manifest {
     pub fn from_bytes(bytes: &[u8]) -> Result<Manifest, StoreError> {
         let m: Manifest = serde_json::from_slice(bytes)
             .map_err(|e| StoreError::TornManifest { detail: e.to_string() })?;
-        if m.version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&m.version) {
             return Err(StoreError::VersionSkew {
                 found: m.version,
                 supported: FORMAT_VERSION,
@@ -135,12 +198,14 @@ mod tests {
                     file: "dictionary.bin.g3".into(),
                     len: 1234,
                     crc32: 0xDEADBEEF,
+                    postings: None,
                 },
                 ArtifactMeta {
                     name: "run_000_00000.iirf".into(),
                     file: "run_000_00000.iirf".into(),
                     len: 88,
                     crc32: 7,
+                    postings: Some(PostingsMeta { format: 2, lists: 3, blocks: 17, max_tf: 9 }),
                 },
             ],
         }
@@ -174,6 +239,36 @@ mod tests {
             }
             other => panic!("expected VersionSkew, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn version_1_manifest_still_parses() {
+        // A verbatim version-1 manifest: no `postings` keys anywhere.
+        let v1 = br#"{
+            "version": 1,
+            "kind": "index",
+            "generation": 2,
+            "artifacts": [
+                {"name": "dictionary.bin", "file": "dictionary.bin", "len": 10, "crc32": 77},
+                {"name": "run_000_00000.iirf", "file": "run_000_00000.iirf", "len": 5, "crc32": 3}
+            ]
+        }"#;
+        let m = Manifest::from_bytes(v1).unwrap();
+        assert_eq!(m.version, 1);
+        assert!(m.artifacts.iter().all(|a| a.postings.is_none()));
+        assert_eq!(m.artifact("run_000_00000.iirf").unwrap().len, 5);
+    }
+
+    #[test]
+    fn postings_meta_survives_roundtrip() {
+        let m = sample();
+        let back = Manifest::from_bytes(&m.to_bytes()).unwrap();
+        let p = back.artifact("run_000_00000.iirf").unwrap().postings.unwrap();
+        assert_eq!(p, PostingsMeta { format: 2, lists: 3, blocks: 17, max_tf: 9 });
+        assert!(back.artifact("dictionary.bin").unwrap().postings.is_none());
+        // Non-postings records keep the version-1 shape: no `postings` key.
+        let json = String::from_utf8(m.to_bytes()).unwrap();
+        assert_eq!(json.matches("postings").count(), 1);
     }
 
     #[test]

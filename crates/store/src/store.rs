@@ -3,7 +3,9 @@
 
 use crate::crc32;
 use crate::error::StoreError;
-use crate::manifest::{ArtifactMeta, Manifest, ManifestKind, FORMAT_VERSION, MANIFEST_NAME};
+use crate::manifest::{
+    ArtifactMeta, Manifest, ManifestKind, PostingsMeta, FORMAT_VERSION, MANIFEST_NAME,
+};
 use crate::vfs::Vfs;
 use ii_obs::Registry;
 use std::fs;
@@ -147,6 +149,21 @@ impl<'v> Txn<'v> {
     /// Changed content goes to a generation-suffixed file so the previous
     /// committed state survives a crash mid-transaction.
     pub fn put(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.put_with_meta(name, bytes, None)
+    }
+
+    /// [`Self::put`] with postings metadata attached to the manifest
+    /// record: run artifacts carry their skip-table block count and
+    /// block-max bound so loaders can see a run's shape without reading
+    /// it. The metadata is re-stamped even on the content-reuse path — an
+    /// unchanged run file inherited from a version-1 manifest gains its
+    /// metadata on the first version-2 commit.
+    pub fn put_with_meta(
+        &mut self,
+        name: &str,
+        bytes: &[u8],
+        postings: Option<PostingsMeta>,
+    ) -> Result<(), StoreError> {
         if self.staged.iter().any(|a| a.name == name) {
             return Err(StoreError::Corrupt {
                 name: name.to_string(),
@@ -160,7 +177,13 @@ impl<'v> Txn<'v> {
                 if let Some(r) = &self.obs {
                     r.counter("store.artifacts_reused").inc();
                 }
-                self.staged.push(ArtifactMeta { name: name.to_string(), ..prev.clone() });
+                self.staged.push(ArtifactMeta {
+                    name: name.to_string(),
+                    file: prev.file.clone(),
+                    len,
+                    crc32: crc,
+                    postings,
+                });
                 return Ok(());
             }
         }
@@ -170,7 +193,7 @@ impl<'v> Txn<'v> {
             name.to_string()
         };
         self.write_durable(&file, bytes)?;
-        self.staged.push(ArtifactMeta { name: name.to_string(), file, len, crc32: crc });
+        self.staged.push(ArtifactMeta { name: name.to_string(), file, len, crc32: crc, postings });
         Ok(())
     }
 
@@ -262,7 +285,10 @@ pub struct SalvageReport {
 
 /// Semantic per-artifact validation callback for [`salvage`]: given the
 /// logical name and candidate bytes, return `Err(reason)` to reject.
-pub type ArtifactValidator = dyn Fn(&str, &[u8]) -> Result<(), String>;
+/// Accepted postings artifacts return their [`PostingsMeta`] so the
+/// repaired manifest keeps the skip-table/block-max metadata; other
+/// artifacts return `None`.
+pub type ArtifactValidator = dyn Fn(&str, &[u8]) -> Result<Option<PostingsMeta>, String>;
 
 /// Recover the intact artifacts of a damaged index directory and commit a
 /// fresh manifest referencing exactly those. `validate` is the caller's
@@ -302,7 +328,7 @@ pub fn salvage(
     }
 
     let mut report = SalvageReport::default();
-    let mut recovered: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut recovered: Vec<(String, Vec<u8>, Option<PostingsMeta>)> = Vec::new();
     for (logical, mut files) in candidates {
         // Prefer the manifest's physical file, then newer generations.
         files.sort_by_key(|f| std::cmp::Reverse(f.1));
@@ -332,15 +358,15 @@ pub fn salvage(
                 }
             }
             match validate(&logical, &bytes) {
-                Ok(()) => {
-                    winner = Some(bytes);
+                Ok(meta) => {
+                    winner = Some((bytes, meta));
                     break;
                 }
                 Err(reason) => reasons.push(format!("{file}: {reason}")),
             }
         }
         match winner {
-            Some(bytes) => recovered.push((logical, bytes)),
+            Some((bytes, meta)) => recovered.push((logical, bytes, meta)),
             None => {
                 let reason =
                     if reasons.is_empty() { "no candidate file".to_string() } else { reasons.join("; ") };
@@ -350,8 +376,8 @@ pub fn salvage(
     }
 
     let mut txn = Txn::begin(dir, vfs)?;
-    for (logical, bytes) in &recovered {
-        txn.put(logical, bytes)?;
+    for (logical, bytes, meta) in &recovered {
+        txn.put_with_meta(logical, bytes, *meta)?;
         report.kept.push(logical.clone());
     }
     let committed = txn.commit(ManifestKind::Index)?;
@@ -551,7 +577,7 @@ mod tests {
         fs::write(d.join("b.bin"), b"bad!").unwrap();
         fs::write(d.join(MANIFEST_NAME), b"{ torn to shreds").unwrap();
         let validate = |_: &str, bytes: &[u8]| {
-            if bytes == b"bad!" { Err("decode failed".into()) } else { Ok(()) }
+            if bytes == b"bad!" { Err("decode failed".into()) } else { Ok(None) }
         };
         let report = salvage(&d, &RealVfs, &validate).unwrap();
         assert_eq!(report.kept, vec!["a.bin".to_string()]);
@@ -571,7 +597,7 @@ mod tests {
         fs::write(d.join("a.bin"), b"old-good").unwrap();
         fs::write(d.join("a.bin.g2"), b"torn").unwrap();
         let validate = |_: &str, bytes: &[u8]| {
-            if bytes == b"torn" { Err("truncated".into()) } else { Ok(()) }
+            if bytes == b"torn" { Err("truncated".into()) } else { Ok(None) }
         };
         let report = salvage(&d, &RealVfs, &validate).unwrap();
         assert_eq!(report.kept, vec!["a.bin".to_string()]);
@@ -583,7 +609,7 @@ mod tests {
     fn salvage_of_empty_dir_is_typed() {
         let d = tmp("salvage-empty");
         fs::create_dir_all(&d).unwrap();
-        let ok = |_: &str, _: &[u8]| Ok(());
+        let ok = |_: &str, _: &[u8]| Ok(None);
         assert!(matches!(
             salvage(&d, &RealVfs, &ok),
             Err(StoreError::MissingManifest { .. })

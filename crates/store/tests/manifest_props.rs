@@ -2,17 +2,36 @@
 //! JSON round-trip exactly, and no byte-truncation of a valid manifest is
 //! ever accepted.
 
-use ii_store::{ArtifactMeta, Manifest, ManifestKind, StoreError, FORMAT_VERSION};
+use ii_store::{ArtifactMeta, Manifest, ManifestKind, PostingsMeta, StoreError, FORMAT_VERSION};
 use proptest::prelude::*;
+
+fn postings_strategy() -> impl Strategy<Value = Option<PostingsMeta>> {
+    (any::<bool>(), 1u32..=2, any::<u64>(), any::<u32>()).prop_map(
+        |(present, format, counts, max_tf)| {
+            present.then_some(PostingsMeta {
+                format,
+                lists: counts >> 32,
+                blocks: counts & 0xFFFF_FFFF,
+                max_tf,
+            })
+        },
+    )
+}
 
 fn artifact_strategy() -> impl Strategy<Value = ArtifactMeta> {
     (
-        "[a-zA-Z0-9_.-]{1,24}",
-        "[a-zA-Z0-9_.-]{1,24}",
+        ("[a-zA-Z0-9_.-]{1,24}", "[a-zA-Z0-9_.-]{1,24}"),
         proptest::prelude::any::<u64>(),
         proptest::prelude::any::<u32>(),
+        postings_strategy(),
     )
-        .prop_map(|(name, file, len, crc32)| ArtifactMeta { name, file, len, crc32 })
+        .prop_map(|((name, file), len, crc32, postings)| ArtifactMeta {
+            name,
+            file,
+            len,
+            crc32,
+            postings,
+        })
 }
 
 fn manifest_strategy() -> impl Strategy<Value = Manifest> {
