@@ -282,6 +282,7 @@ fn main() {
     print_report(&report);
     let mut json = serde_json::to_string_pretty(&report).expect("serialize report");
     json.push('\n');
-    std::fs::write(&out, json).expect("write baseline");
+    ii_core::store::write_file_durable(&ii_core::store::RealVfs, std::path::Path::new(&out), json.as_bytes())
+        .expect("write baseline");
     println!("\n[parse_hotpath] baseline written to {out}");
 }

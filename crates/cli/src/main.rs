@@ -5,10 +5,15 @@
 //! ii build    <collection-dir> <index-dir> [--parsers N] [--cpu N] [--gpus N] [--popular N]
 //!             [--codec varbyte|gamma|golomb|bp128|pfor|ef|auto]
 //!             [--max-retries N] [--on-fault fail|skip] [--checkpoint-every N] [--resume]
-//!             [--mem-budget BYTES] [--stats] [--stats-json] [--trace trace.json] [--strict]
+//!             [--mem-budget BYTES] [--stats] [--stats-json] [--stats-out stats.json]
+//!             [--trace trace.json] [--strict] [--metrics-addr HOST:PORT]
+//!             [--metrics-out metrics.prom] [--chaos-kill CLASS:INDEX:BATCH]
+//! ii top      <host:port | metrics.prom> [--iters N] [--interval-ms MS] [--check]
+//! ii postmortem <bundle.json | index-dir>
 //! ii trace    report <trace.json> [--check]
 //! ii verify   <index-dir>
 //! ii repair   <index-dir>
+//! ii downgrade <index-dir> <out-dir>
 //! ii query    <index-dir> <terms...>
 //! ii postings <index-dir> <term> [--range LO HI]
 //! ii stats    <collection-dir | index-dir>
@@ -16,13 +21,16 @@
 //! ```
 
 use ii_core::corpus::{CollectionSpec, DocId, StoredCollection};
-use ii_core::pipeline::FaultAction;
+use ii_core::pipeline::{FaultAction, WorkerClass, WorkerFaultPlan};
 use ii_core::postings::Codec;
 use ii_core::platsim::{simulate, CollectionModel, PlatformModel, Scenario};
 use ii_core::{Index, IndexBuilder};
+use ii_obs::openmetrics::MetricPoint;
 use ii_obs::{Trace, TraceReport};
+use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     // Exit quietly when stdout is closed early (`ii postings ... | head`).
@@ -45,6 +53,8 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("postings") => cmd_postings(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
+        Some("postmortem") => cmd_postmortem(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("help") | None => {
             usage();
@@ -76,9 +86,19 @@ fn usage() {
          [--mem-budget BYTES] hard memory budget; under pressure the build degrades\n        \
          deterministically (backpressure, early flushes, GPU shedding); 0 = unlimited\n        \
          [--stats] prints the per-stage breakdown; [--stats-json] the raw snapshot\n        \
+         [--stats-out F] writes the JSON snapshot to F (atomic temp+fsync+rename)\n        \
          [--strict] exits non-zero if any document was quarantined or any worker died\n        \
          [--trace trace.json] records per-worker event timelines\n        \
-         (Chrome/Perfetto format; inspect with 'ii trace report')\n  \
+         (Chrome/Perfetto format; inspect with 'ii trace report')\n        \
+         [--metrics-addr H:P] serves a live OpenMetrics endpoint for the whole build\n        \
+         (watch with 'ii top H:P'); [--metrics-out F] writes the final exposition to F\n        \
+         [--chaos-kill CLASS:INDEX:BATCH] seeded worker kill (parser|cpu|gpu) for\n        \
+         forensics drills — the build survives and cuts a post-mortem bundle\n  \
+         top <host:port | metrics.prom> [--iters N] [--interval-ms MS] [--check]\n        \
+         live build monitor: per-stage MB/s, queue depths, worker liveness,\n        \
+         memory-vs-budget, ETA; --check lints the exposition and exits non-zero\n  \
+         postmortem <bundle.json | index-dir>                 render a post-mortem bundle:\n        \
+         cause attribution, supervision ledger, flight-recorder timeline\n  \
          trace report <trace.json> [--check]                  per-worker utilization, stall\n        \
          attribution, and an ASCII timeline from a recorded trace; --check\n        \
          additionally enforces the trace invariants and exits non-zero on failure\n  \
@@ -196,8 +216,12 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
             "--mem-budget",
             "--stats",
             "--stats-json",
+            "--stats-out",
             "--trace",
             "--strict",
+            "--metrics-addr",
+            "--metrics-out",
+            "--chaos-kill",
         ],
     )?;
     let pos = positional(args);
@@ -242,6 +266,10 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     };
     let resume = bool_flag(args, "--resume");
     let trace_path = flag(args, "--trace");
+    let metrics_addr = flag(args, "--metrics-addr");
+    let metrics_out = flag(args, "--metrics-out");
+    let stats_out = flag(args, "--stats-out");
+    let chaos_kill = flag(args, "--chaos-kill");
     // The build itself is durable: sealed runs, the doc map, and indexer
     // dictionary shards are committed atomically every `checkpoint_every`
     // runs, and the final index commit replaces the checkpoint — so a
@@ -258,9 +286,29 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     if let Some(bytes) = mem_budget {
         builder = builder.mem_budget(bytes);
     }
+    if let Some(addr) = &metrics_addr {
+        builder = builder.metrics_addr(addr.clone());
+    }
+    if let Some(spec) = &chaos_kill {
+        let (class, idx, at) = parse_chaos_kill(spec)?;
+        builder = builder
+            .supervised(true)
+            .worker_faults(WorkerFaultPlan::none().kill(class, idx, at));
+    }
     let index = builder
         .build_dir_durable(Path::new(coll_dir), Path::new(index_dir), checkpoint_every, resume)
-        .map_err(|e| format!("build failed: {e}"))?;
+        .map_err(|e| {
+            // A failed build leaves its forensics behind: point at the
+            // freshest post-mortem bundle if one was cut.
+            let pm = Path::new(index_dir).join("postmortem");
+            match ii_core::pipeline::list_bundles(&pm) {
+                Ok(bundles) if !bundles.is_empty() => format!(
+                    "build failed: {e}\npost-mortem bundle: {} (inspect with 'ii postmortem')",
+                    bundles.last().unwrap().display()
+                ),
+                _ => format!("build failed: {e}"),
+            }
+        })?;
     let r = &index.report;
     println!(
         "indexed {} docs -> {} terms in {:.2}s ({:.2} MB/s on this host)",
@@ -289,6 +337,9 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     for l in &r.supervision.lossy_incidents {
         println!("  LOSSY {l}");
     }
+    for b in &r.postmortem_bundles {
+        println!("post-mortem bundle: {} (inspect with 'ii postmortem')", b.display());
+    }
     if r.stages.gauge("governor.budget_bytes") > 0 {
         println!(
             "memory: budget {:.1} MB, high water {:.1} MB, {} credit waits, \
@@ -312,10 +363,18 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     if bool_flag(args, "--stats-json") {
         println!("{}", r.stages.snapshot.to_json());
     }
+    if let Some(path) = &stats_out {
+        write_durable(Path::new(path), r.stages.snapshot.to_json().as_bytes())?;
+        println!("stats: JSON snapshot written to {path}");
+    }
+    if let Some(path) = &metrics_out {
+        let exposition = ii_obs::openmetrics::render(&r.stages.snapshot);
+        write_durable(Path::new(path), exposition.as_bytes())?;
+        println!("metrics: OpenMetrics exposition written to {path}");
+    }
     if let Some(path) = &trace_path {
         let tr = r.trace.as_ref().ok_or("build finished without a trace (internal error)")?;
-        std::fs::write(path, tr.to_chrome_json())
-            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        write_durable(Path::new(path), tr.to_chrome_json().as_bytes())?;
         println!(
             "trace: {} events from {} workers written to {path} ({} dropped)",
             tr.num_events(),
@@ -580,6 +639,230 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         return Err(format!("{dir} is neither a collection nor an index"));
     }
     Ok(())
+}
+
+/// Crash-safe file write — ii-store's write-temp → fsync → atomic-rename,
+/// so an interrupted `ii build` can't leave a truncated JSON / exposition
+/// artifact behind.
+fn write_durable(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    ii_core::store::write_file_durable(&ii_core::store::RealVfs, path, bytes)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// `--chaos-kill parser|cpu|gpu:INDEX:BATCH` — a seeded worker kill.
+fn parse_chaos_kill(spec: &str) -> Result<(WorkerClass, usize, usize), String> {
+    let bad = || format!("--chaos-kill expects CLASS:INDEX:BATCH (e.g. gpu:0:2), got '{spec}'");
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [class, idx, at] = parts.as_slice() else {
+        return Err(bad());
+    };
+    let class = match *class {
+        "parser" => WorkerClass::Parser,
+        "cpu" => WorkerClass::CpuIndexer,
+        "gpu" => WorkerClass::GpuIndexer,
+        other => {
+            return Err(format!("--chaos-kill class must be parser|cpu|gpu, got '{other}'"))
+        }
+    };
+    Ok((class, idx.parse().map_err(|_| bad())?, at.parse().map_err(|_| bad())?))
+}
+
+fn cmd_postmortem(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[])?;
+    let pos = positional(args);
+    let target = pos.first().ok_or("postmortem: need <bundle.json | index-dir>")?;
+    let path = Path::new(target.as_str());
+    let bundle = if path.is_dir() {
+        // An index dir (or its postmortem/ subdir): render the newest
+        // bundle and list any others.
+        let dir = if path.join(ii_core::pipeline::POSTMORTEM_DIR).is_dir() {
+            path.join(ii_core::pipeline::POSTMORTEM_DIR)
+        } else {
+            path.to_path_buf()
+        };
+        let bundles = ii_core::pipeline::list_bundles(&dir)
+            .map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let Some(newest) = bundles.last().cloned() else {
+            return Err(format!("no post-mortem bundles in {}", dir.display()));
+        };
+        if bundles.len() > 1 {
+            println!("{} bundles in {} (rendering the newest):", bundles.len(), dir.display());
+            for b in &bundles {
+                println!("  {}", b.display());
+            }
+            println!();
+        }
+        newest
+    } else {
+        path.to_path_buf()
+    };
+    let text = std::fs::read_to_string(&bundle)
+        .map_err(|e| format!("cannot read {}: {e}", bundle.display()))?;
+    let report = ii_core::pipeline::render_bundle_report(&text)
+        .map_err(|e| format!("{}: {e}", bundle.display()))?;
+    print!("{report}");
+    Ok(())
+}
+
+/// One exposition sample by family name + identifying label.
+fn top_value(points: &[MetricPoint], family: &str, key: &str, label: &str) -> Option<f64> {
+    points.iter().find(|p| p.name == family && p.label(key) == Some(label)).map(|p| p.value)
+}
+
+/// State carried between `ii top` frames so rates are computed over the
+/// actual scrape interval rather than cumulative averages.
+struct TopState {
+    t: Instant,
+    files_done: f64,
+    stage_bytes: Vec<(String, f64)>,
+}
+
+fn render_top_frame(points: &[MetricPoint], prev: Option<&TopState>) -> (String, TopState) {
+    let now = Instant::now();
+    let dt = prev.map(|p| now.duration_since(p.t).as_secs_f64()).filter(|d| *d > 1e-3);
+    let gauge = |name: &str| top_value(points, "ii_gauge", "name", name);
+    let counter = |name: &str| top_value(points, "ii_counter_total", "name", name);
+    let mut o = String::new();
+    let done = gauge("pipeline.files_done").unwrap_or(0.0);
+    let total = gauge("pipeline.files_total").unwrap_or(0.0);
+    if total > 0.0 {
+        o.push_str(&format!("files {done:.0}/{total:.0} ({:.0}%)", 100.0 * done / total));
+        if let (Some(dt), Some(p)) = (dt, prev) {
+            let rate = (done - p.files_done) / dt;
+            if done >= total {
+                o.push_str("  done");
+            } else if rate > 0.0 {
+                o.push_str(&format!("  ETA {:.0}s", (total - done) / rate));
+            }
+        }
+        if let Some(docs) = counter("pipeline.docs") {
+            o.push_str(&format!("  docs {docs:.0}"));
+        }
+        o.push('\n');
+    }
+    let stage_names: Vec<String> = points
+        .iter()
+        .filter(|p| p.name == "ii_stage_wall_seconds")
+        .filter_map(|p| p.label("stage").map(str::to_string))
+        .collect();
+    let mut stage_bytes: Vec<(String, f64)> = Vec::new();
+    if !stage_names.is_empty() {
+        o.push_str(&format!("{:<16} {:>9} {:>12} {:>10}\n", "stage", "MB/s", "items", "MB"));
+    }
+    for name in stage_names {
+        let bytes = top_value(points, "ii_stage_bytes_total", "stage", &name).unwrap_or(0.0);
+        let items = top_value(points, "ii_stage_items_total", "stage", &name).unwrap_or(0.0);
+        let wall = top_value(points, "ii_stage_wall_seconds", "stage", &name).unwrap_or(0.0);
+        // Live rate over the scrape interval when a previous frame exists,
+        // else the cumulative average.
+        let prev_bytes = prev.and_then(|p| p.stage_bytes.iter().find(|(n, _)| *n == name));
+        let rate = match (dt, prev_bytes) {
+            (Some(dt), Some((_, pb))) => (bytes - pb) / dt / 1e6,
+            _ if wall > 0.0 => bytes / wall / 1e6,
+            _ => 0.0,
+        };
+        o.push_str(&format!("{name:<16} {rate:>9.2} {items:>12.0} {:>10.1}\n", bytes / 1e6));
+        stage_bytes.push((name, bytes));
+    }
+    let queues: Vec<String> = points
+        .iter()
+        .filter(|p| p.name == "ii_gauge")
+        .filter_map(|p| {
+            let n = p.label("name")?;
+            if !(n.starts_with("queue.") || n.starts_with("recycler.")) {
+                return None;
+            }
+            let short = n.trim_start_matches("queue.").trim_end_matches(".depth");
+            Some(format!("{short} {:.0}", p.value))
+        })
+        .collect();
+    if !queues.is_empty() {
+        o.push_str(&format!("queues: {}\n", queues.join("  ")));
+    }
+    let resident = gauge("governor.dict_bytes").unwrap_or(0.0)
+        + gauge("governor.postings_bytes").unwrap_or(0.0)
+        + gauge("governor.device_bytes").unwrap_or(0.0);
+    let budget = gauge("governor.budget_bytes").unwrap_or(0.0);
+    let high = gauge("governor.high_water_bytes").unwrap_or(0.0);
+    if budget > 0.0 {
+        let frac = (resident / budget).clamp(0.0, 1.0);
+        let filled = (frac * 20.0).round() as usize;
+        o.push_str(&format!(
+            "memory: [{}{}] {:.1}/{:.1} MB ({:.0}%), high water {:.1} MB\n",
+            "#".repeat(filled),
+            ".".repeat(20 - filled),
+            resident / 1e6,
+            budget / 1e6,
+            frac * 100.0,
+            high / 1e6
+        ));
+    } else if resident > 0.0 || high > 0.0 {
+        o.push_str(&format!(
+            "memory: resident {:.1} MB, high water {:.1} MB (no budget)\n",
+            resident / 1e6,
+            high / 1e6
+        ));
+    }
+    let workers: Vec<String> = points
+        .iter()
+        .filter(|p| p.name == "ii_gauge")
+        .filter_map(|p| {
+            let w = p.label("name")?.strip_prefix("worker.")?.strip_suffix(".idle_ms")?;
+            Some(format!("{w} {:.0}", p.value))
+        })
+        .collect();
+    if !workers.is_empty() {
+        o.push_str(&format!("workers (idle ms): {}\n", workers.join("  ")));
+    }
+    (o, TopState { t: now, files_done: done, stage_bytes })
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--iters", "--interval-ms", "--check"])?;
+    let pos = positional(args);
+    let target = pos.first().ok_or("top: need <host:port | exposition-file>")?.as_str();
+    let check = bool_flag(args, "--check");
+    let is_file = Path::new(target).is_file();
+    // Files render once; live endpoints poll until the endpoint goes away
+    // (build finished) or --iters frames have been shown.
+    let iters = flag_usize(args, "--iters", if is_file { 1 } else { 0 })?;
+    let interval = Duration::from_millis(flag_usize(args, "--interval-ms", 500)? as u64);
+    let mut prev: Option<TopState> = None;
+    let mut frame = 0usize;
+    loop {
+        let text = if is_file {
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?
+        } else {
+            match ii_obs::http::fetch(target, Duration::from_secs(2)) {
+                Ok(t) => t,
+                Err(e) if frame > 0 => {
+                    println!("endpoint {target} gone ({e}) — build finished");
+                    return Ok(());
+                }
+                Err(e) => return Err(format!("cannot scrape {target}: {e}")),
+            }
+        };
+        if check {
+            ii_obs::openmetrics::lint(&text)
+                .map_err(|e| format!("exposition lint failed: {e}"))?;
+        }
+        let points = ii_obs::openmetrics::parse(&text)
+            .map_err(|e| format!("cannot parse exposition: {e}"))?;
+        let (rendered, state) = render_top_frame(&points, prev.as_ref());
+        if frame > 0 && std::io::stdout().is_terminal() {
+            // Redraw in place on a live terminal; plain scrolling frames
+            // otherwise (pipes, CI logs).
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("ii top — {target}{}", if check { " [lint OK]" } else { "" });
+        print!("{rendered}");
+        prev = Some(state);
+        frame += 1;
+        if is_file || (iters > 0 && frame >= iters) {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {

@@ -5,11 +5,11 @@ use ii_corpus::StoredCollection;
 use ii_indexer::GpuIndexerConfig;
 use ii_pipeline::{
     build_index, build_index_durable, DurableOptions, FaultAction, FaultPolicy, GovernorPolicy,
-    PipelineConfig, PipelineError, SupervisorPolicy, WorkerFaultPlan,
+    PipelineConfig, PipelineError, SupervisorPolicy, TelemetryConfig, WorkerFaultPlan,
 };
 use ii_postings::Codec;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Configures and runs the pipelined heterogeneous indexing system.
@@ -163,6 +163,38 @@ impl IndexBuilder {
     /// Replace the whole governor policy (budget + watermarks) at once.
     pub fn governor(mut self, policy: GovernorPolicy) -> Self {
         self.config.governor = policy;
+        self
+    }
+
+    /// Serve a live OpenMetrics endpoint on `addr` (e.g. `127.0.0.1:9185`)
+    /// for the duration of the build — the `ii build --metrics-addr`
+    /// surface, consumed by `ii top` and Prometheus scrapes.
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.telemetry.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Toggle the always-on flight recorder (black-box ring of coarse
+    /// pipeline samples; enabled by default, priced under the `obs_overhead`
+    /// gate). Disabling it also leaves post-mortem bundles without a
+    /// timeline, so prefer tuning the cadence over switching it off.
+    pub fn flight_recorder(mut self, enabled: bool) -> Self {
+        self.config.telemetry.recorder.enabled = enabled;
+        self
+    }
+
+    /// Where automatic post-mortem bundles are written. Default: a
+    /// `postmortem/` directory inside the durable index dir (in-memory
+    /// builds then write none).
+    pub fn postmortem_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.telemetry.postmortem_dir = Some(dir.into());
+        self
+    }
+
+    /// Replace the whole telemetry configuration (recorder cadence,
+    /// post-mortem switches, metrics endpoint) at once.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.config.telemetry = cfg;
         self
     }
 

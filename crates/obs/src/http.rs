@@ -1,0 +1,155 @@
+//! Minimal `std::net` HTTP endpoint serving the OpenMetrics exposition.
+//!
+//! [`MetricsServer::serve`] binds a TCP listener (`127.0.0.1:0` picks a
+//! free port — [`MetricsServer::addr`] reports it) and answers every
+//! request with a fresh [`crate::openmetrics::render`] of the registry.
+//! One accept thread, one connection at a time, no keep-alive: a scraper
+//! or `ii top` polls at sub-Hz cadence, so simplicity beats throughput.
+//! Dropping the server stops the thread (a self-connection unblocks the
+//! blocking `accept`).
+//!
+//! [`fetch`] is the matching one-shot client used by `ii top` and tests.
+
+use crate::openmetrics;
+use crate::Registry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Content-Type of the exposition responses.
+pub const CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// A background metrics endpoint bound for the lifetime of a build.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9100`, or port `0` for an ephemeral
+    /// one) and serve `registry` snapshots until dropped.
+    pub fn serve(addr: &str, registry: Arc<Registry>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new().name("ii-metrics".into()).spawn(move || {
+            for conn in listener.incoming() {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { continue };
+                let _ = respond(&mut stream, &registry);
+            }
+        })?;
+        Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port `0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop so the thread notices the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn respond(stream: &mut TcpStream, registry: &Registry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Drain the request line + headers; any path gets the exposition.
+    let mut buf = [0u8; 4096];
+    let mut req = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 64 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = openmetrics::render(&registry.snapshot());
+    let resp = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(resp.as_bytes())
+}
+
+/// One-shot scrape: GET `http://{addr}/metrics` and return the body.
+pub fn fetch(addr: &str, timeout: Duration) -> io::Result<String> {
+    let sock: SocketAddr = addr
+        .parse()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("bad address '{addr}': {e}")))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(io::Error::other(format!(
+            "unexpected status: {}",
+            head.lines().next().unwrap_or("")
+        ))),
+        None => Err(io::Error::other("malformed HTTP response")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openmetrics::{lint, parse};
+
+    #[test]
+    fn serves_lintable_exposition_and_stops_cleanly() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("pipeline.docs").add(7);
+        let server = MetricsServer::serve("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+        let addr = server.addr().to_string();
+        let body = fetch(&addr, Duration::from_secs(5)).expect("scrape");
+        lint(&body).expect("exposition must lint clean");
+        let docs = parse(&body)
+            .unwrap()
+            .into_iter()
+            .find(|p| p.name == "ii_counter_total" && p.label("name") == Some("pipeline.docs"))
+            .expect("pipeline.docs sample");
+        assert_eq!(docs.value, 7.0);
+
+        // A second scrape sees live updates.
+        registry.counter("pipeline.docs").add(1);
+        let body = fetch(&addr, Duration::from_secs(5)).expect("second scrape");
+        assert!(body.contains("ii_counter_total{name=\"pipeline.docs\"} 8"));
+
+        drop(server);
+        // Port is released after shutdown: a rebind must succeed.
+        let rebind = MetricsServer::serve(&addr, registry);
+        assert!(rebind.is_ok(), "rebind after drop failed: {:?}", rebind.err());
+    }
+}

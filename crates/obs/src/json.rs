@@ -9,6 +9,13 @@
 
 use std::collections::BTreeMap;
 
+/// Append `s` to `out` as a quoted, escaped JSON string — the writer-side
+/// twin of this parser, shared with downstream crates that hand-roll JSON
+/// (post-mortem bundles) so both sides agree on escaping.
+pub fn write_json_str(out: &mut String, s: &str) {
+    crate::push_json_str(out, s);
+}
+
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JsonValue {

@@ -26,10 +26,15 @@
 //!   [`Snapshot::write_json`]) shared by `--stats-json` and the bench
 //!   binaries.
 
+pub mod http;
 pub mod json;
+pub mod openmetrics;
+pub mod recorder;
 pub mod report;
 pub mod trace;
 
+pub use http::MetricsServer;
+pub use recorder::{FlightDump, FlightRecorder, FlightSample, RecorderConfig};
 pub use report::{TraceReport, WorkerReport};
 pub use trace::{
     GaugeSeries, GpuSpanArgs, Trace, TraceConfig, TraceEvent, TraceKind, TraceSink, TraceSpan,
@@ -43,7 +48,8 @@ use std::time::{Duration, Instant};
 
 /// Version of the snapshot JSON layout (`--stats-json`, bench snapshots).
 /// Bump when keys change shape so downstream tooling can branch.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
+/// v4 added `p999_ns` / `latency_p999_ns` tail quantiles.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
 
 /// Monotonic event counter (relaxed atomic; safe to bump from any thread).
 #[derive(Debug, Default)]
@@ -514,7 +520,7 @@ pub struct Snapshot {
     pub stages: BTreeMap<String, StageSnapshot>,
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -562,10 +568,11 @@ impl Snapshot {
                 o.push_str(&c.to_string());
             }
             o.push_str(&format!(
-                "], \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                "], \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}",
                 q(v, 0.50),
                 q(v, 0.95),
-                q(v, 0.99)
+                q(v, 0.99),
+                q(v, 0.999)
             ));
         }
         o.push_str("\n  },\n  \"stages\": {");
@@ -573,14 +580,15 @@ impl Snapshot {
             o.push_str(if i == 0 { "\n    " } else { ",\n    " });
             push_json_str(&mut o, k);
             o.push_str(&format!(
-                ": {{\"wall_seconds\": {:.9}, \"queue_wait_seconds\": {:.9}, \"bytes\": {}, \"items\": {}, \"latency_p50_ns\": {}, \"latency_p95_ns\": {}, \"latency_p99_ns\": {}}}",
+                ": {{\"wall_seconds\": {:.9}, \"queue_wait_seconds\": {:.9}, \"bytes\": {}, \"items\": {}, \"latency_p50_ns\": {}, \"latency_p95_ns\": {}, \"latency_p99_ns\": {}, \"latency_p999_ns\": {}}}",
                 s.wall_seconds,
                 s.queue_wait_seconds,
                 s.bytes,
                 s.items,
                 q(&s.latency, 0.50),
                 q(&s.latency, 0.95),
-                q(&s.latency, 0.99)
+                q(&s.latency, 0.99),
+                q(&s.latency, 0.999)
             ));
         }
         o.push_str("\n  }\n}\n");
@@ -720,14 +728,16 @@ mod tests {
         }
         let json = r.snapshot().to_json();
         for needle in [
-            "\"schema_version\": 3",
+            "\"schema_version\": 4",
             "\"pipeline.docs\": 48",
             "\"queue.depth\": -2",
             "\"read\"",
             "\"bytes\": 1024",
             "\"items\": 1",
             "\"p50_ns\": 256",
+            "\"p999_ns\": 256",
             "\"latency_p50_ns\"",
+            "\"latency_p999_ns\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

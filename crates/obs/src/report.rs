@@ -30,6 +30,10 @@ pub struct WorkerReport {
     pub bytes: u64,
     /// Events lost to ring overflow on this worker.
     pub dropped: u64,
+    /// Exact p999 of work-span durations, ns (0 if no work spans). Unlike
+    /// the registry histograms this is computed from the raw event
+    /// durations, so there is no bucket rounding.
+    pub p999_ns: u64,
 }
 
 impl WorkerReport {
@@ -95,6 +99,7 @@ impl TraceReport {
                 t0 = t0.min(start);
                 t1 = t1.max(end);
             }
+            let mut work_durs = Vec::new();
             for e in &w.events {
                 let slot = ALL_KINDS.iter().position(|k| *k == e.kind).unwrap();
                 r.by_kind_ns[slot] += e.dur_ns();
@@ -104,7 +109,14 @@ impl TraceReport {
                     r.busy_ns += e.dur_ns();
                     r.bytes += e.bytes;
                     total_by_kind_ns[slot] += e.dur_ns();
+                    work_durs.push(e.dur_ns());
                 }
+            }
+            if !work_durs.is_empty() {
+                work_durs.sort_unstable();
+                let rank = ((0.999 * work_durs.len() as f64).ceil() as usize)
+                    .clamp(1, work_durs.len());
+                r.p999_ns = work_durs[rank - 1];
             }
             // Validated traces have non-overlapping spans, so covered time
             // never exceeds wall and idle is the exact remainder.
@@ -180,9 +192,9 @@ impl TraceReport {
             }
         ));
         o.push_str(&format!(
-            "{:<name_w$}  {:>8}  {:>6}  {:>9} {:>9} {:>9} {:>9} {:>9}  dominant\n",
+            "{:<name_w$}  {:>8}  {:>6}  {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  dominant\n",
             "worker", "wall s", "util%", "work s", "read-wait", "queue-full", "parser-wait",
-            "mem-wait"
+            "mem-wait", "p999 ms"
         ));
         let col = |ns: u64| format!("{:.3}", ns as f64 / 1e9);
         for w in &self.workers {
@@ -190,7 +202,7 @@ impl TraceReport {
                 w.by_kind_ns[ALL_KINDS.iter().position(|x| *x == kind).unwrap()]
             };
             o.push_str(&format!(
-                "{:<name_w$}  {:>8}  {:>5.1}%  {:>9} {:>9} {:>10} {:>11} {:>9}  {}\n",
+                "{:<name_w$}  {:>8}  {:>5.1}%  {:>9} {:>9} {:>10} {:>11} {:>9} {:>9.3}  {}\n",
                 w.name,
                 col(w.wall_ns),
                 w.utilization() * 100.0,
@@ -199,6 +211,7 @@ impl TraceReport {
                 col(k(TraceKind::QueueFull)),
                 col(k(TraceKind::ParserWait)),
                 col(k(TraceKind::MemoryWait)),
+                w.p999_ns as f64 / 1e6,
                 w.dominant_kind().map(|d| d.label()).unwrap_or("-"),
             ));
         }
@@ -309,6 +322,10 @@ mod tests {
         let d = &rep.workers[1];
         assert_eq!(d.busy_ns, 500);
         assert_eq!(d.stall_ns, 400);
+        // p999 over the exact work-span durations: parser [300, 500] and
+        // driver [500] both land on 500 ns; stalls are excluded.
+        assert_eq!(p.p999_ns, 500);
+        assert_eq!(d.p999_ns, 500);
         rep.check(&tr).unwrap();
     }
 
@@ -349,6 +366,7 @@ mod tests {
         assert!(out.contains("parser-0"));
         assert!(out.contains("critical stage: index"));
         assert!(out.contains("queue peak: queue.parser-0 = 3"));
+        assert!(out.contains("p999 ms"));
         assert!(out.contains("legend:"));
         // Timeline rows contain work glyphs.
         assert!(out.contains('P') && out.contains('I'), "{out}");

@@ -32,8 +32,9 @@ use crate::parsers::{
     panic_message, BatchRecycler, ParserObs, ParserPool, SpawnOptions, SupervisedRoundRobin,
 };
 use crate::supervisor::{DeathCause, Supervisor, SupervisorPolicy};
+use crate::telemetry::{PostmortemContext, PostmortemWriter, TelemetryConfig, POSTMORTEM_DIR};
 use ii_corpus::StoredCollection;
-use ii_obs::{Registry, Trace, TraceConfig, TraceKind, Tracer};
+use ii_obs::{FlightRecorder, MetricsServer, Registry, Trace, TraceConfig, TraceKind, Tracer};
 use ii_dict::{GlobalDictionary, PartialDictionary};
 use ii_indexer::{make_plan, sample_counts, BalancePlan, GpuIndexerConfig, IndexerPool, WorkloadStats};
 use ii_postings::{parse_run_artifact_name, run_artifact_name, Codec, RunFile, RunFormat, RunSet};
@@ -94,6 +95,11 @@ pub struct PipelineConfig {
     /// *logical* index — dictionary, postings, doc map — stays identical
     /// across budgets; the checkpoint guard protects the physical runs.)
     pub governor: GovernorPolicy,
+    /// Live telemetry: flight-recorder cadence, automatic post-mortem
+    /// bundles, and the optional OpenMetrics endpoint. Excluded from the
+    /// checkpoint config fingerprint like `trace` and `supervision`:
+    /// telemetry observes a build, it never changes index bytes.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for PipelineConfig {
@@ -118,6 +124,7 @@ impl Default for PipelineConfig {
             supervision: SupervisorPolicy::default(),
             worker_faults: WorkerFaultPlan::none(),
             governor: GovernorPolicy::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -204,6 +211,10 @@ pub struct PipelineReport {
     /// [`TraceConfig::enabled`]); export with
     /// [`Trace::to_chrome_json`].
     pub trace: Option<Trace>,
+    /// Post-mortem bundles written during the build (worker deaths and
+    /// quarantines on an otherwise-successful build; fatal errors leave
+    /// their bundle in the `postmortem/` dir without a report to carry it).
+    pub postmortem_bundles: Vec<PathBuf>,
 }
 
 impl PipelineReport {
@@ -740,6 +751,69 @@ fn build_inner(
     let registry = Arc::new(Registry::new());
     let index_stage = registry.stage("index");
     let post_stage = registry.stage("post_process");
+    // The flight recorder rides the consumer loop: one cheap gate per
+    // message, a bounded ring of absolute samples behind it. Watches
+    // cover the index stage, the governor's resident/high-water figures,
+    // the inter-stage queue gauges (added below, once they exist), and
+    // every worker heartbeat — the figures a post-mortem needs to explain
+    // the final seconds of a build.
+    let recorder = FlightRecorder::from_config(&cfg.telemetry.recorder);
+    recorder.watch_stage("index", Arc::clone(&index_stage));
+    {
+        let g = governor.clone();
+        recorder.watch_gauge_fn("governor.resident_bytes", move || g.resident().total() as i64);
+        let g = governor.clone();
+        recorder.watch_counter_fn("governor.high_water_bytes", move || g.high_water());
+    }
+    for (p, hb) in parser_beats.iter().enumerate() {
+        recorder.watch_heartbeat(&format!("parser-{p}"), Arc::clone(hb));
+    }
+    for (i, hb) in cpu_beats.iter().enumerate() {
+        recorder.watch_heartbeat(&format!("cpu-{i}"), Arc::clone(hb));
+    }
+    for (g, hb) in gpu_beats.iter().enumerate() {
+        recorder.watch_heartbeat(&format!("gpu-{g}"), Arc::clone(hb));
+    }
+    // Live OpenMetrics endpoint (`ii build --metrics-addr`, scraped by
+    // `ii top` and Prometheus). Bound for the duration of the build; the
+    // handle's Drop unbinds it on every exit path, typed errors included.
+    let _metrics_server: Option<MetricsServer> = match cfg.telemetry.metrics_addr.as_deref() {
+        Some(addr) => {
+            Some(MetricsServer::serve(addr, Arc::clone(&registry)).map_err(PipelineError::Io)?)
+        }
+        None => None,
+    };
+    // Post-mortem bundles land in `postmortem/` next to the index (or
+    // wherever the config points); in-memory builds with no explicit dir
+    // write none.
+    let mut postmortem = PostmortemWriter::new(if cfg.telemetry.postmortem {
+        cfg.telemetry
+            .postmortem_dir
+            .clone()
+            .or_else(|| durable.map(|o| o.dir.join(POSTMORTEM_DIR)))
+    } else {
+        None
+    });
+    // Deaths already bundled: a bundle is cut the batch a death happens,
+    // not at end of build, so the ring still holds the surrounding samples.
+    let mut deaths_bundled = 0usize;
+    // Progress and liveness gauges for the live exposition (`ii top`):
+    // files done vs total and per-worker heartbeat idle ages, refreshed
+    // once per consumed message.
+    registry.gauge("pipeline.files_total").set(collection.num_files() as i64);
+    let files_done_gauge = registry.gauge("pipeline.files_done");
+    files_done_gauge.set(start_file as i64);
+    let beat_gauges: Vec<_> = parser_beats
+        .iter()
+        .enumerate()
+        .map(|(p, hb)| (registry.gauge(&format!("worker.parser-{p}.idle_ms")), Arc::clone(hb)))
+        .chain(cpu_beats.iter().enumerate().map(|(i, hb)| {
+            (registry.gauge(&format!("worker.cpu-{i}.idle_ms")), Arc::clone(hb))
+        }))
+        .chain(gpu_beats.iter().enumerate().map(|(g, hb)| {
+            (registry.gauge(&format!("worker.gpu-{g}.idle_ms")), Arc::clone(hb))
+        }))
+        .collect();
     let t_stream = Instant::now();
     // Consumed batch buffers flow back to the parser threads through this
     // pool; size it to the in-flight window (one slot per buffered batch
@@ -775,6 +849,21 @@ fn build_inner(
         .collect();
     let recycler_gauge =
         (registry.gauge("recycler.pool.depth"), tracer.gauge("recycler.pool"));
+    for (p, (gauge, _)) in queue_gauges.iter().enumerate() {
+        recorder.watch_gauge(&format!("queue.parser-{p}.depth"), Arc::clone(gauge));
+    }
+    recorder.watch_gauge("recycler.pool.depth", Arc::clone(&recycler_gauge.0));
+    // Governor gauges published per batch so a live scrape sees the
+    // memory-vs-budget picture mid-build; counters stay end-of-build
+    // (`governor.export`) so they are added exactly once.
+    let gov_gauges = (
+        registry.gauge("governor.effective_budget_bytes"),
+        registry.gauge("governor.dict_bytes"),
+        registry.gauge("governor.postings_bytes"),
+        registry.gauge("governor.device_bytes"),
+        registry.gauge("governor.high_water_bytes"),
+    );
+    registry.gauge("governor.budget_bytes").set(cfg.governor.budget_bytes as i64);
     let mut batches_in_run = 0usize;
     let mut runs_since_checkpoint = 0usize;
     let mut batch_ordinal = 0usize;
@@ -798,6 +887,7 @@ fn build_inner(
     while let Some(msg) = round_robin.next() {
         let msg = msg?;
         files_done = msg.file_idx() + 1;
+        recorder.maybe_sample();
         let queue_wait_seconds = msg.queue_wait_seconds;
         for (p, (gauge, series)) in queue_gauges.iter().enumerate() {
             let depth = round_robin.queue_depth(p) as i64;
@@ -807,6 +897,10 @@ fn build_inner(
         let pool_depth = recycler.depth() as i64;
         recycler_gauge.0.set(pool_depth);
         recycler_gauge.1.sample(pool_depth);
+        files_done_gauge.set(files_done as i64);
+        for (gauge, hb) in &beat_gauges {
+            gauge.set(hb.idle().as_millis() as i64);
+        }
         let batch = match msg.result {
             Ok(batch) => {
                 if msg.retries > 0 {
@@ -817,6 +911,18 @@ fn build_inner(
             }
             Err(fault) => {
                 if cfg.fault_policy.action == FaultAction::FailFast {
+                    postmortem.write(
+                        &PostmortemContext {
+                            trigger: "file-fault",
+                            detail: fault.to_string(),
+                            batch_ordinal,
+                            supervision: &supervisor.report,
+                            quarantined: &report.faults.quarantined,
+                        },
+                        &recorder,
+                        &registry,
+                        &tracer,
+                    );
                     return Err(PipelineError::File(fault));
                 }
                 // Quarantine: keep the file's slot in the doc map as an
@@ -837,7 +943,20 @@ fn build_inner(
                 if fault.class == FaultClass::Panic {
                     report.faults.parser_panics += 1;
                 }
+                let detail = fault.to_string();
                 report.faults.quarantined.push(fault);
+                postmortem.write(
+                    &PostmortemContext {
+                        trigger: "quarantine",
+                        detail,
+                        batch_ordinal,
+                        supervision: &supervisor.report,
+                        quarantined: &report.faults.quarantined,
+                    },
+                    &recorder,
+                    &registry,
+                    &tracer,
+                );
                 continue;
             }
         };
@@ -917,6 +1036,29 @@ fn build_inner(
             supervisor.record_reassignments(timing.takeovers.len() as u32, gpu_takeovers);
         }
         supervisor.report.fallback_seconds += timing.fallback_seconds;
+        // Any new death this batch — injected kill, mid-batch panic — cuts
+        // a post-mortem bundle now, while the flight-recorder ring still
+        // holds the samples surrounding the event.
+        if supervisor.report.deaths.len() > deaths_bundled {
+            let detail = supervisor.report.deaths[deaths_bundled..]
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            deaths_bundled = supervisor.report.deaths.len();
+            postmortem.write(
+                &PostmortemContext {
+                    trigger: "worker-death",
+                    detail,
+                    batch_ordinal,
+                    supervision: &supervisor.report,
+                    quarantined: &report.faults.quarantined,
+                },
+                &recorder,
+                &registry,
+                &tracer,
+            );
+        }
         let wall = t0.elapsed().as_secs_f64();
         let modeled = timing.stage_seconds();
         report.pre_processing_seconds +=
@@ -942,6 +1084,12 @@ fn build_inner(
         // degrades identically on every run.
         let (dict, postings, device) = pool.resident_bytes();
         governor.note_resident(PoolBytes { dict, postings, device });
+        let r = governor.resident();
+        gov_gauges.0.set(governor.effective_budget() as i64);
+        gov_gauges.1.set(r.dict as i64);
+        gov_gauges.2.set(r.postings as i64);
+        gov_gauges.3.set(r.device as i64);
+        gov_gauges.4.set(governor.high_water() as i64);
         // Rung 2: flush the run early when pending postings push the pools
         // past the watermark (the paper's flush-when-full rule). Run
         // boundaries move; the merged postings do not.
@@ -991,6 +1139,20 @@ fn build_inner(
         // dictionaries alone no longer fit — a typed refusal beats an OOM
         // kill.
         if let Some((budget, needed)) = governor.budget_exceeded() {
+            postmortem.write(
+                &PostmortemContext {
+                    trigger: "memory-budget",
+                    detail: format!(
+                        "budget {budget} B, resident needs {needed} B after full degradation"
+                    ),
+                    batch_ordinal,
+                    supervision: &supervisor.report,
+                    quarantined: &report.faults.quarantined,
+                },
+                &recorder,
+                &registry,
+                &tracer,
+            );
             return Err(PipelineError::MemoryBudgetExceeded { budget, needed });
         }
     }
@@ -1013,6 +1175,27 @@ fn build_inner(
         supervisor.declare_dead(d.class, d.index, d.cause.clone());
     }
     supervisor.report.inline_parsed_files += round_robin.inline_parsed_files();
+    // Parser deaths surface from the consumer ledger at end of streaming;
+    // bundle any the per-batch watermark has not seen yet.
+    if supervisor.report.deaths.len() > deaths_bundled {
+        let detail = supervisor.report.deaths[deaths_bundled..]
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        postmortem.write(
+            &PostmortemContext {
+                trigger: "worker-death",
+                detail,
+                batch_ordinal,
+                supervision: &supervisor.report,
+                quarantined: &report.faults.quarantined,
+            },
+            &recorder,
+            &registry,
+            &tracer,
+        );
+    }
     let inline_timing = round_robin.inline_timing();
     // Release the receivers so a parser parked on a full buffer exits.
     drop(round_robin);
@@ -1120,7 +1303,21 @@ fn build_inner(
                         cfg.fault_policy.jittered_backoff(attempt, 0xD15C_F0FF),
                     );
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    postmortem.write(
+                        &PostmortemContext {
+                            trigger: "commit-failure",
+                            detail: e.to_string(),
+                            batch_ordinal,
+                            supervision: &supervisor.report,
+                            quarantined: &report.faults.quarantined,
+                        },
+                        &recorder,
+                        &registry,
+                        &tracer,
+                    );
+                    return Err(e.into());
+                }
             }
         }
     }
@@ -1134,6 +1331,9 @@ fn build_inner(
     registry.counter("supervisor.inline_parsed_files").add(u64::from(sup.inline_parsed_files));
     registry.counter("supervisor.commit_retries").add(u64::from(sup.commit_retries));
     registry.counter("supervisor.lossy_incidents").add(sup.lossy_incidents.len() as u64);
+    if postmortem.bundles_written() > 0 {
+        registry.counter("postmortem.bundles").add(u64::from(postmortem.bundles_written()));
+    }
 
     // The governor's ledger: budget, per-pool resident gauges, high-water,
     // credit-gate waits, and each rung's trigger count.
@@ -1143,6 +1343,7 @@ fn build_inner(
     report.total_seconds = t_total.elapsed().as_secs_f64();
     report.stages = StageBreakdown::from_registry(&registry);
     report.trace = tracer.finish();
+    report.postmortem_bundles = postmortem.paths().to_vec();
     Ok(IndexOutput { dictionary, run_sets, dict_bytes, doc_map, report })
 }
 

@@ -38,6 +38,7 @@ pub mod fault;
 pub mod governor;
 pub mod parsers;
 pub mod supervisor;
+pub mod telemetry;
 
 pub use breakdown::StageBreakdown;
 pub use checkpoint::{
@@ -60,4 +61,8 @@ pub use parsers::{
 };
 pub use supervisor::{
     DeathCause, SupervisionReport, Supervisor, SupervisorPolicy, WorkerDeath,
+};
+pub use telemetry::{
+    list_bundles, render_bundle_report, PostmortemContext, PostmortemWriter, TelemetryConfig,
+    BUNDLE_SCHEMA_VERSION, POSTMORTEM_DIR,
 };

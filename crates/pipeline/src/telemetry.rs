@@ -1,0 +1,551 @@
+//! Live telemetry and crash forensics: the build-time wiring of ii-obs's
+//! flight recorder, the automatic post-mortem bundle, and its renderer.
+//!
+//! The flight recorder answers "what were the last seconds like?" when a
+//! build dies; this module decides *what it watches* (the index stage,
+//! governor resident/high-water figures, queue gauges, every worker
+//! heartbeat), *when a bundle is cut* (any failure-domain event: worker
+//! death, quarantine, memory-budget abort, commit failure), and *what the
+//! bundle holds*:
+//!
+//! * an `event` section — trigger, cause detail, batch ordinal, the
+//!   supervision ledger, quarantined files. Fully deterministic: two
+//!   identically-seeded chaos builds produce byte-identical event
+//!   sections (a property test pins this).
+//! * a `telemetry` section — flight-recorder ring dump, full registry
+//!   snapshot, and the tail of each worker's trace ring (when tracing is
+//!   on). Timing-dependent by nature, so it comes last in the file.
+//!
+//! Bundles are committed through ii-store's write-temp → fsync → rename
+//! protocol ([`ii_store::write_file_durable`]) into a `postmortem/`
+//! subdirectory of the index dir — a crash while writing the crash report
+//! can't tear it. Writing is best-effort and always via the real
+//! filesystem: a post-mortem must never turn one failure into two, and
+//! must not perturb the op numbering of an injected [`ii_store::CrashVfs`].
+//!
+//! `ii postmortem <bundle>` renders [`render_bundle_report`]: cause
+//! attribution plus a transposed timeline (one row per watched metric,
+//! one column per flight-recorder sample).
+
+use crate::fault::FileFault;
+use crate::supervisor::SupervisionReport;
+use ii_obs::json::{self, JsonValue};
+use ii_obs::{FlightRecorder, RecorderConfig, Registry, Trace, Tracer, WorkerTrace};
+use ii_store::RealVfs;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Subdirectory of the index dir where bundles land.
+pub const POSTMORTEM_DIR: &str = "postmortem";
+
+/// Version of the bundle JSON layout.
+pub const BUNDLE_SCHEMA_VERSION: u32 = 1;
+
+/// Per-worker trace events kept in a bundle's trace tail.
+const TRACE_TAIL_EVENTS: usize = 64;
+
+/// Flight-recorder samples shown per timeline row in the rendered report.
+const TIMELINE_COLUMNS: usize = 8;
+
+/// Telemetry knobs on [`crate::PipelineConfig`].
+///
+/// Excluded from the checkpoint config fingerprint, like tracing and
+/// supervision: telemetry observes a build, it never changes index bytes.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Flight-recorder cadence and ring size (enabled by default; the
+    /// per-message cost is priced in the `obs_overhead` bench gate).
+    pub recorder: RecorderConfig,
+    /// Cut automatic post-mortem bundles on failure-domain events.
+    pub postmortem: bool,
+    /// Where bundles land. `None` (default) = `postmortem/` inside the
+    /// durable index dir; in-memory builds then write no bundles. Tests
+    /// and embedders can point it anywhere.
+    pub postmortem_dir: Option<PathBuf>,
+    /// Serve a live OpenMetrics endpoint on this address for the whole
+    /// build (`ii build --metrics-addr`).
+    pub metrics_addr: Option<String>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            recorder: RecorderConfig::default(),
+            postmortem: true,
+            postmortem_dir: None,
+            metrics_addr: None,
+        }
+    }
+}
+
+/// The deterministic half of a bundle: what happened, and the supervision
+/// state at that moment.
+#[derive(Debug)]
+pub struct PostmortemContext<'a> {
+    /// Event class: `worker-death`, `quarantine`, `file-fault`,
+    /// `memory-budget`, `commit-failure`.
+    pub trigger: &'a str,
+    /// Human-readable cause (a [`crate::WorkerDeath`] display, a fault
+    /// message, the budget figures).
+    pub detail: String,
+    /// Batches fully indexed when the event fired.
+    pub batch_ordinal: usize,
+    /// The supervisor's ledger at the moment of the event.
+    pub supervision: &'a SupervisionReport,
+    /// Files quarantined so far.
+    pub quarantined: &'a [FileFault],
+}
+
+/// Cuts bundles into a directory; inert when constructed with `None`.
+#[derive(Debug, Default)]
+pub struct PostmortemWriter {
+    dir: Option<PathBuf>,
+    written: Vec<PathBuf>,
+    failed: u32,
+}
+
+impl PostmortemWriter {
+    /// A writer targeting `dir` (`None` = write nothing).
+    pub fn new(dir: Option<PathBuf>) -> PostmortemWriter {
+        PostmortemWriter { dir, written: Vec::new(), failed: 0 }
+    }
+
+    /// Bundles successfully written so far.
+    pub fn bundles_written(&self) -> u32 {
+        self.written.len() as u32
+    }
+
+    /// Bundle writes that themselves failed (best-effort; counted, never
+    /// raised).
+    pub fn failures(&self) -> u32 {
+        self.failed
+    }
+
+    /// Paths of the bundles written, in order.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.written
+    }
+
+    /// Force a last flight-recorder sample and durably write one bundle.
+    /// Returns the bundle path, or `None` when disabled or the write
+    /// failed — a post-mortem never turns one failure into two.
+    pub fn write(
+        &mut self,
+        ctx: &PostmortemContext<'_>,
+        recorder: &FlightRecorder,
+        registry: &Registry,
+        tracer: &Tracer,
+    ) -> Option<PathBuf> {
+        let dir = self.dir.clone()?;
+        recorder.force_sample();
+        let bundle = render_bundle(ctx, recorder, registry, tracer);
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("bundle_{:03}_{}.json", self.written.len(), ctx.trigger));
+        match ii_store::write_file_durable(&RealVfs, &path, bundle.as_bytes()) {
+            Ok(()) => {
+                self.written.push(path.clone());
+                Some(path)
+            }
+            Err(_) => {
+                self.failed += 1;
+                None
+            }
+        }
+    }
+}
+
+/// The deterministic `event` section (byte-identical across
+/// identically-seeded runs).
+fn render_event_json(ctx: &PostmortemContext<'_>) -> String {
+    let mut o = String::from("{\n  \"trigger\": ");
+    json::write_json_str(&mut o, ctx.trigger);
+    o.push_str(",\n  \"detail\": ");
+    json::write_json_str(&mut o, &ctx.detail);
+    o.push_str(&format!(",\n  \"batch_ordinal\": {},\n  \"deaths\": [", ctx.batch_ordinal));
+    for (i, d) in ctx.supervision.deaths.iter().enumerate() {
+        o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        o.push_str("{\"class\": ");
+        json::write_json_str(&mut o, &d.class.to_string());
+        o.push_str(&format!(", \"index\": {}, \"cause\": ", d.index));
+        json::write_json_str(&mut o, &d.cause.to_string());
+        o.push('}');
+    }
+    let s = ctx.supervision;
+    o.push_str(&format!(
+        "\n  ],\n  \"reassignments\": {}, \"gpu_takeovers\": {}, \"inline_parsed_files\": {}, \"commit_retries\": {},\n  \"lossy_incidents\": [",
+        s.reassignments, s.gpu_takeovers, s.inline_parsed_files, s.commit_retries
+    ));
+    for (i, l) in s.lossy_incidents.iter().enumerate() {
+        if i > 0 {
+            o.push_str(", ");
+        }
+        json::write_json_str(&mut o, l);
+    }
+    o.push_str("],\n  \"quarantined_files\": [");
+    for (i, f) in ctx.quarantined.iter().enumerate() {
+        if i > 0 {
+            o.push_str(", ");
+        }
+        o.push_str(&f.file_idx.to_string());
+    }
+    o.push_str("]\n}");
+    o
+}
+
+/// The last [`TRACE_TAIL_EVENTS`] events of each worker's ring.
+fn trace_tail(full: &Trace) -> Trace {
+    Trace {
+        workers: full
+            .workers
+            .iter()
+            .map(|w| {
+                let skip = w.events.len().saturating_sub(TRACE_TAIL_EVENTS);
+                WorkerTrace {
+                    name: w.name.clone(),
+                    events: w.events[skip..].to_vec(),
+                    dropped: w.dropped + skip as u64,
+                }
+            })
+            .collect(),
+        gauges: full.gauges.clone(),
+        dropped: full.dropped,
+    }
+}
+
+/// Assemble the full bundle: deterministic `event` first, timing-dependent
+/// `telemetry` last.
+fn render_bundle(
+    ctx: &PostmortemContext<'_>,
+    recorder: &FlightRecorder,
+    registry: &Registry,
+    tracer: &Tracer,
+) -> String {
+    let mut o = format!("{{\n\"schema_version\": {BUNDLE_SCHEMA_VERSION},\n\"event\": ");
+    o.push_str(&render_event_json(ctx));
+    o.push_str(",\n\"telemetry\": {\n\"flight_recorder\": ");
+    match recorder.dump() {
+        Some(d) => o.push_str(&d.to_json()),
+        None => o.push_str("null"),
+    }
+    o.push_str(",\n\"snapshot\": ");
+    o.push_str(registry.snapshot().to_json().trim_end());
+    o.push_str(",\n\"trace_tail\": ");
+    match tracer.finish() {
+        Some(trace) if !trace.workers.is_empty() => {
+            o.push_str(trace_tail(&trace).to_chrome_json().trim_end());
+        }
+        _ => o.push_str("null"),
+    }
+    o.push_str("\n}\n}\n");
+    o
+}
+
+/// Bundle files in `dir`, sorted by name (write order).
+pub fn list_bundles(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_file()
+                && p.extension().is_some_and(|e| e == "json")
+                && p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("bundle_"))
+        })
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+fn short_num(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.1}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 1e4 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Append the transposed flight-recorder timeline: one row per watched
+/// metric, one column per sample (last [`TIMELINE_COLUMNS`]).
+fn render_timeline(fr: &JsonValue, o: &mut String) {
+    let names = |key: &str| -> Vec<String> {
+        fr.get(key)
+            .and_then(|v| v.as_arr())
+            .map(|a| a.iter().map(|n| n.as_str().unwrap_or("?").to_string()).collect())
+            .unwrap_or_default()
+    };
+    let counters = names("counters");
+    let gauges = names("gauges");
+    let workers = names("workers");
+    let samples = fr.get("samples").and_then(|v| v.as_arr()).unwrap_or(&[]);
+    let dropped = fr.get("dropped").and_then(|v| v.as_u64()).unwrap_or(0);
+    o.push_str(&format!(
+        "flight recorder: {} samples in ring ({} evicted)\n",
+        samples.len(),
+        dropped
+    ));
+    if samples.is_empty() {
+        return;
+    }
+    let take = samples.len().min(TIMELINE_COLUMNS);
+    let first_shown = samples.len() - take;
+    let window = &samples[first_shown..];
+    // Value of series `key[idx]` in one sample.
+    let val = |s: &JsonValue, key: &str, idx: usize| -> f64 {
+        s.get(key).and_then(|v| v.as_arr()).and_then(|a| a.get(idx)).and_then(|v| v.as_f64()).unwrap_or(0.0)
+    };
+    let label_w = counters
+        .iter()
+        .map(|n| n.len() + 2)
+        .chain(gauges.iter().map(|n| n.len()))
+        .chain(workers.iter().map(|n| n.len() + 10))
+        .chain(["t_ms".len()])
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    o.push_str(&format!(
+        "timeline (last {take} of {} samples, oldest → newest; Δ = delta per sample):\n",
+        samples.len()
+    ));
+    let mut row = |label: &str, cells: Vec<String>| {
+        o.push_str(&format!("  {label:<label_w$}"));
+        for c in cells {
+            o.push_str(&format!(" {c:>8}"));
+        }
+        o.push('\n');
+    };
+    row(
+        "t_ms",
+        window
+            .iter()
+            .map(|s| format!("{:.0}", s.get("t_ns").and_then(|v| v.as_f64()).unwrap_or(0.0) / 1e6))
+            .collect(),
+    );
+    for (ci, name) in counters.iter().enumerate() {
+        let cells = window
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let prev = if first_shown + i == 0 {
+                    0.0
+                } else {
+                    val(&samples[first_shown + i - 1], "c", ci)
+                };
+                short_num(val(s, "c", ci) - prev)
+            })
+            .collect();
+        row(&format!("Δ {name}"), cells);
+    }
+    for (gi, name) in gauges.iter().enumerate() {
+        let cells = window.iter().map(|s| short_num(val(s, "g", gi))).collect();
+        row(name, cells);
+    }
+    for (wi, name) in workers.iter().enumerate() {
+        let cells =
+            window.iter().map(|s| short_num(val(s, "idle_ns", wi) / 1e6)).collect();
+        row(&format!("idle {name} (ms)"), cells);
+    }
+}
+
+/// Render a bundle's human-readable report: cause attribution, the
+/// supervision ledger, and the flight-recorder timeline. This is what
+/// `ii postmortem` prints.
+pub fn render_bundle_report(text: &str) -> Result<String, String> {
+    let v = json::parse_json(text)?;
+    let event = v.get("event").ok_or("bundle has no 'event' section")?;
+    let schema = v.get("schema_version").and_then(|x| x.as_u64()).unwrap_or(0);
+    if schema > BUNDLE_SCHEMA_VERSION as u64 {
+        return Err(format!(
+            "bundle schema {schema} is newer than this build reads ({BUNDLE_SCHEMA_VERSION})"
+        ));
+    }
+    let sv = |k: &str| event.get(k).and_then(|x| x.as_str()).unwrap_or("?").to_string();
+    let nv = |k: &str| event.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+    let mut o = format!("post-mortem bundle (schema {schema})\n");
+    o.push_str(&format!("trigger: {}\n", sv("trigger")));
+    o.push_str(&format!("cause: {}\n", sv("detail")));
+    o.push_str(&format!("batch ordinal: {}\n", nv("batch_ordinal")));
+    if let Some(deaths) = event.get("deaths").and_then(|d| d.as_arr()) {
+        if !deaths.is_empty() {
+            o.push_str("deaths:\n");
+            for d in deaths {
+                o.push_str(&format!(
+                    "  - {} {} died ({})\n",
+                    d.get("class").and_then(|x| x.as_str()).unwrap_or("?"),
+                    d.get("index").and_then(|x| x.as_u64()).unwrap_or(0),
+                    d.get("cause").and_then(|x| x.as_str()).unwrap_or("?"),
+                ));
+            }
+        }
+    }
+    o.push_str(&format!(
+        "reassignments: {} (gpu takeovers: {}), inline parsed files: {}, commit retries: {}\n",
+        nv("reassignments"),
+        nv("gpu_takeovers"),
+        nv("inline_parsed_files"),
+        nv("commit_retries")
+    ));
+    if let Some(lossy) = event.get("lossy_incidents").and_then(|l| l.as_arr()) {
+        if !lossy.is_empty() {
+            o.push_str(&format!("lossy incidents: {}\n", lossy.len()));
+            for l in lossy {
+                o.push_str(&format!("  - {}\n", l.as_str().unwrap_or("?")));
+            }
+        }
+    }
+    match event.get("quarantined_files").and_then(|q| q.as_arr()) {
+        Some(q) if !q.is_empty() => {
+            let idxs: Vec<String> =
+                q.iter().map(|x| format!("{}", x.as_u64().unwrap_or(0))).collect();
+            o.push_str(&format!("quarantined files: {}\n", idxs.join(", ")));
+        }
+        _ => {}
+    }
+    let telemetry = v.get("telemetry");
+    match telemetry.and_then(|t| t.get("flight_recorder")) {
+        Some(JsonValue::Null) | None => o.push_str("flight recorder: disabled\n"),
+        Some(fr) => render_timeline(fr, &mut o),
+    }
+    if let Some(trace) = telemetry.and_then(|t| t.get("trace_tail")) {
+        if let Some(events) = trace.get("traceEvents").and_then(|e| e.as_arr()) {
+            o.push_str(&format!("trace tail: {} events\n", events.len()));
+        }
+    }
+    Ok(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::{DeathCause, WorkerDeath};
+    use crate::WorkerClass;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn sample_ledger() -> SupervisionReport {
+        SupervisionReport {
+            deaths: vec![WorkerDeath {
+                class: WorkerClass::GpuIndexer,
+                index: 0,
+                cause: DeathCause::Injected,
+            }],
+            reassignments: 2,
+            gpu_takeovers: 2,
+            inline_parsed_files: 0,
+            fallback_seconds: 0.0,
+            commit_retries: 0,
+            lossy_incidents: vec![],
+        }
+    }
+
+    fn harness() -> (FlightRecorder, Registry, Tracer) {
+        let recorder = FlightRecorder::new(16, Duration::ZERO);
+        let registry = Registry::new();
+        let c = registry.counter("pipeline.docs");
+        recorder.watch_counter("pipeline.docs", Arc::clone(&c));
+        c.add(42);
+        recorder.maybe_sample();
+        c.add(8);
+        (recorder, registry, Tracer::disabled())
+    }
+
+    #[test]
+    fn bundle_renders_and_report_attributes_cause() {
+        let (recorder, registry, tracer) = harness();
+        let ledger = sample_ledger();
+        let ctx = PostmortemContext {
+            trigger: "worker-death",
+            detail: "gpu-indexer 0 died (injected kill)".into(),
+            batch_ordinal: 3,
+            supervision: &ledger,
+            quarantined: &[],
+        };
+        recorder.force_sample();
+        let bundle = render_bundle(&ctx, &recorder, &registry, &tracer);
+        json::parse_json(&bundle).expect("bundle must be valid JSON");
+        let report = render_bundle_report(&bundle).expect("report");
+        assert!(report.contains("trigger: worker-death"), "{report}");
+        assert!(report.contains("cause: gpu-indexer 0 died (injected kill)"), "{report}");
+        assert!(report.contains("- gpu-indexer 0 died (injected kill)"), "{report}");
+        assert!(report.contains("batch ordinal: 3"), "{report}");
+        assert!(report.contains("reassignments: 2 (gpu takeovers: 2)"), "{report}");
+        assert!(report.contains("Δ pipeline.docs"), "{report}");
+        // The event section precedes the telemetry section.
+        assert!(bundle.find("\"event\"").unwrap() < bundle.find("\"telemetry\"").unwrap());
+    }
+
+    #[test]
+    fn event_section_is_deterministic() {
+        let ledger = sample_ledger();
+        let make = || {
+            render_event_json(&PostmortemContext {
+                trigger: "memory-budget",
+                detail: "budget 1024 B, needed 4096 B".into(),
+                batch_ordinal: 7,
+                supervision: &ledger,
+                quarantined: &[],
+            })
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn writer_is_inert_without_a_dir_and_writes_bundles_with_one() {
+        let (recorder, registry, tracer) = harness();
+        let ledger = SupervisionReport::default();
+        let ctx = PostmortemContext {
+            trigger: "quarantine",
+            detail: "file 3: permanent fault".into(),
+            batch_ordinal: 1,
+            supervision: &ledger,
+            quarantined: &[],
+        };
+        let mut inert = PostmortemWriter::new(None);
+        assert!(inert.write(&ctx, &recorder, &registry, &tracer).is_none());
+        assert_eq!(inert.bundles_written(), 0);
+
+        let dir = std::env::temp_dir()
+            .join(format!("ii-postmortem-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut writer = PostmortemWriter::new(Some(dir.clone()));
+        let p1 = writer.write(&ctx, &recorder, &registry, &tracer).expect("bundle 1");
+        let p2 = writer.write(&ctx, &recorder, &registry, &tracer).expect("bundle 2");
+        assert_eq!(writer.bundles_written(), 2);
+        assert_eq!(writer.failures(), 0);
+        assert!(p1.file_name().unwrap().to_string_lossy().starts_with("bundle_000_"));
+        assert!(p2.file_name().unwrap().to_string_lossy().starts_with("bundle_001_"));
+        let listed = list_bundles(&dir).unwrap();
+        assert_eq!(listed, vec![p1.clone(), p2]);
+        let text = fs::read_to_string(&p1).unwrap();
+        render_bundle_report(&text).expect("written bundle renders");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn trace_tail_keeps_last_events_and_counts_the_rest_dropped() {
+        let mut full = Trace::default();
+        let mk = |i: u64| ii_obs::TraceEvent {
+            kind: ii_obs::TraceKind::Parse,
+            t_start_ns: i * 10,
+            t_end_ns: i * 10 + 5,
+            bytes: 0,
+            batch_id: 0,
+            trie_lo: 0,
+            trie_hi: 0,
+            gpu: None,
+        };
+        full.workers.push(WorkerTrace {
+            name: "parser-0".into(),
+            events: (0..(TRACE_TAIL_EVENTS as u64 + 10)).map(mk).collect(),
+            dropped: 3,
+        });
+        let tail = trace_tail(&full);
+        assert_eq!(tail.workers[0].events.len(), TRACE_TAIL_EVENTS);
+        assert_eq!(tail.workers[0].dropped, 13);
+        assert_eq!(tail.workers[0].events.last().unwrap().t_start_ns, (TRACE_TAIL_EVENTS as u64 + 9) * 10);
+    }
+}

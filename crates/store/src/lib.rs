@@ -38,7 +38,9 @@ pub use manifest::{
     ArtifactMeta, Manifest, ManifestKind, PostingsMeta, FORMAT_VERSION, MANIFEST_NAME,
     MIN_FORMAT_VERSION,
 };
-pub use store::{salvage, ArtifactStatus, ArtifactValidator, SalvageReport, Store, Txn};
+pub use store::{
+    salvage, write_file_durable, ArtifactStatus, ArtifactValidator, SalvageReport, Store, Txn,
+};
 pub use vfs::{CrashMode, CrashVfs, RealVfs, Vfs};
 
 /// CRC-32 (ISO-HDLC, the zlib polynomial) — same algorithm and parameters

@@ -197,7 +197,8 @@ impl<'v> Txn<'v> {
         Ok(())
     }
 
-    /// write-temp → fsync → atomic rename for one file.
+    /// write-temp → fsync → atomic rename for one file (see the
+    /// standalone [`write_file_durable`] for out-of-transaction writes).
     fn write_durable(&self, file: &str, bytes: &[u8]) -> Result<(), StoreError> {
         let tmp = self.dir.join(format!("{file}.tmp"));
         let dst = self.dir.join(file);
@@ -383,6 +384,32 @@ pub fn salvage(
     let committed = txn.commit(ManifestKind::Index)?;
     report.generation = committed.generation;
     Ok(report)
+}
+
+/// Durably write one standalone file: write-temp → fsync → atomic rename
+/// → fsync parent dir.
+///
+/// This is the same protocol [`Txn`] uses for artifacts, for files that
+/// live *outside* a manifest transaction — `--stats-json` snapshots,
+/// bench baselines, post-mortem bundles. A crash at any boundary leaves
+/// either the previous file or the complete new one, never a truncated
+/// write (plus, at worst, a harmless `.tmp` orphan).
+pub fn write_file_durable(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| StoreError::Io(std::io::Error::other(format!(
+            "path '{}' has no file name",
+            path.display()
+        ))))?;
+    let tmp = path.with_file_name(format!("{name}.tmp"));
+    vfs.write_file(&tmp, bytes)?;
+    vfs.fsync_file(&tmp)?;
+    vfs.rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        vfs.fsync_dir(dir)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -623,6 +650,30 @@ mod tests {
         let mut txn = Txn::begin(&d, &RealVfs).unwrap();
         txn.put("a.bin", b"x").unwrap();
         assert!(matches!(txn.put("a.bin", b"y"), Err(StoreError::Corrupt { .. })));
+        fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn write_file_durable_replaces_atomically() {
+        let d = tmp("durable-write");
+        fs::create_dir_all(&d).unwrap();
+        let path = d.join("stats.json");
+        write_file_durable(&RealVfs, &path, b"{\"v\": 1}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\": 1}");
+        write_file_durable(&RealVfs, &path, b"{\"v\": 2}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\": 2}");
+        // A crash at any I/O boundary leaves either the old or the new
+        // content, never a truncated file.
+        for op in 0..4 {
+            let vfs = CrashVfs::new(op, CrashMode::PowerLoss, 0);
+            let _ = write_file_durable(&vfs, &path, b"{\"v\": 333}");
+            let found = fs::read(&path).unwrap();
+            assert!(
+                found == b"{\"v\": 2}" || found == b"{\"v\": 333}",
+                "crash at op {op} tore the file: {found:?}"
+            );
+        }
+        assert!(write_file_durable(&RealVfs, Path::new("/"), b"x").is_err());
         fs::remove_dir_all(d).unwrap();
     }
 
